@@ -1,0 +1,502 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Figs. 5, 6, 8, 9; Tables I, II) plus the design ablations,
+   and a Bechamel microbenchmark suite for the substrate itself.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig5    -- one experiment
+     dune exec bench/main.exe -- table2 --np 256   -- smaller scale
+
+   Virtual seconds play the role of the paper's wall-clock seconds (see
+   DESIGN.md, "Substitutions"); host seconds are the cost of running the
+   simulation itself. *)
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+module Stats = Mpi.Stats
+module Runtime = Mpi.Runtime
+
+let pf = Printf.printf
+
+let heading title =
+  pf "\n================================================================\n";
+  pf "%s\n" title;
+  pf "================================================================\n%!"
+
+let finding_kinds (report : Report.t) =
+  List.fold_left
+    (fun (c, r) (f : Report.finding) ->
+      match f.Report.error with
+      | Report.Comm_leak _ -> (true, r)
+      | Report.Request_leak _ -> (c, true)
+      | _ -> (c, r))
+    (false, false) report.Report.findings
+
+let yesno = function true -> "Yes" | false -> "No"
+
+(* ---- Fig. 5: ParMETIS, DAMPI vs ISP, 4..32 processes ---- *)
+
+let fig5 () =
+  heading
+    "Fig. 5 -- ParMETIS-3.1: verification time (virtual s), ISP vs DAMPI";
+  pf "%6s %12s %12s %12s %10s %10s\n" "np" "native" "DAMPI" "ISP" "DAMPI-x"
+    "ISP-x";
+  List.iter
+    (fun np ->
+      let program = Workloads.Parmetis.program () in
+      let native = Explorer.native_makespan ~np program in
+      let dampi =
+        (Explorer.verify
+           ~config:{ Explorer.default_config with max_runs = 1 }
+           ~np program)
+          .Report.first_run_makespan
+      in
+      let isp = Isp.Engine.single_run_makespan ~np program in
+      pf "%6d %12.3f %12.3f %12.3f %9.2fx %9.2fx\n%!" np native dampi isp
+        (dampi /. native) (isp /. native))
+    [ 4; 8; 12; 16; 20; 24; 28; 32 ]
+
+(* ---- Table I: ParMETIS MPI operation statistics ---- *)
+
+let table1 () =
+  heading "Table I -- Statistics of MPI operations in ParMETIS-3.1";
+  let npl = [ 8; 16; 32; 64; 128 ] in
+  let results =
+    List.map
+      (fun np ->
+        let rt, outcome = Mpi.Bind.exec ~np (Workloads.Parmetis.program ()) in
+        (match outcome with
+        | Sim.Coroutine.All_finished -> ()
+        | _ -> failwith "table1: parmetis did not finish");
+        (np, Runtime.stats rt))
+      npl
+  in
+  let k v = Printf.sprintf "%dK" (v / 1000) in
+  let row label f =
+    pf "%-22s" label;
+    List.iter (fun (_, s) -> pf " %10s" (f s)) results;
+    pf "\n"
+  in
+  pf "%-22s" "MPI Operation Type";
+  List.iter (fun np -> pf " %10s" (Printf.sprintf "procs=%d" np)) npl;
+  pf "\n";
+  row "All" (fun s -> k (Stats.total s));
+  row "All per proc." (fun s -> k (int_of_float (Stats.all_per_proc s)));
+  row "Send-Recv" (fun s -> k (Stats.total_send_recv s));
+  row "Send-Recv per proc" (fun s ->
+      k (int_of_float (Stats.send_recv_per_proc s)));
+  row "Collective" (fun s -> k (Stats.total_collective s));
+  row "Collective per proc" (fun s ->
+      Printf.sprintf "%.1fK" (Stats.collective_per_proc s /. 1000.0));
+  row "Wait" (fun s -> k (Stats.total_wait s));
+  row "Wait per proc" (fun s ->
+      Printf.sprintf "%.1fK" (Stats.wait_per_proc s /. 1000.0));
+  pf "%!"
+
+(* ---- Table II: DAMPI overhead on medium-large benchmarks ---- *)
+
+let table2 ?(np = 1024) () =
+  heading
+    (Printf.sprintf
+       "Table II -- DAMPI overhead: medium-large benchmarks at %d procs" np);
+  pf "%-16s %10s %9s %7s %7s\n" "Program" "Slowdown" "Total R*" "C-Leak"
+    "R-Leak";
+  let bench name program =
+    let native = Explorer.native_makespan ~np program in
+    let report =
+      Explorer.verify
+        ~config:{ Explorer.default_config with max_runs = 1 }
+        ~np program
+    in
+    let c_leak, r_leak = finding_kinds report in
+    pf "%-16s %9.2fx %9d %7s %7s\n%!" name
+      (report.Report.first_run_makespan /. native)
+      report.Report.wildcards_analyzed (yesno c_leak) (yesno r_leak)
+  in
+  (* ParMETIS's full Table I volume at 1024 ranks is ~10^8 simulated calls;
+     the op counts are scaled down 50x here. The slowdown ratio is
+     scale-invariant because the skeleton ties compute to the op count. *)
+  bench "ParMETIS-3.1"
+    (Workloads.Parmetis.program
+       ~params:{ Workloads.Parmetis.default_params with scale = 0.02 }
+       ());
+  List.iter
+    (fun shape ->
+      bench shape.Workloads.Skeleton.name (Workloads.Skeleton.program shape))
+    Workloads.Specmpi.all;
+  List.iter
+    (fun shape ->
+      bench shape.Workloads.Skeleton.name (Workloads.Skeleton.program shape))
+    Workloads.Nas.all
+
+(* ---- Fig. 6: matmult, time to explore N interleavings ---- *)
+
+let fig6 () =
+  heading
+    "Fig. 6 -- Matrix multiplication: time (virtual s) to explore N \
+     interleavings";
+  let np = 8 in
+  let params =
+    { Workloads.Matmult.default_params with n = 16; rows_per_task = 1 }
+  in
+  let program = Workloads.Matmult.program ~params () in
+  pf "%15s %14s %14s\n" "interleavings" "DAMPI" "ISP";
+  List.iter
+    (fun budget ->
+      let dampi =
+        Explorer.verify
+          ~config:{ Explorer.default_config with max_runs = budget }
+          ~np program
+      in
+      let isp =
+        Isp.Engine.verify
+          ~config:{ Isp.Engine.default_config with max_runs = budget }
+          ~np program
+      in
+      pf "%15d %14.2f %14.2f\n%!" budget dampi.Report.total_virtual_time
+        isp.Report.total_virtual_time)
+    [ 250; 500; 750; 1000 ]
+
+(* ---- Fig. 8: matmult under bounded mixing ---- *)
+
+let explore_count ~np ~k ~max_runs program =
+  let config =
+    {
+      Explorer.default_config with
+      state_config = State.make_config ?mixing_bound:k ();
+      max_runs;
+    }
+  in
+  (Explorer.verify ~config ~np program).Report.interleavings
+
+let fig8 () =
+  heading
+    "Fig. 8 -- Matrix multiplication with bounded mixing: interleavings \
+     explored";
+  let cap = 20_000 in
+  pf "(counts capped at %d)\n" cap;
+  pf "%6s %10s %10s %10s %12s\n" "np" "k=0" "k=1" "k=2" "unbounded";
+  List.iter
+    (fun np ->
+      let params =
+        { Workloads.Matmult.default_params with n = 6; rows_per_task = 1 }
+      in
+      let program = Workloads.Matmult.program ~params () in
+      let count k = explore_count ~np ~k ~max_runs:cap program in
+      pf "%6d %10d %10d %10d %12d\n%!" np
+        (count (Some 0))
+        (count (Some 1))
+        (count (Some 2))
+        (count None))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ---- Fig. 9: ADLB under bounded mixing ---- *)
+
+let fig9 () =
+  heading "Fig. 9 -- ADLB with bounded mixing: interleavings explored";
+  let cap = 10_000 in
+  pf "(counts capped at %d; ADLB's space explodes beyond any budget, which\n\
+     \ is the paper's point about it)\n" cap;
+  pf "%6s %10s %10s %10s\n" "np" "k=0" "k=1" "k=2";
+  List.iter
+    (fun np ->
+      let params =
+        {
+          Workloads.Adlb.default_params with
+          servers = max 1 (np / 4);
+          puts_per_client = 1;
+        }
+      in
+      let program = Workloads.Adlb.program ~params () in
+      let count k = explore_count ~np ~k:(Some k) ~max_runs:cap program in
+      pf "%6d %10d %10d %10d\n%!" np (count 0) (count 1) (count 2))
+    [ 4; 8; 16; 24; 32 ]
+
+(* ---- Ablation: Lamport vs vector clocks ---- *)
+
+let ablation_clocks () =
+  heading
+    "Ablation -- clock algebra: Lamport (paper default) vs vector clocks";
+  let lamport = (module Clocks.Lamport : Clocks.Clock_intf.S) in
+  let vector = (module Clocks.Vector : Clocks.Clock_intf.S) in
+  let run clock ~np program =
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Explorer.verify
+        ~config:
+          {
+            Explorer.default_config with
+            state_config = State.make_config ~clock ();
+            max_runs = 2000;
+          }
+        ~np program
+    in
+    let host = Unix.gettimeofday () -. t0 in
+    (report, host)
+  in
+  pf "%-28s %10s %10s %9s %12s %9s\n" "workload/clock" "interleav."
+    "findings" "pb-ints" "virtual-s" "host-s";
+  let show label ((report : Report.t), host) ~pb_ints =
+    pf "%-28s %10d %10d %9d %12.4f %9.3f\n%!" label report.Report.interleavings
+      (List.length report.Report.findings)
+      pb_ints report.Report.total_virtual_time host
+  in
+  List.iter
+    (fun (wname, np, program) ->
+      show (wname ^ "/lamport") (run lamport ~np program) ~pb_ints:1;
+      show (wname ^ "/vector") (run vector ~np program) ~pb_ints:np)
+    [
+      ("fig4", 4, Workloads.Patterns.fig4);
+      ( "matmult(6x6)",
+        6,
+        Workloads.Matmult.program
+          ~params:
+            { Workloads.Matmult.default_params with n = 6; rows_per_task = 2 }
+          () );
+      ("adlb", 8, Workloads.Adlb.program ());
+    ]
+
+(* ---- Ablation: piggyback mechanism (separate message vs inline packing,
+   SS II-D) ---- *)
+
+let ablation_piggyback () =
+  heading
+    "Ablation -- piggyback mechanism: separate messages (paper's choice) vs \
+     inline payload packing";
+  let run ~mode ~clock ~np program =
+    let config =
+      {
+        Explorer.default_config with
+        state_config = State.make_config ~clock ~piggyback:mode ();
+        max_runs = 1;
+      }
+    in
+    (Explorer.verify ~config ~np program).Report.first_run_makespan
+  in
+  let lamport = (module Clocks.Lamport : Clocks.Clock_intf.S) in
+  let vector = (module Clocks.Vector : Clocks.Clock_intf.S) in
+  pf "%-24s %6s %12s %14s %14s\n" "workload/clock" "np" "native"
+    "pb=separate" "pb=inline";
+  List.iter
+    (fun (name, np, program) ->
+      let native = Explorer.native_makespan ~np program in
+      List.iter
+        (fun (cname, clock) ->
+          let sep = run ~mode:State.Separate ~clock ~np program in
+          let inl = run ~mode:State.Inline ~clock ~np program in
+          pf "%-24s %6d %12.5f %13.2fx %13.2fx\n%!"
+            (name ^ "/" ^ cname)
+            np native (sep /. native) (inl /. native))
+        [ ("lamport", lamport); ("vector", vector) ])
+    [
+      ( "parmetis(2%)",
+        64,
+        Workloads.Parmetis.program
+          ~params:{ Workloads.Parmetis.default_params with scale = 0.02 }
+          () );
+      ("milc", 128, Workloads.Skeleton.program Workloads.Specmpi.milc);
+    ]
+
+(* ---- Ablation: random testing (Jitterbug/Marmot style) vs DAMPI ---- *)
+
+module Three_senders_bench (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 ->
+        let seen = ref [] in
+        for _ = 1 to 3 do
+          let v, _ = M.recv ~src:M.any_source world in
+          seen := Mpi.Payload.to_int v :: !seen
+        done;
+        if !seen = [ 3; 2; 1 ] then failwith "ordering bug"
+    | r -> M.send ~dest:0 world (Mpi.Payload.int r)
+end
+
+let ablation_random () =
+  heading
+    "Ablation -- coverage: random schedule testing (SS I baseline) vs DAMPI";
+  pf "%-16s %6s | %22s | %s\n" "workload" "np" "random (20/100 seeds)"
+    "DAMPI (guaranteed)";
+  let cases =
+    [
+      ("fig3", 3, Workloads.Patterns.fig3);
+      ("fig10", 3, Workloads.Patterns.fig10);
+      ("three-senders", 4, (module Three_senders_bench : Mpi.Mpi_intf.PROGRAM));
+    ]
+  in
+  List.iter
+    (fun (name, np, program) ->
+      let r20 = Dampi.Sampler.test ~seeds:(List.init 20 Fun.id) ~np program in
+      let r100 = Dampi.Sampler.test ~seeds:(List.init 100 Fun.id) ~np program in
+      let dfs =
+        Explorer.verify
+          ~config:{ Explorer.default_config with max_runs = 5_000 }
+          ~np program
+      in
+      let dfs_errors =
+        List.exists
+          (fun (f : Report.finding) ->
+            match f.Report.error with
+            | Report.Deadlock _ | Report.Crash _ -> true
+            | _ -> false)
+          dfs.Report.findings
+      in
+      pf "%-16s %6d | err in %3d/20, %3d/100  | %s in %d interleavings\n%!"
+        name np r20.Dampi.Sampler.errors_found r100.Dampi.Sampler.errors_found
+        (if dfs_errors then "error found"
+         else if dfs.Report.monitor_alerts > 0 then "monitor alert"
+         else "clean")
+        dfs.Report.interleavings)
+    cases
+
+(* ---- Ablation: bounded mixing k sweep on one workload ---- *)
+
+let ablation_mixing () =
+  heading "Ablation -- bounded mixing k sweep (matmult np=6)";
+  let params =
+    { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+  in
+  let program = Workloads.Matmult.program ~params () in
+  pf "%10s %14s\n" "k" "interleavings";
+  List.iter
+    (fun k ->
+      let label =
+        match k with None -> "unbounded" | Some k -> string_of_int k
+      in
+      pf "%10s %14d\n%!" label
+        (explore_count ~np:6 ~k ~max_runs:50_000 program))
+    [ Some 0; Some 1; Some 2; Some 3; Some 4; None ]
+
+(* ---- Bechamel microbenchmarks of the substrate ---- *)
+
+let micro () =
+  heading "Microbenchmarks (Bechamel) -- substrate throughput";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"mpi ping-pong (np=2, 100 msgs)"
+        (Staged.stage (fun () ->
+             let module P (M : Mpi.Mpi_intf.MPI_CORE) = struct
+               let main () =
+                 let world = M.comm_world in
+                 if M.rank world = 0 then
+                   for _ = 1 to 100 do
+                     M.send ~dest:1 world (Mpi.Payload.Int 1);
+                     ignore (M.recv ~src:1 world)
+                   done
+                 else
+                   for _ = 1 to 100 do
+                     ignore (M.recv ~src:0 world);
+                     M.send ~dest:0 world (Mpi.Payload.Int 2)
+                   done
+             end in
+             ignore (Mpi.Bind.exec ~np:2 (module P : Mpi.Mpi_intf.PROGRAM))));
+      Test.make ~name:"wildcard fan-in (np=8, 70 msgs)"
+        (Staged.stage (fun () ->
+             let module P (M : Mpi.Mpi_intf.MPI_CORE) = struct
+               let main () =
+                 let world = M.comm_world in
+                 if M.rank world = 0 then
+                   for _ = 1 to 70 do
+                     ignore (M.recv ~src:M.any_source world)
+                   done
+                 else
+                   for _ = 1 to 10 do
+                     M.send ~dest:0 world (Mpi.Payload.Int 3)
+                   done
+             end in
+             ignore (Mpi.Bind.exec ~np:8 (module P : Mpi.Mpi_intf.PROGRAM))));
+      Test.make ~name:"full verification of fig3 (np=3)"
+        (Staged.stage (fun () ->
+             ignore
+               (Explorer.verify ~config:Explorer.default_config ~np:3
+                  Workloads.Patterns.fig3)));
+      Test.make ~name:"lamport tick+merge x1000"
+        (Staged.stage (fun () ->
+             let c = ref (Clocks.Lamport.make ~np:64) in
+             for _ = 1 to 1000 do
+               c := Clocks.Lamport.merge (Clocks.Lamport.tick ~me:0 !c) 42
+             done));
+      Test.make ~name:"vector tick+merge x1000 (np=64)"
+        (Staged.stage (fun () ->
+             let other = Clocks.Vector.make ~np:64 in
+             let c = ref (Clocks.Vector.make ~np:64) in
+             for _ = 1 to 1000 do
+               c := Clocks.Vector.merge (Clocks.Vector.tick ~me:0 !c) other
+             done));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"substrate" tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let analyzed =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) analyzed []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> pf "%-52s %14.1f ns/run\n%!" name est
+      | Some _ | None -> pf "%-52s (no estimate)\n%!" name)
+    rows
+
+(* ---- driver ---- *)
+
+let usage () =
+  pf
+    "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
+    \                 ablation-piggyback|ablation-mixing|micro] [--np N]\n"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let np_override =
+    let rec find = function
+      | "--np" :: v :: _ -> Some (int_of_string v)
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find args
+  in
+  let cmds =
+    List.filter
+      (fun a ->
+        (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+        && (match int_of_string_opt a with Some _ -> false | None -> true))
+      (List.tl args)
+  in
+  let run = function
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig8" -> fig8 ()
+    | "fig9" -> fig9 ()
+    | "table1" -> table1 ()
+    | "table2" -> table2 ?np:np_override ()
+    | "ablation-clocks" -> ablation_clocks ()
+    | "ablation-piggyback" -> ablation_piggyback ()
+    | "ablation-random" -> ablation_random ()
+    | "ablation-mixing" -> ablation_mixing ()
+    | "micro" -> micro ()
+    | "all" ->
+        fig5 ();
+        table1 ();
+        table2 ?np:np_override ();
+        fig6 ();
+        fig8 ();
+        fig9 ();
+        ablation_clocks ();
+        ablation_piggyback ();
+        ablation_random ();
+        ablation_mixing ()
+    | other ->
+        pf "unknown command %S\n" other;
+        usage ();
+        exit 1
+  in
+  match cmds with [] -> run "all" | cmds -> List.iter run cmds

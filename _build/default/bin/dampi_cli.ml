@@ -1,0 +1,374 @@
+(* The dampi command-line tool: verify bundled workloads, compare engines
+   and clock algebras, sweep bounding heuristics.
+
+     dune exec bin/dampi_cli.exe -- list
+     dune exec bin/dampi_cli.exe -- verify fig3 --np 3
+     dune exec bin/dampi_cli.exe -- verify matmult --np 6 -k 1
+     dune exec bin/dampi_cli.exe -- verify adlb --np 8 --engine isp
+     dune exec bin/dampi_cli.exe -- verify fig4 --clock vector *)
+
+open Cmdliner
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+
+(* ---- workload registry ---- *)
+
+type entry = {
+  key : string;
+  doc : string;
+  default_np : int;
+  build : unit -> Mpi.Mpi_intf.program;
+}
+
+let skeleton_entry shape doc =
+  {
+    key = String.lowercase_ascii shape.Workloads.Skeleton.name;
+    doc;
+    default_np = 16;
+    build = (fun () -> Workloads.Skeleton.program shape);
+  }
+
+let registry =
+  [
+    {
+      key = "fig3";
+      doc = "paper Fig. 3: wildcard race, bug on the alternate match";
+      default_np = 3;
+      build = (fun () -> Workloads.Patterns.fig3);
+    };
+    {
+      key = "fig4";
+      doc = "paper Fig. 4: cross-coupled wildcards (Lamport imprecision)";
+      default_np = 4;
+      build = (fun () -> Workloads.Patterns.fig4);
+    };
+    {
+      key = "fig10";
+      doc = "paper Fig. 10: clock escape before wait (monitor alert)";
+      default_np = 3;
+      build = (fun () -> Workloads.Patterns.fig10);
+    };
+    {
+      key = "deadlock";
+      doc = "deterministic head-to-head deadlock";
+      default_np = 2;
+      build = (fun () -> Workloads.Patterns.head_to_head);
+    };
+    {
+      key = "matmult";
+      doc = "master/slave matrix multiplication (Figs. 6, 8)";
+      default_np = 5;
+      build =
+        (fun () ->
+          Workloads.Matmult.program
+            ~params:
+              { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+            ());
+    };
+    {
+      key = "samplesort";
+      doc = "parallel sample sort (deterministic collective pipeline)";
+      default_np = 6;
+      build = (fun () -> Workloads.Samplesort.program ());
+    };
+    {
+      key = "adlb";
+      doc = "mini-ADLB work-sharing library (Fig. 9)";
+      default_np = 6;
+      build = (fun () -> Workloads.Adlb.program ());
+    };
+    {
+      key = "parmetis";
+      doc = "ParMETIS-3.1 communication skeleton, 1% scale (Fig. 5, Tables I-II)";
+      default_np = 8;
+      build =
+        (fun () ->
+          Workloads.Parmetis.program
+            ~params:{ Workloads.Parmetis.default_params with scale = 0.01 }
+            ());
+    };
+  ]
+  @ List.map
+      (fun s -> skeleton_entry s ("NAS-PB skeleton " ^ s.Workloads.Skeleton.name))
+      Workloads.Nas.all
+  @ List.map
+      (fun s ->
+        skeleton_entry s ("SpecMPI skeleton " ^ s.Workloads.Skeleton.name))
+      Workloads.Specmpi.all
+
+let find_entry key =
+  List.find_opt (fun e -> String.equal e.key (String.lowercase_ascii key)) registry
+
+(* ---- list command ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %s\n" "WORKLOAD" "DESCRIPTION";
+    List.iter (fun e -> Printf.printf "%-14s %s\n" e.key e.doc) registry
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled workloads.")
+    Term.(const run $ const ())
+
+(* ---- verify command ---- *)
+
+let verify_run workload np clock_name mixing_bound max_runs engine dual
+    stop_first quiet dump_schedule =
+  match find_entry workload with
+  | None ->
+      Printf.eprintf
+        "unknown workload %S (try `dampi list` for the available ones)\n"
+        workload;
+      exit 2
+  | Some entry ->
+      let np = match np with Some np -> np | None -> entry.default_np in
+      let clock =
+        match clock_name with
+        | "lamport" -> (module Clocks.Lamport : Clocks.Clock_intf.S)
+        | "vector" -> (module Clocks.Vector : Clocks.Clock_intf.S)
+        | other ->
+            Printf.eprintf "unknown clock %S (lamport|vector)\n" other;
+            exit 2
+      in
+      let state_config =
+        State.make_config ~clock ?mixing_bound ~dual_clock:dual ()
+      in
+      let program = entry.build () in
+      let report =
+        match engine with
+        | "dampi" ->
+            Explorer.verify
+              ~config:
+                {
+                  Explorer.default_config with
+                  state_config;
+                  max_runs;
+                  stop_on_first_error = stop_first;
+                }
+              ~np program
+        | "isp" ->
+            Isp.Engine.verify
+              ~config:{ Isp.Engine.default_config with state_config; max_runs }
+              ~np program
+        | other ->
+            Printf.eprintf "unknown engine %S (dampi|isp)\n" other;
+            exit 2
+      in
+      if quiet then
+        Printf.printf "%s np=%d: %d interleavings, %d findings\n" entry.key np
+          report.Report.interleavings
+          (List.length report.Report.findings)
+      else Format.printf "%a@." Report.pp report;
+      (match (dump_schedule, report.Report.findings) with
+      | Some path, f :: _ ->
+          Dampi.Decisions.save
+            (Dampi.Decisions.of_decisions ~np f.Report.schedule)
+            path;
+          Printf.printf "schedule of the first finding written to %s\n" path
+      | Some path, [] ->
+          Printf.printf "no findings; nothing written to %s\n" path
+      | None, _ -> ());
+      if Report.has_errors report then exit 1
+
+let verify_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to verify (see $(b,list)).")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+  in
+  let clock =
+    Arg.(
+      value & opt string "lamport"
+      & info [ "clock" ] ~docv:"CLOCK"
+          ~doc:"Clock algebra: $(b,lamport) (scalable) or $(b,vector) (precise).")
+  in
+  let mixing =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "mixing-bound" ] ~docv:"K"
+          ~doc:"Bounded-mixing window (default: unbounded).")
+  in
+  let max_runs =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-runs" ] ~docv:"N" ~doc:"Interleaving budget.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "dampi"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Verification engine: $(b,dampi) (decentralized) or $(b,isp) \
+             (centralized baseline; same coverage, different virtual cost).")
+  in
+  let dual =
+    Arg.(
+      value & flag
+      & info [ "dual-clock" ]
+          ~doc:
+            "Use the dual (lagging-transmission) Lamport clock that covers \
+             the paper's Fig. 10 limitation pattern (SS V future work).")
+  in
+  let stop_first =
+    Arg.(
+      value & flag
+      & info [ "stop-first" ]
+          ~doc:"Stop exploring after the first deadlock or crash finding.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"One-line summary only.")
+  in
+  let dump_schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-schedule" ] ~docv:"FILE"
+          ~doc:
+            "Write the first finding's reproduction schedule (an \
+             Epoch-Decisions file) to $(docv); replay it with $(b,replay).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Verify a bundled workload over the space of its non-deterministic \
+          matches. Exits 1 if errors were found.")
+    Term.(
+      const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
+      $ dual $ stop_first $ quiet $ dump_schedule)
+
+(* ---- replay command ---- *)
+
+let replay_run workload np file =
+  match find_entry workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 2
+  | Some entry -> (
+      match Dampi.Decisions.load file with
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" file msg;
+          exit 2
+      | Ok plan ->
+          let np =
+            match np with
+            | Some np -> np
+            | None -> Array.length plan.Dampi.Decisions.guided_epoch
+          in
+          Format.printf "replaying %d forced decision(s):@.%a@.@."
+            (Dampi.Decisions.length plan)
+            Dampi.Decisions.pp plan;
+          let record =
+            Explorer.replay ~config:Explorer.default_config ~np
+              (entry.build ()) plan
+          in
+          (match record.Report.outcome with
+          | Sim.Coroutine.All_finished ->
+              print_endline "run finished without deadlock or crash"
+          | Sim.Coroutine.Deadlock _ -> print_endline "run deadlocked"
+          | Sim.Coroutine.Crashed _ -> print_endline "run crashed");
+          List.iter
+            (fun e -> Format.printf "  %a@." Report.pp_error e)
+            record.Report.run_errors)
+
+let replay_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload the schedule belongs to.")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Epoch-Decisions file (from --dump-schedule).")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N"
+          ~doc:"Rank count (default: taken from the schedule file).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute one interleaving from an \
+          Epoch-Decisions schedule file.")
+    Term.(const replay_run $ workload $ np $ file)
+
+(* ---- trace command ---- *)
+
+let trace_run workload np limit =
+  match find_entry workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 2
+  | Some entry ->
+      let np = match np with Some np -> np | None -> entry.default_np in
+      let rt = Mpi.Runtime.create ~trace:true ~np () in
+      let module B = Mpi.Bind.Make (struct
+        let rt = rt
+      end) in
+      let module P = (val entry.build ()) in
+      let module Prog = P (B) in
+      Mpi.Runtime.spawn_ranks rt (fun _ -> Prog.main ());
+      let outcome = Mpi.Runtime.run rt in
+      let events = Mpi.Runtime.trace rt in
+      let shown = ref 0 in
+      List.iter
+        (fun ev ->
+          if !shown < limit then begin
+            incr shown;
+            Format.printf "%a@." Mpi.Runtime.pp_event ev
+          end)
+        events;
+      if List.length events > limit then
+        Printf.printf "... (%d more events)\n" (List.length events - limit);
+      (match outcome with
+      | Sim.Coroutine.All_finished -> ()
+      | Sim.Coroutine.Deadlock _ -> print_endline "(run deadlocked)"
+      | Sim.Coroutine.Crashed (pid, e, _) ->
+          Printf.printf "(rank %d crashed: %s)\n" pid (Printexc.to_string e))
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to trace (see $(b,list)).")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 200
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum events to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload natively and print its message-flow trace.")
+    Term.(const trace_run $ workload $ np $ limit)
+
+let main =
+  Cmd.group
+    (Cmd.info "dampi" ~version:"1.0.0"
+       ~doc:
+         "Distributed Analyzer for MPI programs — dynamic formal verification \
+          over a simulated MPI runtime (SC'10 reproduction).")
+    [ list_cmd; verify_cmd; replay_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adlb_verify.mli:

@@ -1,0 +1,1 @@
+examples/clock_precision.ml: Clocks Dampi Format List Printf Workloads

@@ -1,0 +1,1 @@
+examples/deadlock_hunt.ml: Dampi Format List Mpi Printf

@@ -1,0 +1,1 @@
+examples/matmult_verify.ml: Dampi List Printf Workloads

@@ -1,0 +1,1 @@
+examples/montecarlo.ml: Dampi Float List Mpi Printf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dampi Format Mpi Printf Sim

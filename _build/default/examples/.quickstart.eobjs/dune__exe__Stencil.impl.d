@@ -1,0 +1,1 @@
+examples/stencil.ml: Array Dampi List Mpi Printf

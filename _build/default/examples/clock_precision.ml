@@ -1,0 +1,44 @@
+(* Lamport vs vector clocks on the paper's Fig. 4 cross-coupled pattern
+   (§II-C and §II-F).
+
+   Two wildcard receives on different processes match "crosswise" sends.
+   Lamport clocks — a single scalar — over-order the concurrent sends, so
+   DAMPI's default (scalable) configuration cannot see one alternate match.
+   Vector clocks keep the events incomparable and recover it, at O(np)
+   piggyback cost per message.
+
+     dune exec examples/clock_precision.exe *)
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+
+let verify clock =
+  Explorer.verify
+    ~config:
+      { Explorer.default_config with state_config = State.make_config ~clock () }
+    ~np:4 Workloads.Patterns.fig4
+
+let describe name (report : Report.t) =
+  Printf.printf "%s clocks: %d interleavings, %d finding(s)\n" name
+    report.Report.interleavings
+    (List.length report.Report.findings);
+  List.iter
+    (fun (f : Report.finding) ->
+      Format.printf "    %a@." Report.pp_finding f)
+    report.Report.findings
+
+let () =
+  print_endline
+    "Fig. 4 cross-coupled pattern: P0 -> P1(recv any), P3 -> P2(recv any),\n\
+     then P2 sends to P1. P1 crashes iff it receives P2's message - a match\n\
+     reachable only by first redirecting P2's receive to P3.\n";
+  describe "Lamport" (verify (module Clocks.Lamport : Clocks.Clock_intf.S));
+  print_newline ();
+  describe "Vector" (verify (module Clocks.Vector : Clocks.Clock_intf.S));
+  print_endline
+    "\nThe scalar clock judges P2's send 'not late' (its value equals the\n\
+     epoch's) and misses the bug; the vector clock sees concurrency and\n\
+     finds it. The paper accepts this rare incompleteness for scalability\n\
+     (SS II-F) - this repository implements both so the trade-off is\n\
+     measurable (bench: ablation-clocks)."

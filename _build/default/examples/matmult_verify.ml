@@ -1,0 +1,44 @@
+(* Verifying the master/slave matmult workload, and taming its interleaving
+   space with bounded mixing (paper §III-B2, Fig. 8).
+
+     dune exec examples/matmult_verify.exe *)
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+
+let verify ~k ~np program =
+  let config =
+    {
+      Explorer.default_config with
+      state_config = State.make_config ?mixing_bound:k ();
+      max_runs = 50_000;
+    }
+  in
+  Explorer.verify ~config ~np program
+
+let () =
+  let np = 5 in
+  let params =
+    { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+  in
+  let program = Workloads.Matmult.program ~params () in
+  Printf.printf
+    "Master/slave matmult (8x8, %d ranks): the master collects results\n\
+     through wildcard receives; every matching order must compute the same\n\
+     product. The verifier checks them all.\n\n"
+    np;
+  List.iter
+    (fun k ->
+      let label =
+        match k with None -> "unbounded" | Some k -> Printf.sprintf "k=%d" k
+      in
+      let report = verify ~k ~np program in
+      Printf.printf "  %-10s %6d interleavings, %d findings\n%!" label
+        report.Report.interleavings
+        (List.length report.Report.findings))
+    [ Some 0; Some 1; Some 2; None ];
+  print_endline
+    "\nBounded mixing trades exhaustiveness for a tractable, user-tunable\n\
+     search; all runs validated the product, so no findings is the good\n\
+     answer."

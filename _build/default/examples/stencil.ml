@@ -1,0 +1,84 @@
+(* A 1-D heat-equation stencil solver — a realistic deterministic workload
+   built on sendrecv halo exchanges, with convergence detection by
+   allreduce, verified end to end.
+
+   Each rank owns a block of the rod; every step exchanges boundary cells
+   with both neighbors and applies the three-point update. The program is
+   fully deterministic, so the verifier's job is to prove there is nothing
+   to explore (one interleaving) and no deadlock, leak, or crash in the
+   halo protocol.
+
+     dune exec examples/stencil.exe *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+let cells_per_rank = 16
+let steps = 50
+let alpha = 0.25
+
+module Stencil (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let rank = M.rank world and size = M.size world in
+    let n = cells_per_rank in
+    (* Initial condition: a hot spike in rank 0's first cell. *)
+    let u = Array.make n (if rank = 0 then 0.0 else 0.0) in
+    if rank = 0 then u.(0) <- 100.0;
+    let left = rank - 1 and right = rank + 1 in
+    for _step = 1 to steps do
+      (* Halo exchange: fixed boundary (0.0) at the rod's ends. With both
+         neighbors, a combined sendrecv in each direction avoids the
+         head-to-head deadlock. *)
+      let halo_left =
+        if left < 0 then 0.0
+        else
+          let v, _ =
+            M.sendrecv ~dest:left ~src:left world (Payload.float u.(0))
+          in
+          Payload.to_float v
+      in
+      let halo_right =
+        if right >= size then 0.0
+        else
+          let v, _ =
+            M.sendrecv ~dest:right ~src:right world (Payload.float u.(n - 1))
+          in
+          Payload.to_float v
+      in
+      (* Three-point update. *)
+      let prev = Array.copy u in
+      let at i = if i < 0 then halo_left else if i >= n then halo_right else prev.(i) in
+      for i = 0 to n - 1 do
+        u.(i) <- prev.(i) +. (alpha *. (at (i - 1) -. (2.0 *. prev.(i)) +. at (i + 1)))
+      done;
+      M.work 1e-5
+    done;
+    (* Conservation check: total heat is preserved by the scheme up to the
+       (cold) boundary losses, so the global sum must not exceed the
+       initial 100 and must stay positive. *)
+    let local = Array.fold_left ( +. ) 0.0 u in
+    let total =
+      Payload.to_float (M.allreduce ~op:Types.Sum world (Payload.float local))
+    in
+    assert (total > 0.0 && total <= 100.0 +. 1e-9);
+    if rank = 0 then
+      Printf.printf "  total heat after %d steps: %.4f (started at 100.0)\n%!"
+        steps total
+end
+
+let () =
+  let np = 6 in
+  Printf.printf
+    "1-D heat equation on %d ranks (%d cells each, %d steps), halo exchange\n\
+     via sendrecv:\n\n"
+    np cells_per_rank steps;
+  let report =
+    Dampi.Explorer.verify ~config:Dampi.Explorer.default_config ~np
+      (module Stencil : Mpi.Mpi_intf.PROGRAM)
+  in
+  Printf.printf
+    "\nverified: %d interleaving(s), %d finding(s) — a deterministic solver\n\
+     has exactly one behaviour, and DAMPI proves it.\n"
+    report.Dampi.Report.interleavings
+    (List.length report.Dampi.Report.findings)

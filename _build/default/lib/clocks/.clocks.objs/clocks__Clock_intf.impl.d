@@ -1,0 +1,1 @@
+lib/clocks/clock_intf.ml: Format

@@ -1,0 +1,32 @@
+(** Lamport clocks (§II-C): a single integer approximating causality.
+
+    DAMPI's scalable default. [is_late] is sound — it never reports a send
+    that is causally after the epoch — but incomplete: a concurrent send
+    whose scalar clock happens to be >= the epoch value is wrongly judged
+    "not late" (the paper's Fig. 4 pattern, exercised in the test suite). *)
+
+type t = int
+
+let name = "lamport"
+let make ~np:_ = 0
+let tick ~me:_ t = t + 1
+let merge a b = max a b
+
+(* The lateness comparison is against the receive *event*'s clock (the
+   post-tick value): in the paper's Fig. 3 both sends carry clock 0, the
+   wildcard event is 1, and both are late. The epoch *identifier* remains
+   the pre-tick scalar. *)
+let epoch_clock ~me:_ t = t + 1
+let is_late ~send ~epoch = send < epoch
+let precise = false
+let encode t = [| t |]
+
+let decode ~np:_ = function
+  | [| t |] -> t
+  | arr ->
+      invalid_arg
+        (Printf.sprintf "Lamport.decode: expected 1 component, got %d"
+           (Array.length arr))
+
+let scalar ~me:_ t = t
+let pp ppf t = Format.fprintf ppf "LC=%d" t

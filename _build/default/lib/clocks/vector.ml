@@ -1,0 +1,52 @@
+(** Vector clocks (§II-C): precise causality at O(np) cost per message.
+
+    The paper argues these are not worth the cost at scale and uses them
+    only to characterize what Lamport clocks miss; this implementation
+    exists to reproduce that characterization (Fig. 4) and the
+    clock-algebra ablation bench. *)
+
+type t = int array
+
+let name = "vector"
+let make ~np = Array.make (max np 1) 0
+
+let tick ~me t =
+  let t' = Array.copy t in
+  t'.(me) <- t'.(me) + 1;
+  t'
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector.merge: dimension mismatch";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+(* a happened-before b: componentwise <= with at least one strict. *)
+let happened_before a b =
+  let le = ref true and lt = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai > b.(i) then le := false else if ai < b.(i) then lt := true)
+    a;
+  !le && !lt
+
+let epoch_clock ~me t = tick ~me t
+
+(* A send is late iff it is not causally after the epoch event: neither
+   [epoch < send] nor equality (equal vectors would be the same event). *)
+let is_late ~send ~epoch = not (happened_before epoch send || epoch = send)
+
+let precise = true
+let encode t = Array.copy t
+
+let decode ~np arr =
+  if Array.length arr <> np then
+    invalid_arg
+      (Printf.sprintf "Vector.decode: expected %d components, got %d" np
+         (Array.length arr))
+  else Array.copy arr
+
+let scalar ~me t = t.(me)
+
+let pp ppf t =
+  Format.fprintf ppf "VC=[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,1 @@
+lib/dampi/decisions.ml: Array Buffer Epoch Format Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/dampi/decisions.mli: Epoch Format Hashtbl

@@ -1,0 +1,1 @@
+lib/dampi/epoch.ml: Format List Mpi String

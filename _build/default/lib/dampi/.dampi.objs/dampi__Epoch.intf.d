@@ -1,0 +1,1 @@
+lib/dampi/epoch.mli: Format

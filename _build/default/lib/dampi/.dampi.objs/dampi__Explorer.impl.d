@@ -1,0 +1,1 @@
+lib/dampi/explorer.ml: Array Decisions Epoch Hashtbl Interpose List Mpi Printexc Printf Report Sim State Unix

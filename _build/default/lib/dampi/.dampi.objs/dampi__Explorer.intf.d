@@ -1,0 +1,1 @@
+lib/dampi/explorer.mli: Decisions Mpi Report Sim State

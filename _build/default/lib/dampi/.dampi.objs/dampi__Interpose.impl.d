@@ -1,0 +1,1 @@
+lib/dampi/interpose.ml: Array Epoch Hashtbl List Mpi State

@@ -1,0 +1,1 @@
+lib/dampi/interpose.mli: Mpi State

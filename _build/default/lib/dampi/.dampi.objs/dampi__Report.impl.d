@@ -1,0 +1,1 @@
+lib/dampi/report.ml: Decisions Epoch Format List Printf Sim String

@@ -1,0 +1,1 @@
+lib/dampi/report.mli: Decisions Epoch Format Sim

@@ -1,0 +1,1 @@
+lib/dampi/sampler.ml: Array Format Fun Hashtbl List Mpi Option Printexc Printf Sim String

@@ -1,0 +1,1 @@
+lib/dampi/state.ml: Array Clocks Decisions Epoch Hashtbl List Mpi

@@ -1,0 +1,141 @@
+(** Epoch Decisions (§II-B, §II-E).
+
+    Between replays DAMPI's schedule generator emits the set of match
+    decisions to force: for each process, wildcard events up to its
+    [guided_epoch] are determinized to a recorded source, after which the
+    process reverts to SELF_RUN and discovers new alternatives. A [plan] is
+    the in-memory form of the paper's "Epoch Decisions file". *)
+
+type decision = {
+  owner : int;  (** world pid *)
+  epoch_id : int;  (** scalar clock identifying the epoch *)
+  src : int;  (** communicator rank to force as the match *)
+  kind : Epoch.kind;
+}
+
+type plan = {
+  decisions : decision list;  (** in global completion order of the parent run *)
+  by_key : (int * int, decision) Hashtbl.t;  (** (owner, epoch_id) -> decision *)
+  guided_epoch : int array;  (** per owner; -1 when nothing is forced *)
+}
+
+let empty ~np =
+  {
+    decisions = [];
+    by_key = Hashtbl.create 1;
+    guided_epoch = Array.make np (-1);
+  }
+
+let of_decisions ~np decisions =
+  let by_key = Hashtbl.create (List.length decisions) in
+  let guided_epoch = Array.make np (-1) in
+  List.iter
+    (fun d ->
+      Hashtbl.replace by_key (d.owner, d.epoch_id) d;
+      if d.epoch_id > guided_epoch.(d.owner) then
+        guided_epoch.(d.owner) <- d.epoch_id)
+    decisions;
+  { decisions; by_key; guided_epoch }
+
+let length plan = List.length plan.decisions
+let is_empty plan = plan.decisions = []
+
+(** [GetSrcFromEpoch] of Algorithm 1. The event kind must agree: a failed
+    probe does not tick the clock, so a probe and a receive can share a
+    clock value; forcing across kinds would misdirect the replay. *)
+let forced_src plan ~owner ~epoch_id ~kind =
+  match Hashtbl.find_opt plan.by_key (owner, epoch_id) with
+  | Some d when d.kind = kind -> Some d.src
+  | Some _ | None -> None
+
+(** Is [owner] still within its guided window at clock [epoch_id]? *)
+let in_guided_window plan ~owner ~epoch_id =
+  epoch_id <= plan.guided_epoch.(owner)
+
+(** The observed match of a completed epoch, as a decision for a child
+    plan's prefix. *)
+let decision_of_epoch (e : Epoch.t) ~src =
+  { owner = e.Epoch.owner; epoch_id = e.Epoch.id; src; kind = e.Epoch.kind }
+
+(* ---- Schedule files ----
+
+   The on-disk form of the paper's "Epoch Decisions file": a line per
+   decision, in force order. Lets a finding's reproduction schedule be
+   saved from one session and replayed in another. *)
+
+let kind_to_string = function
+  | Epoch.Wildcard_recv -> "recv"
+  | Epoch.Wildcard_probe -> "probe"
+
+let kind_of_string = function
+  | "recv" -> Some Epoch.Wildcard_recv
+  | "probe" -> Some Epoch.Wildcard_probe
+  | _ -> None
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# DAMPI epoch decisions\n";
+  Buffer.add_string buf
+    (Printf.sprintf "np %d\n" (Array.length plan.guided_epoch));
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d %d %d\n" (kind_to_string d.kind) d.owner
+           d.epoch_id d.src))
+    plan.decisions;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty schedule"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ "np"; n ] -> (
+          match int_of_string_opt n with
+          | None -> Error "malformed np header"
+          | Some np -> (
+              let parse line =
+                match String.split_on_char ' ' line with
+                | [ kind; owner; epoch_id; src ] -> (
+                    match
+                      ( kind_of_string kind,
+                        int_of_string_opt owner,
+                        int_of_string_opt epoch_id,
+                        int_of_string_opt src )
+                    with
+                    | Some kind, Some owner, Some epoch_id, Some src ->
+                        Some { owner; epoch_id; src; kind }
+                    | _ -> None)
+                | _ -> None
+              in
+              let decisions = List.map parse rest in
+              if List.exists Option.is_none decisions then
+                Error "malformed decision line"
+              else Ok (of_decisions ~np (List.filter_map Fun.id decisions))))
+      | _ -> Error "missing np header")
+
+let save plan path =
+  let oc = open_out path in
+  output_string oc (to_string plan);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let pp_decision ppf d =
+  Format.fprintf ppf "%a@%d.%d := %d" Epoch.pp_kind d.kind d.owner d.epoch_id
+    d.src
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>plan (%d forced):@ %a@]" (length plan)
+    (Format.pp_print_list pp_decision)
+    plan.decisions

@@ -1,0 +1,286 @@
+(** The schedule generator and replay driver (Fig. 1, §II-B).
+
+    After the initial self run, DAMPI walks the space of match decisions
+    depth-first: it forces the alternate matches of the {e last} epoch
+    first, then the penultimate, and so on, re-executing the target program
+    under each Epoch-Decisions plan. The walk is stateless — every
+    interleaving is a full re-execution from [MPI_Init] — so it relies on
+    the runtime's determinism for sound replay.
+
+    The explorer is parametric in the [runner] that executes one
+    interleaving; the ISP baseline reuses the same walk with its own
+    centralized-cost runner, which is exactly the comparison of Figs. 5/6
+    (same coverage, different per-run cost). *)
+
+module Runtime = Mpi.Runtime
+module Coroutine = Sim.Coroutine
+
+type config = {
+  state_config : State.config;
+  cost : Runtime.cost_model;
+  max_runs : int;  (** interleaving budget; [max_int] = exhaustive *)
+  check_leaks : bool;
+  stop_on_first_error : bool;
+}
+
+let default_config =
+  {
+    state_config = State.default_config;
+    cost = Runtime.default_cost;
+    max_runs = max_int;
+    check_leaks = true;
+    stop_on_first_error = false;
+  }
+
+type runner = Decisions.plan -> fork_index:int -> Report.run_record
+
+(* ---- The DAMPI runner: one interposed execution ---- *)
+
+let errors_of_run ~check_leaks ~(outcome : Coroutine.outcome) ~leaks
+    ~shadow_ctxs ~(st : State.t) =
+  let errors = ref [] in
+  (match outcome with
+  | Coroutine.All_finished -> ()
+  | Coroutine.Deadlock blocked ->
+      (* Ranks parked in the tool's finalize barrier completed their user
+         code; naming that keeps the report pointing at the real culprits. *)
+      let describe (b : Coroutine.blocked_info) =
+        let reason =
+          if
+            b.reason = "collective barrier on dup(world)"
+            || b.reason = "collective comm_dup on world"
+          then "finished its program (parked in tool finalize)"
+          else b.reason
+        in
+        (b.pid, reason)
+      in
+      errors :=
+        Report.Deadlock { blocked = List.map describe blocked } :: !errors
+  | Coroutine.Crashed (pid, exn, _) ->
+      errors :=
+        Report.Crash { pid; message = Printexc.to_string exn } :: !errors);
+  if check_leaks then begin
+    (* Leaks are only meaningful for runs that completed finalize. *)
+    (match outcome with
+    | Coroutine.All_finished ->
+        let { Runtime.comm_leaks; req_leaks; _ } = leaks in
+        List.iter
+          (fun (pid, leaked) ->
+            let user_leaked =
+              List.filter
+                (fun (l : Runtime.leaked_comm) ->
+                  not (List.mem l.Runtime.leaked_ctx shadow_ctxs))
+                leaked
+            in
+            if user_leaked <> [] then
+              errors :=
+                Report.Comm_leak
+                  {
+                    pid;
+                    labels =
+                      List.map
+                        (fun (l : Runtime.leaked_comm) ->
+                          Printf.sprintf "%s(ctx=%d)" l.Runtime.leaked_label
+                            l.Runtime.leaked_ctx)
+                        user_leaked;
+                  }
+                :: !errors)
+          comm_leaks;
+        Array.iteri
+          (fun pid count ->
+            if count > 0 then
+              errors := Report.Request_leak { pid; count } :: !errors)
+          req_leaks
+    | Coroutine.Deadlock _ | Coroutine.Crashed _ -> ())
+  end;
+  List.iter
+    (fun (w : State.monitor_warning) ->
+      errors :=
+        Report.Monitor_alert
+          { pid = w.State.warn_pid; epoch_id = w.State.warn_epoch_id; op = w.State.warn_op }
+        :: !errors)
+    (State.warnings st);
+  if st.State.divergences > 0 then
+    errors := Report.Replay_divergence { count = st.State.divergences } :: !errors;
+  List.rev !errors
+
+let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
+ fun plan ~fork_index ->
+  let rt = Runtime.create ~cost:config.cost ~np () in
+  let st =
+    State.create ~config:config.state_config ~np ~plan ~fork_index ()
+  in
+  let module B = Mpi.Bind.Make (struct
+    let rt = rt
+  end) in
+  let module W = Interpose.Wrap (B) (struct
+    let st = st
+  end) in
+  let module P = (val program) in
+  let module Prog = P (W) in
+  Runtime.spawn_ranks rt (fun _rank ->
+      W.init_tool ();
+      Prog.main ();
+      W.finalize_tool ());
+  let outcome = Runtime.run rt in
+  let leaks = Runtime.leak_report rt in
+  {
+    Report.run_plan = plan;
+    outcome;
+    makespan = Runtime.makespan rt;
+    new_epochs = State.completed_epochs st;
+    run_errors =
+      errors_of_run ~check_leaks:config.check_leaks ~outcome ~leaks
+        ~shadow_ctxs:(W.shadow_ctxs ()) ~st;
+    wildcards = State.wildcard_events st;
+  }
+
+(* A run with no tool attached, for overhead baselines (Table II). *)
+let native_makespan ?(cost = Runtime.default_cost) ~np program =
+  let rt, _outcome = Mpi.Bind.exec ~cost ~np program in
+  Runtime.makespan rt
+
+(* ---- Depth-first walk over epoch decisions ---- *)
+
+type frame = {
+  prefix : Decisions.decision list;  (* observed matches before the fork *)
+  fork_owner : int;
+  fork_id : int;
+  fork_kind : Epoch.kind;
+  mutable untried : int list;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let explore ?(config = default_config) ~np (runner : runner) : Report.t =
+  let started = Unix.gettimeofday () in
+  let stack = ref [] in
+  let findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
+  let runs = ref 0 in
+  let total_vtime = ref 0.0 in
+  let first_makespan = ref 0.0 in
+  let wildcards_analyzed = ref 0 in
+  let monitor_alerts = ref 0 in
+  let bounded = ref 0 in
+  let record_findings (record : Report.run_record) ~run_index ~schedule =
+    List.iter
+      (fun error ->
+        (match error with
+        | Report.Monitor_alert _ -> incr monitor_alerts
+        | _ -> ());
+        let key = Report.error_signature error in
+        if not (Hashtbl.mem findings key) then
+          Hashtbl.replace findings key { Report.error; run_index; schedule })
+      record.Report.run_errors
+  in
+  (* Push one frame per expandable epoch of [record], deepest last so the
+     stack pops the last decision first. *)
+  let push_frames (record : Report.run_record) ~plan_decisions =
+    let observed =
+      List.map
+        (fun (e : Epoch.t) ->
+          Decisions.decision_of_epoch e ~src:e.Epoch.matched_src)
+        record.Report.new_epochs
+    in
+    List.iteri
+      (fun i (e : Epoch.t) ->
+        if not e.Epoch.expandable then incr bounded;
+        if e.Epoch.expandable then
+          match Epoch.alternatives e with
+          | [] -> ()
+          | alts ->
+              stack :=
+                {
+                  prefix = plan_decisions @ take i observed;
+                  fork_owner = e.Epoch.owner;
+                  fork_id = e.Epoch.id;
+                  fork_kind = e.Epoch.kind;
+                  untried = alts;
+                }
+                :: !stack)
+      record.Report.new_epochs
+  in
+  let run_one plan ~fork_index ~schedule =
+    let record = runner plan ~fork_index in
+    let index = !runs in
+    incr runs;
+    total_vtime := !total_vtime +. record.Report.makespan;
+    record_findings record ~run_index:index ~schedule;
+    record
+  in
+  (* Initial self run. *)
+  let initial =
+    run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
+  in
+  first_makespan := initial.Report.makespan;
+  wildcards_analyzed := initial.Report.wildcards;
+  push_frames initial ~plan_decisions:[];
+  let errors_found () =
+    Hashtbl.fold
+      (fun _ (f : Report.finding) acc ->
+        acc
+        ||
+        match f.Report.error with
+        | Report.Deadlock _ | Report.Crash _ -> true
+        | _ -> false)
+      findings false
+  in
+  let rec loop () =
+    if !runs >= config.max_runs then ()
+    else if config.stop_on_first_error && errors_found () then ()
+    else
+      match !stack with
+      | [] -> ()
+      | frame :: rest -> (
+          match frame.untried with
+          | [] ->
+              stack := rest;
+              loop ()
+          | alt :: more ->
+              frame.untried <- more;
+              let decisions =
+                frame.prefix
+                @ [
+                    {
+                      Decisions.owner = frame.fork_owner;
+                      epoch_id = frame.fork_id;
+                      src = alt;
+                      kind = frame.fork_kind;
+                    };
+                  ]
+              in
+              let plan = Decisions.of_decisions ~np decisions in
+              let record =
+                run_one plan
+                  ~fork_index:(List.length decisions - 1)
+                  ~schedule:decisions
+              in
+              push_frames record ~plan_decisions:decisions;
+              loop ())
+  in
+  loop ();
+  {
+    Report.np;
+    interleavings = !runs;
+    findings =
+      Hashtbl.fold (fun _ f acc -> f :: acc) findings []
+      |> List.sort (fun a b -> compare a.Report.run_index b.Report.run_index);
+    wildcards_analyzed = !wildcards_analyzed;
+    first_run_makespan = !first_makespan;
+    total_virtual_time = !total_vtime;
+    monitor_alerts = !monitor_alerts;
+    bounded_epochs = !bounded;
+    host_seconds = Unix.gettimeofday () -. started;
+  }
+
+(** Verify [program] on [np] simulated ranks under DAMPI. *)
+let verify ?(config = default_config) ~np program =
+  explore ~config ~np (dampi_runner config ~np program)
+
+(** Execute exactly one guided run under [plan] (e.g. a schedule loaded from
+    an Epoch-Decisions file) and report what it produced. *)
+let replay ?(config = default_config) ~np program plan =
+  dampi_runner config ~np program plan
+    ~fork_index:(Decisions.length plan - 1)

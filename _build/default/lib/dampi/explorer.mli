@@ -1,0 +1,58 @@
+(** The schedule generator and replay driver (Fig. 1, §II-B of the paper).
+
+    After an initial self run, the explorer walks the space of wildcard
+    match decisions depth-first — forcing alternatives at the last epoch
+    first — re-executing the target program under each Epoch-Decisions plan
+    until the space (as bounded by the heuristics) is exhausted. *)
+
+type config = {
+  state_config : State.config;  (** clocks, piggyback mode, bounding *)
+  cost : Mpi.Runtime.cost_model;
+  max_runs : int;  (** interleaving budget; [max_int] = exhaustive *)
+  check_leaks : bool;
+  stop_on_first_error : bool;
+      (** stop after the first deadlock/crash finding *)
+}
+
+val default_config : config
+
+type runner = Decisions.plan -> fork_index:int -> Report.run_record
+(** Executes one interleaving under a given plan. [fork_index] is the global
+    decision index this run re-forces (-1 for the initial self run); bounded
+    mixing measures its window from it. *)
+
+val dampi_runner : config -> np:int -> Mpi.Mpi_intf.program -> runner
+(** One DAMPI-interposed execution per call: fresh runtime, fresh verifier
+    state, program instantiated against the instrumented stack. *)
+
+val native_makespan :
+  ?cost:Mpi.Runtime.cost_model -> np:int -> Mpi.Mpi_intf.program -> float
+(** Virtual makespan of an uninstrumented run — the overhead baseline. *)
+
+val explore : ?config:config -> np:int -> runner -> Report.t
+(** Depth-first walk over epoch decisions, generic in the runner (the ISP
+    baseline reuses it with its own cost model). *)
+
+val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Report.t
+(** [verify ~np program] — the main entry point: DAMPI verification of
+    [program] on [np] simulated ranks. *)
+
+val replay :
+  ?config:config ->
+  np:int ->
+  Mpi.Mpi_intf.program ->
+  Decisions.plan ->
+  Report.run_record
+(** One guided run under a given Epoch-Decisions plan — deterministic
+    reproduction of a previously reported finding. *)
+
+(**/**)
+
+val errors_of_run :
+  check_leaks:bool ->
+  outcome:Sim.Coroutine.outcome ->
+  leaks:Mpi.Runtime.leak_report ->
+  shadow_ctxs:int list ->
+  st:State.t ->
+  Report.error list
+(** Shared with the ISP engine. *)

@@ -1,0 +1,99 @@
+(** Verification findings and run/exploration reports. *)
+
+type error =
+  | Deadlock of { blocked : (int * string) list }
+      (** global quiescence; per-pid blocked operation descriptions *)
+  | Crash of { pid : int; message : string }
+      (** a rank raised (assertion failure, MPI usage error, ...) *)
+  | Comm_leak of { pid : int; labels : string list }
+      (** communicators never freed before finalize (Table II "C-leak") *)
+  | Request_leak of { pid : int; count : int }
+      (** requests never completed by wait/test (Table II "R-leak") *)
+  | Monitor_alert of { pid : int; epoch_id : int; op : string }
+      (** §V pattern: a wildcard [Irecv]'s clock escaped via [op] before its
+          wait/test — DAMPI's completeness is not guaranteed here *)
+  | Replay_divergence of { count : int }
+      (** guided events with no matching decision: the target program is not
+          replay-deterministic (e.g. depends on wall-clock or randomness) *)
+
+let pp_error ppf = function
+  | Deadlock { blocked } ->
+      Format.fprintf ppf "deadlock: %s"
+        (String.concat "; "
+           (List.map (fun (pid, r) -> Printf.sprintf "rank %d: %s" pid r) blocked))
+  | Crash { pid; message } -> Format.fprintf ppf "rank %d crashed: %s" pid message
+  | Comm_leak { pid; labels } ->
+      Format.fprintf ppf "rank %d leaked communicator(s): %s" pid
+        (String.concat ", " labels)
+  | Request_leak { pid; count } ->
+      Format.fprintf ppf "rank %d leaked %d request(s)" pid count
+  | Monitor_alert { pid; epoch_id; op } ->
+      Format.fprintf ppf
+        "rank %d: wildcard receive (epoch %d) leaked its clock through %s \
+         before wait/test — coverage not guaranteed (DAMPI limitation \
+         pattern)"
+        pid epoch_id op
+  | Replay_divergence { count } ->
+      Format.fprintf ppf "replay diverged at %d guided event(s)" count
+
+let error_signature e = Format.asprintf "%a" pp_error e
+
+(** One execution of the target program under the tool. *)
+type run_record = {
+  run_plan : Decisions.plan;
+  outcome : Sim.Coroutine.outcome;
+  makespan : float;  (** virtual seconds *)
+  new_epochs : Epoch.t list;  (** self-run epochs, in completion order *)
+  run_errors : error list;
+  wildcards : int;  (** non-deterministic events recorded in this run *)
+}
+
+(** A deduplicated finding, with the schedule that reproduces it. *)
+type finding = {
+  error : error;
+  run_index : int;  (** which interleaving (0 = the initial self run) *)
+  schedule : Decisions.decision list;  (** forced matches reproducing it *)
+}
+
+(** Result of a whole verification (all explored interleavings). *)
+type t = {
+  np : int;
+  interleavings : int;
+  findings : finding list;
+  wildcards_analyzed : int;  (** R* of Table II: epochs in the initial run *)
+  first_run_makespan : float;  (** virtual time of the initial run *)
+  total_virtual_time : float;  (** summed over all runs *)
+  monitor_alerts : int;
+  bounded_epochs : int;
+      (** epochs whose exploration a heuristic suppressed (loop abstraction
+          or bounded mixing) *)
+  host_seconds : float;  (** wall-clock cost of the exploration itself *)
+}
+
+let has_errors t =
+  List.exists
+    (fun f ->
+      match f.error with
+      | Deadlock _ | Crash _ | Comm_leak _ | Request_leak _ -> true
+      | Monitor_alert _ | Replay_divergence _ -> false)
+    t.findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "@[<v 2>[interleaving %d] %a" f.run_index pp_error f.error;
+  if f.schedule <> [] then
+    Format.fprintf ppf "@ reproduce by forcing: %s"
+      (String.concat ", "
+         (List.map
+            (fun (d : Decisions.decision) ->
+              Printf.sprintf "(%d@%d <- src %d)" d.owner d.epoch_id d.src)
+            f.schedule));
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>verification of %d ranks:@ interleavings explored: %d@ wildcard \
+     events analyzed (R*): %d@ findings: %d@ %a@ initial-run virtual time: \
+     %.6fs@ total virtual time: %.6fs@ host time: %.3fs@]"
+    t.np t.interleavings t.wildcards_analyzed (List.length t.findings)
+    (Format.pp_print_list pp_finding)
+    t.findings t.first_run_makespan t.total_virtual_time t.host_seconds

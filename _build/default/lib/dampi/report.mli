@@ -1,0 +1,58 @@
+(** Verification findings and exploration reports. *)
+
+type error =
+  | Deadlock of { blocked : (int * string) list }
+      (** global quiescence; per-pid blocked operation descriptions *)
+  | Crash of { pid : int; message : string }
+      (** a rank raised (assertion failure, MPI usage error, ...) *)
+  | Comm_leak of { pid : int; labels : string list }
+      (** communicators never freed before finalize (Table II "C-leak") *)
+  | Request_leak of { pid : int; count : int }
+      (** requests never completed by wait/test (Table II "R-leak") *)
+  | Monitor_alert of { pid : int; epoch_id : int; op : string }
+      (** §V pattern: a wildcard receive's clock escaped via [op] before its
+          wait/test — coverage not guaranteed there *)
+  | Replay_divergence of { count : int }
+      (** guided events with no matching decision: the target program is not
+          replay-deterministic *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_signature : error -> string
+
+(** One execution of the target program under a tool. *)
+type run_record = {
+  run_plan : Decisions.plan;
+  outcome : Sim.Coroutine.outcome;
+  makespan : float;  (** virtual seconds *)
+  new_epochs : Epoch.t list;  (** self-run epochs, in completion order *)
+  run_errors : error list;
+  wildcards : int;
+}
+
+(** A deduplicated finding, with the schedule that reproduces it. *)
+type finding = {
+  error : error;
+  run_index : int;  (** which interleaving (0 = the initial self run) *)
+  schedule : Decisions.decision list;
+}
+
+(** Result of a whole verification. *)
+type t = {
+  np : int;
+  interleavings : int;
+  findings : finding list;
+  wildcards_analyzed : int;  (** R* of Table II *)
+  first_run_makespan : float;
+  total_virtual_time : float;
+  monitor_alerts : int;
+  bounded_epochs : int;
+      (** epochs a heuristic suppressed (loop abstraction / bounded mixing) *)
+  host_seconds : float;
+}
+
+val has_errors : t -> bool
+(** True if any finding is a deadlock, crash, or leak (alerts and
+    divergences are advisories). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(** Random-testing baseline (the paper's §I straw man).
+
+    Tools like Jitterbug and Marmot perturb schedules randomly: each trial
+    re-runs the program with a randomized wildcard-match oracle and hopes to
+    trip over a bad matching. No coverage guarantee — the paper's motivating
+    observation is that production MPI libraries bias outcomes so heavily
+    that plain testing keeps seeing the same schedule, and randomization
+    only modulates timing.
+
+    [test ~seeds ~np program] runs one native execution per seed, each with
+    a different seeded random match oracle, and reports which distinct
+    outcomes were observed. Comparing its findings with
+    {!Explorer.verify}'s on the same program quantifies the coverage gap
+    (bench target: [ablation-random]). *)
+
+module Runtime = Mpi.Runtime
+module Coroutine = Sim.Coroutine
+
+type outcome_class =
+  | Finished
+  | Deadlocked of string
+  | Crashed of string
+
+type result = {
+  trials : int;
+  distinct_outcomes : (outcome_class * int) list;
+      (** outcome -> number of seeds that produced it *)
+  errors_found : int;  (** trials ending in deadlock or crash *)
+}
+
+let classify (outcome : Coroutine.outcome) =
+  match outcome with
+  | Coroutine.All_finished -> Finished
+  | Coroutine.Deadlock blocked ->
+      Deadlocked
+        (String.concat ";"
+           (List.map
+              (fun (b : Coroutine.blocked_info) -> string_of_int b.pid)
+              blocked))
+  | Coroutine.Crashed (pid, exn, _) ->
+      Crashed (Printf.sprintf "%d:%s" pid (Printexc.to_string exn))
+
+(* A match oracle that picks uniformly among the candidates. *)
+let random_oracle rng : Runtime.oracle =
+ fun candidates -> Sim.Splitmix.pick rng (Array.of_list candidates)
+
+let run_one ?cost ~np ~seed program =
+  let rng = Sim.Splitmix.create seed in
+  let rt = Runtime.create ?cost ~oracle:(random_oracle rng) ~np () in
+  let module B = Mpi.Bind.Make (struct
+    let rt = rt
+  end) in
+  let module P = (val program : Mpi.Mpi_intf.PROGRAM) in
+  let module Prog = P (B) in
+  Runtime.spawn_ranks rt (fun _ -> Prog.main ());
+  Runtime.run rt
+
+let test ?cost ?(seeds = List.init 20 Fun.id) ~np program =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      let cls = classify (run_one ?cost ~np ~seed program) in
+      Hashtbl.replace tally cls
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally cls)))
+    seeds;
+  let distinct = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [] in
+  {
+    trials = List.length seeds;
+    distinct_outcomes = distinct;
+    errors_found =
+      List.fold_left
+        (fun acc (cls, n) ->
+          match cls with Finished -> acc | Deadlocked _ | Crashed _ -> acc + n)
+        0 distinct;
+  }
+
+let found_errors result = result.errors_found > 0
+
+let pp ppf result =
+  Format.fprintf ppf
+    "@[<v>random testing: %d trials, %d erroneous, %d distinct outcome(s)@]"
+    result.trials result.errors_found
+    (List.length result.distinct_outcomes)

@@ -1,0 +1,266 @@
+(** Per-run verifier state shared by all ranks' interposition layers.
+
+    Holds the logical clocks (behind a first-class clock module, so Lamport
+    and vector variants share all verifier code), the epochs recorded during
+    the run, the guided-replay plan, and the bounding-heuristic knobs.
+
+    Clocks are stored {e encoded} (as [int array]); every operation decodes,
+    applies the clock algebra, and re-encodes. This keeps every other DAMPI
+    module monomorphic. *)
+
+type mode = Self_run | Guided_run
+
+type piggyback_mode =
+  | Separate  (** shadow-communicator messages — the paper's choice (§II-D) *)
+  | Inline  (** pack the clock into the user payload (datatype packing) *)
+
+type config = {
+  clock : (module Clocks.Clock_intf.S);
+  mixing_bound : int option;
+      (** bounded mixing [k] (§III-B2); [None] = unbounded *)
+  piggyback : piggyback_mode;
+  dual_clock : bool;
+      (** the paper's §V future-work mechanism: keep a second, {e lagging}
+          clock for transmission. The analysis clock ticks at every
+          non-deterministic event as usual; the transmitted clock picks the
+          ticks up only at Wait/Test. A send issued between a wildcard
+          [Irecv] and its completion then carries a clock that predates the
+          epoch and is correctly judged late — covering the Fig. 10 pattern
+          the baseline algorithm misses. *)
+  epoch_cost : float;
+      (** virtual CPU seconds DAMPI burns per non-deterministic event
+          (RecordEpochData, logging, deferred-piggyback setup) *)
+  late_check_cost : float;
+      (** virtual CPU seconds per received message for the piggyback
+          extraction + late-message analysis *)
+}
+
+let make_config ?(clock = (module Clocks.Lamport : Clocks.Clock_intf.S))
+    ?mixing_bound ?(piggyback = Separate) ?(dual_clock = false)
+    ?(epoch_cost = 4.5e-5) ?(late_check_cost = 1.2e-6) () =
+  { clock; mixing_bound; piggyback; dual_clock; epoch_cost; late_check_cost }
+
+let default_config = make_config ()
+
+type monitor_warning = {
+  warn_pid : int;
+  warn_epoch_id : int;
+  warn_op : string;  (** the clock-transmitting operation that triggered it *)
+}
+
+type t = {
+  np : int;
+  config : config;
+  plan : Decisions.plan;
+  clocks : int array array;  (** per world pid, encoded *)
+  xmit_clocks : int array array;
+      (** dual-clock mode: the lagging clocks that piggybacks carry *)
+  mode : mode array;
+  epochs : Epoch.t list array;
+      (** per pid, newest first — "existing local wildcard receives" that
+          late messages are matched against *)
+  mutable completed : Epoch.t list;  (** global completion order, reversed *)
+  mutable completed_count : int;
+  fork_index : int;
+      (** global index of the decision this run re-forces; -1 on the initial
+          self run. Bounded mixing measures depth from here. *)
+  pcontrol_depth : int array;
+      (** loop-abstraction nesting (§III-B1); epochs recorded while > 0 are
+          not expandable *)
+  open_wildcards : (int, Epoch.t) Hashtbl.t;
+      (** user request uid -> epoch, for wildcard receives posted but not yet
+          completed — the §V limitation monitor's watch set, per owner *)
+  mutable warnings : monitor_warning list;
+  mutable divergences : int;
+      (** guided-mode wildcard events with no decision in the plan — replay
+          divergence, should be zero for deterministic programs *)
+}
+
+let create ?(config = default_config) ~np ~plan ~fork_index () =
+  let module C = (val config.clock) in
+  let zero = C.encode (C.make ~np) in
+  {
+    np;
+    config;
+    plan;
+    clocks = Array.init np (fun _ -> Array.copy zero);
+    xmit_clocks = Array.init np (fun _ -> Array.copy zero);
+    mode =
+      Array.init np (fun pid ->
+          if plan.Decisions.guided_epoch.(pid) >= 0 then Guided_run
+          else Self_run);
+    epochs = Array.make np [];
+    completed = [];
+    completed_count = Decisions.length plan;
+    fork_index;
+    pcontrol_depth = Array.make np 0;
+    open_wildcards = Hashtbl.create 16;
+    warnings = [];
+    divergences = 0;
+  }
+
+(* ---- Clock operations (decode / apply / encode) ---- *)
+
+let scalar st me =
+  let module C = (val st.config.clock) in
+  C.scalar ~me (C.decode ~np:st.np st.clocks.(me))
+
+(* What goes on the wire: the lagging clock under dual-clock mode. *)
+let clock_payload st me =
+  let enc =
+    if st.config.dual_clock then st.xmit_clocks.(me) else st.clocks.(me)
+  in
+  Mpi.Payload.Arr (Array.map (fun v -> Mpi.Payload.Int v) enc)
+
+let clock_of_payload (_ : t) payload =
+  match payload with
+  | Mpi.Payload.Arr arr -> Array.map Mpi.Payload.to_int arr
+  | p ->
+      Mpi.Types.mpi_errorf "malformed piggyback payload (%d bytes)"
+        (Mpi.Payload.size_bytes p)
+
+let merge_in st me enc =
+  let module C = (val st.config.clock) in
+  let theirs = C.decode ~np:st.np enc in
+  let mine = C.decode ~np:st.np st.clocks.(me) in
+  st.clocks.(me) <- C.encode (C.merge mine theirs);
+  if st.config.dual_clock then begin
+    let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
+    st.xmit_clocks.(me) <- C.encode (C.merge xmit theirs)
+  end
+
+(* Dual-clock synchronization point ("when a Wait/Test is encountered",
+   §V): the transmitted clock catches up with the analysis clock. *)
+let sync_xmit st me =
+  if st.config.dual_clock then begin
+    let module C = (val st.config.clock) in
+    let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
+    let mine = C.decode ~np:st.np st.clocks.(me) in
+    st.xmit_clocks.(me) <- C.encode (C.merge xmit mine)
+  end
+
+(* ---- Epoch lifecycle ---- *)
+
+(* Record a new epoch at a self-run wildcard event: returns it, having
+   ticked the owner's clock (RecordEpochData + LCi++ of Algorithm 1). *)
+let record_epoch st ~me ~kind ~ctx ~tag =
+  let module C = (val st.config.clock) in
+  let pre = C.decode ~np:st.np st.clocks.(me) in
+  let epoch =
+    Epoch.make ~owner:me ~id:(C.scalar ~me pre) ~kind ~ctx ~tag
+      ~clock_enc:(C.encode (C.epoch_clock ~me pre))
+  in
+  st.clocks.(me) <- C.encode (C.tick ~me pre);
+  st.epochs.(me) <- epoch :: st.epochs.(me);
+  epoch
+
+(* Tick without recording — a guided (forced) wildcard event must keep the
+   clock evolution identical to the parent run's. *)
+let tick st me =
+  let module C = (val st.config.clock) in
+  st.clocks.(me) <- C.encode (C.tick ~me (C.decode ~np:st.np st.clocks.(me)))
+
+(* An epoch completes when its match becomes known. Assigns the global
+   completion index and applies the bounded-mixing window: on a forked run,
+   only epochs within [k] decisions of the fork stay expandable. *)
+let complete_epoch st (epoch : Epoch.t) ~matched_src =
+  Epoch.set_matched epoch matched_src;
+  epoch.Epoch.global_index <- st.completed_count;
+  st.completed_count <- st.completed_count + 1;
+  (match st.config.mixing_bound with
+  | Some k when st.fork_index >= 0 ->
+      if epoch.Epoch.global_index - st.fork_index > k then
+        epoch.Epoch.expandable <- false
+  | Some _ | None -> ());
+  st.completed <- epoch :: st.completed
+
+(* ---- Late-message analysis (FindPotentialMatches of Algorithm 1) ---- *)
+
+(* A message from [src_rank] (on [ctx] with [tag]) carrying send-clock
+   [send_enc] completed at process [me]: every epoch of [me] whose spec it
+   satisfies and with respect to which it is late gains [src_rank] as a
+   potential match. With an imprecise scalar clock the scan prunes on the
+   epoch id (epochs with id <= send scalar cannot be "greater"). *)
+let find_potential_matches st ~me ~src_rank ~ctx ~tag ~send_enc =
+  let module C = (val st.config.clock) in
+  let send = C.decode ~np:st.np send_enc in
+  let send_scalar = C.scalar ~me send in
+  let rec scan = function
+    | [] -> ()
+    | (e : Epoch.t) :: rest ->
+        if (not C.precise) && e.Epoch.id < send_scalar then
+          (* Scalar lateness is [send <= id]; the epochs list is
+             newest-first, so ids only decrease from here: stop. *)
+          ()
+        else begin
+          if
+            Epoch.spec_matches e ~ctx ~tag
+            && C.is_late ~send ~epoch:(C.decode ~np:st.np e.Epoch.clock_enc)
+          then Epoch.add_potential e src_rank;
+          scan rest
+        end
+  in
+  scan st.epochs.(me)
+
+(* ---- Guided replay ---- *)
+
+(* Mode transition at each non-deterministic event (Algorithm 1's check at
+   MPI_Irecv entry): past the guided window the process rediscovers. *)
+let refresh_mode st me =
+  if st.mode.(me) = Guided_run then
+    if not (Decisions.in_guided_window st.plan ~owner:me ~epoch_id:(scalar st me))
+    then st.mode.(me) <- Self_run
+
+let guided_src st me ~kind =
+  match
+    Decisions.forced_src st.plan ~owner:me ~epoch_id:(scalar st me) ~kind
+  with
+  | Some src -> Some src
+  | None ->
+      (* Probes that failed in the parent run leave no decision; only count
+         a missing receive decision as replay divergence. *)
+      if kind = Epoch.Wildcard_recv then st.divergences <- st.divergences + 1;
+      None
+
+(* ---- §V limitation monitor ---- *)
+
+let watch_wildcard st ~req_uid epoch =
+  Hashtbl.replace st.open_wildcards req_uid epoch
+
+let unwatch_wildcard st ~req_uid = Hashtbl.remove st.open_wildcards req_uid
+
+(* Called before any operation that transmits the clock (send, collective):
+   if [me] has an open wildcard receive whose tick is already folded into
+   the clock being sent, the run exhibits the pattern DAMPI cannot handle
+   (Fig. 10); flag it. *)
+let monitor_clock_escape st ~me ~op =
+  Hashtbl.iter
+    (fun _uid (e : Epoch.t) ->
+      if e.Epoch.owner = me then
+        let dup =
+          List.exists
+            (fun w -> w.warn_pid = me && w.warn_epoch_id = e.Epoch.id)
+            st.warnings
+        in
+        if not dup then
+          st.warnings <-
+            { warn_pid = me; warn_epoch_id = e.Epoch.id; warn_op = op }
+            :: st.warnings)
+    st.open_wildcards
+
+(* ---- Loop iteration abstraction (§III-B1) ---- *)
+
+let pcontrol st me level =
+  match level with
+  | 1 -> st.pcontrol_depth.(me) <- st.pcontrol_depth.(me) + 1
+  | 0 -> st.pcontrol_depth.(me) <- max 0 (st.pcontrol_depth.(me) - 1)
+  | _ -> ()
+
+let in_abstracted_loop st me = st.pcontrol_depth.(me) > 0
+
+(* ---- End-of-run summary ---- *)
+
+let completed_epochs st = List.rev st.completed
+let all_epochs st = Array.to_list st.epochs |> List.concat
+let wildcard_events st = List.length (all_epochs st)
+let warnings st = List.rev st.warnings

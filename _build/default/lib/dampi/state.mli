@@ -1,0 +1,105 @@
+(** Per-run verifier state shared by all ranks' interposition layers:
+    logical clocks (behind a first-class clock module), recorded epochs, the
+    guided-replay plan, and the bounding-heuristic knobs.
+
+    Clocks are stored encoded ([int array]); operations decode, apply the
+    algebra, and re-encode, keeping every other DAMPI module monomorphic. *)
+
+type mode = Self_run | Guided_run
+
+type piggyback_mode =
+  | Separate  (** shadow-communicator messages — the paper's choice (§II-D) *)
+  | Inline  (** pack the clock into the user payload (datatype packing) *)
+
+type config = {
+  clock : (module Clocks.Clock_intf.S);
+  mixing_bound : int option;  (** bounded mixing [k] (§III-B2) *)
+  piggyback : piggyback_mode;
+  dual_clock : bool;
+      (** §V future work: lagging transmission clock, synchronized at
+          Wait/Test; covers the Fig. 10 pattern *)
+  epoch_cost : float;  (** tool CPU (virtual s) per non-deterministic event *)
+  late_check_cost : float;  (** tool CPU per received message *)
+}
+
+val make_config :
+  ?clock:(module Clocks.Clock_intf.S) ->
+  ?mixing_bound:int ->
+  ?piggyback:piggyback_mode ->
+  ?dual_clock:bool ->
+  ?epoch_cost:float ->
+  ?late_check_cost:float ->
+  unit ->
+  config
+
+val default_config : config
+
+type monitor_warning = { warn_pid : int; warn_epoch_id : int; warn_op : string }
+
+type t = {
+  np : int;
+  config : config;
+  plan : Decisions.plan;
+  clocks : int array array;
+  xmit_clocks : int array array;
+  mode : mode array;
+  epochs : Epoch.t list array;
+  mutable completed : Epoch.t list;
+  mutable completed_count : int;
+  fork_index : int;
+  pcontrol_depth : int array;
+  open_wildcards : (int, Epoch.t) Hashtbl.t;
+  mutable warnings : monitor_warning list;
+  mutable divergences : int;
+}
+
+val create :
+  ?config:config -> np:int -> plan:Decisions.plan -> fork_index:int -> unit -> t
+
+(** {1 Clock operations} *)
+
+val scalar : t -> int -> int
+val clock_payload : t -> int -> Mpi.Payload.t
+val clock_of_payload : t -> Mpi.Payload.t -> int array
+val merge_in : t -> int -> int array -> unit
+
+val sync_xmit : t -> int -> unit
+(** Dual-clock synchronization point ("when a Wait/Test is encountered"). *)
+
+(** {1 Epoch lifecycle} *)
+
+val record_epoch :
+  t -> me:int -> kind:Epoch.kind -> ctx:int -> tag:int -> Epoch.t
+
+val tick : t -> int -> unit
+(** Tick without recording — guided (forced) events keep the clock evolution
+    of the parent run. *)
+
+val complete_epoch : t -> Epoch.t -> matched_src:int -> unit
+
+val find_potential_matches :
+  t -> me:int -> src_rank:int -> ctx:int -> tag:int -> send_enc:int array -> unit
+(** [FindPotentialMatches] of Algorithm 1. *)
+
+(** {1 Guided replay} *)
+
+val refresh_mode : t -> int -> unit
+val guided_src : t -> int -> kind:Epoch.kind -> int option
+
+(** {1 §V limitation monitor} *)
+
+val watch_wildcard : t -> req_uid:int -> Epoch.t -> unit
+val unwatch_wildcard : t -> req_uid:int -> unit
+val monitor_clock_escape : t -> me:int -> op:string -> unit
+
+(** {1 Loop iteration abstraction (§III-B1)} *)
+
+val pcontrol : t -> int -> int -> unit
+val in_abstracted_loop : t -> int -> bool
+
+(** {1 End-of-run summary} *)
+
+val completed_epochs : t -> Epoch.t list
+val all_epochs : t -> Epoch.t list
+val wildcard_events : t -> int
+val warnings : t -> monitor_warning list

@@ -1,0 +1,1 @@
+lib/isp/engine.ml: Dampi Interpose Model Mpi Sim

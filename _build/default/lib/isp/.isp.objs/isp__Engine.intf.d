@@ -1,0 +1,1 @@
+lib/isp/engine.mli: Dampi Model Mpi

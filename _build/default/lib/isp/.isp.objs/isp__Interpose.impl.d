@@ -1,0 +1,1 @@
+lib/isp/interpose.ml: Model Mpi Sim

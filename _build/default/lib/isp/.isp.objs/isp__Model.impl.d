@@ -1,0 +1,1 @@
+lib/isp/model.ml: Sim

@@ -1,0 +1,90 @@
+(** The ISP verification engine: the same depth-first match exploration as
+    DAMPI (coverage is identical on these programs), with every run paying
+    the centralized scheduler's costs.
+
+    Layering per run, top to bottom:
+    [Program -> Isp.Interpose -> Dampi.Interpose -> Bind -> Runtime].
+    The DAMPI layer below provides match discovery and guided replay (in
+    the real ISP the central scheduler discovers matches from its global
+    picture; here the discovery bookkeeping is shared and its piggyback
+    traffic bypasses the scheduler charges, so it does not distort ISP's
+    cost accounting). *)
+
+module Runtime = Mpi.Runtime
+
+type config = {
+  state_config : Dampi.State.config;
+  cost : Runtime.cost_model;
+  model : Model.t;
+  max_runs : int;
+}
+
+let default_config =
+  {
+    state_config = Dampi.State.default_config;
+    cost = Runtime.default_cost;
+    model = Model.default;
+    max_runs = max_int;
+  }
+
+let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
+    =
+ fun plan ~fork_index ->
+  let rt = Runtime.create ~cost:config.cost ~np () in
+  let st =
+    Dampi.State.create ~config:config.state_config ~np ~plan ~fork_index ()
+  in
+  let server =
+    Sim.Vtime.Server.create ~service:(Model.service config.model ~np)
+  in
+  let module B = Mpi.Bind.Make (struct
+    let rt = rt
+  end) in
+  let module D = Dampi.Interpose.Wrap (B) (struct
+    let st = st
+  end) in
+  let module I = Interpose.Wrap (D) (struct
+    let rt = rt
+    let model = config.model
+    let server = server
+  end) in
+  let module P = (val program) in
+  let module Prog = P (I) in
+  Runtime.spawn_ranks rt (fun _rank ->
+      D.init_tool ();
+      Prog.main ();
+      D.finalize_tool ());
+  let outcome = Runtime.run rt in
+  let leaks = Runtime.leak_report rt in
+  {
+    Dampi.Report.run_plan = plan;
+    outcome;
+    makespan = Runtime.makespan rt;
+    new_epochs = Dampi.State.completed_epochs st;
+    run_errors =
+      Dampi.Explorer.errors_of_run ~check_leaks:true ~outcome ~leaks
+        ~shadow_ctxs:(D.shadow_ctxs ()) ~st;
+    wildcards = Dampi.State.wildcard_events st;
+  }
+
+(** Verify under the ISP baseline; the report's virtual times reflect the
+    centralized architecture. *)
+let verify ?(config = default_config) ~np program =
+  let explorer_config =
+    {
+      Dampi.Explorer.default_config with
+      state_config = config.state_config;
+      cost = config.cost;
+      max_runs = config.max_runs;
+    }
+  in
+  Dampi.Explorer.explore ~config:explorer_config ~np
+    (runner config ~np program)
+
+(** One uninstrumented-coverage run (overhead measurement): the program
+    under ISP's scheduler costs, no exploration. *)
+let single_run_makespan ?(config = default_config) ~np program =
+  let record =
+    runner config ~np program (Dampi.Decisions.empty ~np) ~fork_index:(-1)
+  in
+  record.Dampi.Report.makespan

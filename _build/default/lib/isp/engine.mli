@@ -1,0 +1,25 @@
+(** The ISP verification engine: DAMPI's depth-first match exploration with
+    every run paying the centralized scheduler's costs. Coverage is
+    identical to DAMPI's on these programs; only the per-run virtual cost
+    differs — the comparison of the paper's Figs. 5 and 6. *)
+
+type config = {
+  state_config : Dampi.State.config;
+  cost : Mpi.Runtime.cost_model;
+  model : Model.t;
+  max_runs : int;
+}
+
+val default_config : config
+
+val runner :
+  config -> np:int -> Mpi.Mpi_intf.program -> Dampi.Explorer.runner
+(** One ISP-interposed execution per call (layered as
+    [Program -> Isp.Interpose -> Dampi.Interpose -> Bind -> Runtime]). *)
+
+val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Dampi.Report.t
+
+val single_run_makespan :
+  ?config:config -> np:int -> Mpi.Mpi_intf.program -> float
+(** Virtual makespan of one run under ISP's scheduler costs, for overhead
+    curves. *)

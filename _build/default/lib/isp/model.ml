@@ -1,0 +1,50 @@
+(** Cost model of ISP's centralized scheduler (§II-A).
+
+    ISP intercepts every MPI call and holds it for a {e synchronous}
+    exchange with a single scheduler process. Two architectural properties
+    drive the paper's Fig. 5/6 curves, and both are modelled here:
+
+    - every call pays a round trip to a {e shared} FIFO server, so the
+      scheduler saturates as total call volume grows (calls arrive from all
+      ranks but are served one at a time);
+    - the scheduler's per-call work grows with the process count (it
+      maintains a global picture of every rank's pending operations), and
+      non-deterministic operations are {e delayed} while the scheduler
+      discovers the full match set.
+
+    DAMPI pays none of this: its only overhead is piggyback traffic. *)
+
+type t = {
+  net_latency : float;  (** one-way process <-> scheduler latency *)
+  base_service : float;  (** scheduler service time per MPI call *)
+  per_proc_service : float;
+      (** additional service per participating process (global state
+          bookkeeping) *)
+  nd_hold : float;
+      (** additional hold applied to non-deterministic operations while the
+          scheduler waits to discover the match set *)
+}
+
+(* Calibrated so that, with the runtime's default cost model, ParMETIS-scale
+   call volumes reproduce the Fig. 5 shape: modest overhead at 4 ranks,
+   an order of magnitude past 32. Note the round trip serializes with the
+   service (a process cannot issue its next call mid-flight), so the
+   effective per-call cost is ~ 2*net_latency + service(np). *)
+let default =
+  {
+    net_latency = 1e-6;
+    base_service = 5e-7;
+    per_proc_service = 5e-8;
+    nd_hold = 2.5e-4;
+  }
+
+let service t ~np = t.base_service +. (t.per_proc_service *. float_of_int np)
+
+(** Completion time of one synchronous scheduler exchange for a call issued
+    at [now]: travel there, queue, get served, travel back. The server must
+    have been created with [service t ~np]. *)
+let round_trip t server ~now ~nd =
+  let arrival = now +. t.net_latency in
+  let served = Sim.Vtime.Server.serve server ~arrival in
+  let hold = if nd then t.nd_hold else 0.0 in
+  served +. hold +. t.net_latency

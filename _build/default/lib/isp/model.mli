@@ -1,0 +1,23 @@
+(** Cost model of ISP's centralized scheduler (§II-A of the paper).
+
+    Every intercepted MPI call pays a synchronous round trip to a single
+    FIFO-queueing scheduler whose per-call service grows with the process
+    count; non-deterministic operations are additionally held while the
+    scheduler assembles its global picture. DAMPI pays none of this — which
+    is the architectural comparison behind Figs. 5 and 6. *)
+
+type t = {
+  net_latency : float;  (** one-way process <-> scheduler latency *)
+  base_service : float;  (** scheduler service time per MPI call *)
+  per_proc_service : float;  (** additional service per participating rank *)
+  nd_hold : float;  (** extra hold for non-deterministic operations *)
+}
+
+val default : t
+(** Calibrated to reproduce the Fig. 5 shape (see EXPERIMENTS.md). *)
+
+val service : t -> np:int -> float
+
+val round_trip : t -> Sim.Vtime.Server.server -> now:float -> nd:bool -> float
+(** Completion time of one synchronous exchange issued at [now]. The server
+    must have been created with [service t ~np]. *)

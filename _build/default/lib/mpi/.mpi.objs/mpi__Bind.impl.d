@@ -1,0 +1,1 @@
+lib/mpi/bind.ml: Comm List Mpi_intf Request Runtime Types

@@ -1,0 +1,1 @@
+lib/mpi/envelope.ml: Format Payload Types

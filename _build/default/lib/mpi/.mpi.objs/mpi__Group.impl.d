@@ -1,0 +1,1 @@
+lib/mpi/group.ml: Array Comm Format List String Types

@@ -1,0 +1,1 @@
+lib/mpi/matching.ml: Envelope Hashtbl List Request

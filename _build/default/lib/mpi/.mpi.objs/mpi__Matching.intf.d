@@ -1,0 +1,1 @@
+lib/mpi/matching.mli: Envelope Request

@@ -1,0 +1,1 @@
+lib/mpi/mpi_intf.ml: Group Payload Types

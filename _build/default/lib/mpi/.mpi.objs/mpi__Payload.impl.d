@@ -1,0 +1,1 @@
+lib/mpi/payload.ml: Array Float Format String Types

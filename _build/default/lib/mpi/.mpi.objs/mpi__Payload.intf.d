@@ -1,0 +1,1 @@
+lib/mpi/payload.mli: Format Types

@@ -1,0 +1,1 @@
+lib/mpi/stats.ml: Array Format Hashtbl Option

@@ -1,0 +1,1 @@
+lib/mpi/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/mpi/types.ml: Format

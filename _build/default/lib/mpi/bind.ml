@@ -1,0 +1,85 @@
+(** Instantiate {!Mpi_intf.MPI_CORE} over a concrete runtime — the "native
+    MPI library" layer of the interposition stack. *)
+
+module Make (R : sig
+  val rt : Runtime.t
+end) : Mpi_intf.MPI_CORE with type comm = Comm.t and type request = Request.t =
+struct
+  type comm = Comm.t
+  type request = Request.t
+
+  let rt = R.rt
+  let any_source = Types.any_source
+  let any_tag = Types.any_tag
+  let comm_world = Runtime.comm_world rt
+  let rank comm = Comm.rank_of_world comm (Runtime.current rt)
+  let size = Comm.size
+  let comm_id = Comm.ctx
+  let world_rank () = Runtime.current rt
+  let world_size () = Runtime.np rt
+  let isend ?tag ~dest comm payload = Runtime.isend rt ?tag ~dest comm payload
+  let issend ?tag ~dest comm payload = Runtime.issend rt ?tag ~dest comm payload
+  let send ?tag ~dest comm payload = Runtime.send rt ?tag ~dest comm payload
+  let ssend ?tag ~dest comm payload = Runtime.ssend rt ?tag ~dest comm payload
+  let irecv ?src ?tag comm = Runtime.irecv rt ?src ?tag comm
+  let recv ?src ?tag comm = Runtime.recv rt ?src ?tag comm
+
+  let sendrecv ?stag ?rtag ~dest ~src comm payload =
+    Runtime.sendrecv rt ?stag ?rtag ~dest ~src comm payload
+
+  (* A persistent request is a template re-posted by each [start]. *)
+  type prequest = unit -> Request.t
+
+  let send_init ?tag ~dest comm payload () =
+    Runtime.isend rt ?tag ~dest comm payload
+
+  let recv_init ?src ?tag comm () = Runtime.irecv rt ?src ?tag comm
+  let start p = p ()
+  let startall ps = List.map start ps
+  let wait req = Runtime.wait rt req
+  let test req = Runtime.test rt req
+  let waitall reqs = Runtime.waitall rt reqs
+  let waitany reqs = Runtime.waitany rt reqs
+  let testall reqs = Runtime.testall rt reqs
+  let recv_data = Runtime.recv_data
+  let request_id (req : Request.t) = req.uid
+  let probe ?src ?tag comm = Runtime.probe rt ?src ?tag comm
+  let iprobe ?src ?tag comm = Runtime.iprobe rt ?src ?tag comm
+  let barrier comm = Runtime.barrier rt comm
+  let bcast ~root comm payload = Runtime.bcast rt ~root comm payload
+  let reduce ~root ~op comm payload = Runtime.reduce rt ~root ~op comm payload
+  let allreduce ~op comm payload = Runtime.allreduce rt ~op comm payload
+  let gather ~root comm payload = Runtime.gather rt ~root comm payload
+  let allgather comm payload = Runtime.allgather rt comm payload
+  let scatter ~root comm payloads = Runtime.scatter rt ~root comm payloads
+  let alltoall comm payloads = Runtime.alltoall rt comm payloads
+  let scan ~op comm payload = Runtime.scan rt ~op comm payload
+  let exscan ~op comm payload = Runtime.exscan rt ~op comm payload
+
+  let reduce_scatter_block ~op comm payloads =
+    Runtime.reduce_scatter_block rt ~op comm payloads
+  let comm_group comm = Runtime.comm_group rt comm
+  let comm_create comm group = Runtime.comm_create rt comm group
+  let comm_dup comm = Runtime.comm_dup rt comm
+  let comm_split ~color ~key comm = Runtime.comm_split rt ~color ~key comm
+  let comm_free comm = Runtime.comm_free rt comm
+  let pcontrol level = Runtime.pcontrol rt level
+  let wtime () = Runtime.wtime rt
+
+  let work dt =
+    if dt < 0.0 then invalid_arg "work: negative duration";
+    Runtime.advance_clock rt (Runtime.current rt) dt
+end
+
+(** Convenience: run [program] natively on a fresh runtime. Returns the
+    runtime (for stats/leak inspection) and the scheduler outcome. *)
+let exec ?cost ?oracle ~np (program : Mpi_intf.program) =
+  let rt = Runtime.create ?cost ?oracle ~np () in
+  let module P = (val program) in
+  let module M = Make (struct
+    let rt = rt
+  end) in
+  let module Prog = P (M) in
+  Runtime.spawn_ranks rt (fun _rank -> Prog.main ());
+  let outcome = Runtime.run rt in
+  (rt, outcome)

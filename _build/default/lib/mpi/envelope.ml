@@ -1,0 +1,33 @@
+(** In-flight message envelopes.
+
+    An envelope carries everything the matching engine needs: addressing
+    (world pids), the communicator context, the tag, the payload, and two
+    bookkeeping fields — [seq], the per-channel sequence number that encodes
+    MPI's non-overtaking rule, and [send_time], the sender's virtual clock at
+    post time, used to stamp the receive side. *)
+
+type t = {
+  uid : int;  (** globally unique, in creation (arrival) order *)
+  src : int;  (** world pid of sender *)
+  dst : int;  (** world pid of receiver *)
+  tag : int;
+  ctx : int;  (** communicator context id *)
+  seq : int;  (** per (src, dst, ctx) channel sequence number *)
+  payload : Payload.t;
+  send_time : float;
+  sync : bool;  (** true for synchronous-mode sends (Ssend/Issend) *)
+  send_req : int;  (** uid of the sender's request, to complete Ssends *)
+}
+
+(** [matches env ~src ~tag ~ctx] — does [env] satisfy a receive posted with
+    this spec? [src] and [tag] may be wildcards; [src] is a world pid here
+    (the runtime translates communicator ranks before calling). *)
+let matches env ~src ~tag ~ctx =
+  env.ctx = ctx
+  && (src = Types.any_source || env.src = src)
+  && (tag = Types.any_tag || env.tag = tag)
+
+let pp ppf e =
+  Format.fprintf ppf "msg#%d %d->%d tag=%d ctx=%d seq=%d (%d bytes)" e.uid e.src
+    e.dst e.tag e.ctx e.seq
+    (Payload.size_bytes e.payload)

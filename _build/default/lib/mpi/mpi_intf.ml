@@ -1,0 +1,121 @@
+(** The MPI interface seen by target programs.
+
+    Programs under verification are functors over {!MPI_CORE} — the OCaml
+    analogue of linking an unmodified MPI binary against either the native
+    library or a PMPI interposition stack. The same program functor can be
+    instantiated with:
+
+    - {!Bind} over a bare {!Runtime.t} — a "native" run;
+    - [Dampi.Interpose (Bind (...)) (...)] — a run under the DAMPI verifier;
+    - [Isp.Interpose (Bind (...)) (...)] — a run under the ISP baseline.
+
+    All operations act on the implicitly-current simulated process, so one
+    functor instantiation serves every rank. Programs must keep their mutable
+    state inside [main] (module-level state in the program functor body would
+    be shared across ranks). *)
+
+module type MPI_CORE = sig
+  type comm
+  type request
+
+  val any_source : int
+  val any_tag : int
+
+  val comm_world : comm
+  val rank : comm -> int
+  val size : comm -> int
+  val comm_id : comm -> int
+  val world_rank : unit -> int
+  val world_size : unit -> int
+
+  (* Point-to-point *)
+  val isend : ?tag:int -> dest:int -> comm -> Payload.t -> request
+  val issend : ?tag:int -> dest:int -> comm -> Payload.t -> request
+  val send : ?tag:int -> dest:int -> comm -> Payload.t -> unit
+  val ssend : ?tag:int -> dest:int -> comm -> Payload.t -> unit
+  val irecv : ?src:int -> ?tag:int -> comm -> request
+  val recv : ?src:int -> ?tag:int -> comm -> Payload.t * Types.status
+
+  val sendrecv :
+    ?stag:int ->
+    ?rtag:int ->
+    dest:int ->
+    src:int ->
+    comm ->
+    Payload.t ->
+    Payload.t * Types.status
+  (** Combined send+receive (the halo-exchange staple); deadlock-free by
+      construction like [MPI_Sendrecv]. *)
+
+  (* Persistent requests: a communication template activated by [start];
+     each activation yields an ordinary request to complete with
+     [wait]/[test]. *)
+  type prequest
+
+  val send_init : ?tag:int -> dest:int -> comm -> Payload.t -> prequest
+  val recv_init : ?src:int -> ?tag:int -> comm -> prequest
+  val start : prequest -> request
+  val startall : prequest list -> request list
+
+  (* Completion *)
+  val wait : request -> Types.status
+  val test : request -> Types.status option
+  val waitall : request list -> Types.status list
+  val waitany : request list -> int * Types.status
+  val testall : request list -> Types.status list option
+  val recv_data : request -> Payload.t
+
+  val request_id : request -> int
+  (** Stable unique identifier; lets tool layers key auxiliary per-request
+      state without access to the representation. *)
+
+  (* Probe *)
+  val probe : ?src:int -> ?tag:int -> comm -> Types.status
+  val iprobe : ?src:int -> ?tag:int -> comm -> Types.status option
+
+  (* Collectives *)
+  val barrier : comm -> unit
+  val bcast : root:int -> comm -> Payload.t -> Payload.t
+  val reduce : root:int -> op:Types.reduce_op -> comm -> Payload.t -> Payload.t option
+  val allreduce : op:Types.reduce_op -> comm -> Payload.t -> Payload.t
+  val gather : root:int -> comm -> Payload.t -> Payload.t array option
+  val allgather : comm -> Payload.t -> Payload.t array
+  val scatter : root:int -> comm -> Payload.t array option -> Payload.t
+  val alltoall : comm -> Payload.t array -> Payload.t array
+
+  val scan : op:Types.reduce_op -> comm -> Payload.t -> Payload.t
+  (** Inclusive prefix reduction: rank r receives the reduction over the
+      contributions of ranks 0..r. *)
+
+  val exscan : op:Types.reduce_op -> comm -> Payload.t -> Payload.t
+  (** Exclusive prefix reduction; rank 0 receives [Payload.Unit]. *)
+
+  val reduce_scatter_block :
+    op:Types.reduce_op -> comm -> Payload.t array -> Payload.t
+  (** Every rank contributes an np-element array; rank r receives the
+      element-wise reduction of slot r. *)
+
+  (* Communicator management. Group values ({!Group.t}) are local objects;
+     build them with the pure [Mpi.Group] operations. *)
+  val comm_group : comm -> Group.t
+  val comm_create : comm -> Group.t -> comm option
+  val comm_dup : comm -> comm
+  val comm_split : color:int -> key:int -> comm -> comm
+  val comm_free : comm -> unit
+
+  (* Misc *)
+  val pcontrol : int -> unit
+  val wtime : unit -> float
+
+  val work : float -> unit
+  (** [work dt] models [dt] virtual seconds of local computation. The
+      simulation substitute for the CPU time a real application burns
+      between MPI calls; not intercepted by any tool layer. *)
+end
+
+(** A target program: [main] is executed once per rank. *)
+module type PROGRAM = functor (M : MPI_CORE) -> sig
+  val main : unit -> unit
+end
+
+type program = (module PROGRAM)

@@ -1,0 +1,61 @@
+(** Communication request objects (the analogue of [MPI_Request]).
+
+    A request is [complete] once the runtime has finished the transfer it
+    describes; it is [released] once the owning process has observed that
+    completion through [wait]/[test]. Requests that are never released before
+    finalize are reported as request leaks (the "R-leak" column of the
+    paper's Table II). *)
+
+type kind =
+  | Send of { dest : int;  (** world pid *) tag : int; ctx : int; sync : bool }
+  | Recv of {
+      mutable src : int;
+          (** world pid or [any_source]; rewritten to the matched source *)
+      tag : int;
+      ctx : int;
+      posted_as_wildcard : bool;
+    }
+
+type t = {
+  uid : int;
+  owner : int;  (** world pid that created the request *)
+  kind : kind;
+  mutable complete : bool;
+  mutable released : bool;
+  mutable status : Types.status option;  (** set for completed receives *)
+  mutable data : Payload.t option;  (** received payload *)
+  mutable arrive_time : float;
+      (** virtual timestamp at which the transfer completed; the owner's
+          clock observes it at [wait]/[test] *)
+}
+
+let is_send t = match t.kind with Send _ -> true | Recv _ -> false
+let is_recv t = match t.kind with Recv _ -> true | Send _ -> false
+
+let is_wildcard t =
+  match t.kind with
+  | Recv r -> r.posted_as_wildcard
+  | Send _ -> false
+
+let ctx t = match t.kind with Send s -> s.ctx | Recv r -> r.ctx
+let tag t = match t.kind with Send s -> s.tag | Recv r -> r.tag
+
+let recv_src t =
+  match t.kind with
+  | Recv r -> r.src
+  | Send _ -> Types.mpi_errorf "Request.recv_src: not a receive request"
+
+let pp ppf t =
+  let kind =
+    match t.kind with
+    | Send s ->
+        Format.asprintf "%ssend(dst=%d,tag=%d,ctx=%d)"
+          (if s.sync then "s" else "")
+          s.dest s.tag s.ctx
+    | Recv r ->
+        Format.asprintf "recv(src=%s,tag=%d,ctx=%d)"
+          (if r.src = Types.any_source then "*" else string_of_int r.src)
+          r.tag r.ctx
+  in
+  Format.fprintf ppf "req#%d@%d %s%s" t.uid t.owner kind
+    (if t.complete then " [complete]" else " [pending]")

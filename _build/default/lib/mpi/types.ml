@@ -1,0 +1,33 @@
+(** Shared ground types of the simulated MPI runtime. *)
+
+(** Completion status of a receive (or probe), mirroring [MPI_Status]. *)
+type status = {
+  source : int;  (** rank the matched message was sent from (communicator rank) *)
+  tag : int;  (** tag of the matched message *)
+  count : int;  (** payload size in bytes *)
+}
+
+(** Reduction operators for [reduce]/[allreduce]. *)
+type reduce_op = Sum | Prod | Max | Min | Land | Lor
+
+let any_source = -1
+let any_tag = -1
+
+(** Raised on MPI usage errors detected by the runtime (mismatched
+    collectives, operations on freed communicators, invalid ranks, ...).
+    A crash of a simulated rank with this exception is itself a verification
+    finding. *)
+exception Mpi_error of string
+
+let mpi_errorf fmt = Format.kasprintf (fun s -> raise (Mpi_error s)) fmt
+
+let string_of_reduce_op = function
+  | Sum -> "sum"
+  | Prod -> "prod"
+  | Max -> "max"
+  | Min -> "min"
+  | Land -> "land"
+  | Lor -> "lor"
+
+let pp_status ppf { source; tag; count } =
+  Format.fprintf ppf "{source=%d; tag=%d; count=%d}" source tag count

@@ -1,0 +1,1 @@
+lib/sim/coroutine.ml: Array Effect List Printexc Queue

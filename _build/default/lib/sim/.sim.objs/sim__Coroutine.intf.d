@@ -1,0 +1,1 @@
+lib/sim/coroutine.mli: Printexc

@@ -1,0 +1,1 @@
+lib/sim/splitmix.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/workloads/adlb.ml: Fun List Mpi Printf

@@ -1,0 +1,1 @@
+lib/workloads/matmult.ml: Array Float Mpi Printf

@@ -1,0 +1,1 @@
+lib/workloads/parmetis.ml: Array List Mpi

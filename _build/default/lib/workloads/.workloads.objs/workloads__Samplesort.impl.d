@@ -1,0 +1,1 @@
+lib/workloads/samplesort.ml: Array List Mpi Sim

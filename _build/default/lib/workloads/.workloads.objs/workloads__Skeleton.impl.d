@@ -1,0 +1,1 @@
+lib/workloads/skeleton.ml: Array List Mpi

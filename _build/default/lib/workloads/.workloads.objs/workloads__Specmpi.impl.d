@@ -1,0 +1,1 @@
+lib/workloads/specmpi.ml: Skeleton

@@ -1,0 +1,210 @@
+(** Mini-ADLB: an asynchronous dynamic load-balancing library in the spirit
+    of Lusk et al.'s ADLB (§III, Fig. 9).
+
+    A subset of ranks act as {e servers} holding shared work queues; the
+    rest are {e clients} that put and get work. Every server runs a single
+    event loop around a wildcard receive — ADLB's signature "aggressively
+    non-deterministic" pattern that made it intractable for ISP. Servers
+    defer unsatisfiable gets and steal work from sibling servers through
+    asynchronous request/response messages, so no server ever blocks on
+    another server's state.
+
+    Protocol tags (client -> home server, server -> server):
+    - [put]: deposit a work item
+    - [get]: request an item; the server answers [work] or defers
+    - [steal_req]/[steal_rsp]: inter-server work migration
+    - [work]: item delivery to a client
+    - [done]: global termination (all items consumed)
+
+    Termination: the total item count is known at startup (each client
+    seeds [puts_per_client]); server 0 tracks a global consumed count via
+    [consumed] notifications and broadcasts shutdown tokens. *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+type params = {
+  servers : int;  (** number of server ranks (>= 1) *)
+  puts_per_client : int;  (** items each client seeds *)
+  work_cost : float;  (** virtual seconds to process one item *)
+}
+
+let default_params = { servers = 1; puts_per_client = 2; work_cost = 1e-4 }
+
+let tag_put = 10
+let tag_get = 11
+let tag_work = 12
+let tag_done = 13
+let tag_steal_req = 14
+let tag_steal_rsp = 15
+let tag_consumed = 16
+let tag_shutdown = 17
+
+module Make (P : sig
+  val params : params
+end)
+(M : Mpi.Mpi_intf.MPI_CORE) =
+struct
+  let { servers; puts_per_client; work_cost } = P.params
+
+  (* The server a client deposits to / draws from. *)
+  let home_server_of rank nservers = rank mod nservers
+
+  (* ---- Server ---- *)
+
+  type server_state = {
+    mutable queue : int list;  (* work items *)
+    mutable pending_gets : int list;  (* client ranks waiting for work *)
+    mutable steal_outstanding : bool;
+    mutable next_victim : int;  (* round-robin steal target *)
+    mutable dry_steals : int;  (* empty responses since the last item *)
+    mutable live : bool;
+    (* rank-0 server only: global consumption accounting *)
+    mutable consumed_total : int;
+  }
+
+  let serve world nservers total_items =
+    let me = M.rank world in
+    let st =
+      {
+        queue = [];
+        pending_gets = [];
+        steal_outstanding = false;
+        next_victim = (me + 1) mod nservers;
+        dry_steals = 0;
+        live = true;
+        consumed_total = 0;
+      }
+    in
+    let deliver client item =
+      M.send ~tag:tag_work ~dest:client world (Payload.int item);
+      (* Report consumption to the accounting server. *)
+      if me = 0 then st.consumed_total <- st.consumed_total + 1
+      else M.send ~tag:tag_consumed ~dest:0 world Payload.Unit
+    in
+    let try_steal () =
+      (* A full round of empty-handed steals means the pool is (momentarily)
+         dry: stop hunting until a new event arrives, or the retry storm
+         never ends. *)
+      if
+        (not st.steal_outstanding)
+        && nservers > 1
+        && st.dry_steals < nservers - 1
+      then begin
+        M.send ~tag:tag_steal_req ~dest:st.next_victim world Payload.Unit;
+        st.steal_outstanding <- true;
+        st.next_victim <-
+          (let v = (st.next_victim + 1) mod nservers in
+           if v = me then (v + 1) mod nservers else v)
+      end
+    in
+    let push_work item =
+      match st.pending_gets with
+      | client :: rest ->
+          st.pending_gets <- rest;
+          deliver client item
+      | [] -> st.queue <- st.queue @ [ item ]
+    in
+    let my_clients =
+      List.filter
+        (fun r -> r >= nservers && r mod nservers = me)
+        (List.init (M.size world) Fun.id)
+    in
+    let shutdown_clients () =
+      List.iter
+        (fun c -> M.send ~tag:tag_shutdown ~dest:c world Payload.Unit)
+        my_clients;
+      st.live <- false
+    in
+    let maybe_shutdown () =
+      (* The accounting server decides termination and tells the other
+         servers; each server shuts its own clients down, so clients only
+         ever hear from their home server (deterministic receives). *)
+      if me = 0 && st.consumed_total >= total_items && st.live then begin
+        for srv = 1 to nservers - 1 do
+          M.send ~tag:tag_shutdown ~dest:srv world Payload.Unit
+        done;
+        shutdown_clients ()
+      end
+    in
+    (* Degenerate pool (no clients): terminate immediately. *)
+    maybe_shutdown ();
+    while st.live do
+      (* The ADLB event loop: one wildcard receive dispatching on tag. *)
+      let data, status = M.recv ~src:M.any_source ~tag:M.any_tag world in
+      let peer = status.Types.source in
+      (match status.Types.tag with
+      | t when t = tag_put ->
+          st.dry_steals <- 0;
+          push_work (Payload.to_int data)
+      | t when t = tag_get -> (
+          match st.queue with
+          | item :: rest ->
+              st.queue <- rest;
+              deliver peer item
+          | [] ->
+              st.pending_gets <- st.pending_gets @ [ peer ];
+              try_steal ())
+      | t when t = tag_steal_req -> (
+          match st.queue with
+          | item :: rest ->
+              st.queue <- rest;
+              M.send ~tag:tag_steal_rsp ~dest:peer world (Payload.int item)
+          | [] -> M.send ~tag:tag_steal_rsp ~dest:peer world Payload.Unit)
+      | t when t = tag_steal_rsp ->
+          st.steal_outstanding <- false;
+          (match data with
+          | Payload.Int item ->
+              st.dry_steals <- 0;
+              push_work item
+          | _ ->
+              st.dry_steals <- st.dry_steals + 1;
+              if st.pending_gets <> [] then try_steal ())
+      | t when t = tag_consumed ->
+          st.consumed_total <- st.consumed_total + 1;
+          maybe_shutdown ()
+      | t when t = tag_shutdown -> shutdown_clients ()
+      | t -> failwith (Printf.sprintf "adlb server: unknown tag %d" t));
+      maybe_shutdown ()
+    done
+
+  (* ---- Client ---- *)
+
+  let client world nservers =
+    let me = M.rank world in
+    let home = home_server_of me nservers in
+    (* Seed the pool. *)
+    for i = 0 to puts_per_client - 1 do
+      M.send ~tag:tag_put ~dest:home world (Payload.int ((me * 1000) + i))
+    done;
+    (* Consume until shutdown. Replies and the shutdown token both come
+       from the home server, so the receive is deterministic — ADLB's
+       non-determinism lives in the servers' event loops. *)
+    let live = ref true in
+    M.send ~tag:tag_get ~dest:home world Payload.Unit;
+    while !live do
+      let data, status = M.recv ~src:home ~tag:M.any_tag world in
+      match status.Types.tag with
+      | t when t = tag_work ->
+          ignore (Payload.to_int data);
+          M.work work_cost;
+          M.send ~tag:tag_get ~dest:home world Payload.Unit
+      | t when t = tag_shutdown -> live := false
+      | t -> failwith (Printf.sprintf "adlb client: unknown tag %d" t)
+    done
+
+  let main () =
+    let world = M.comm_world in
+    let size = M.size world in
+    let nservers = min servers (max 1 (size - 1)) in
+    let nclients = size - nservers in
+    let total_items = nclients * puts_per_client in
+    if M.rank world < nservers then serve world nservers total_items
+    else client world nservers
+end
+
+(** [program ?params ()] — mini-ADLB as a verifiable program. *)
+let program ?(params = default_params) () : Mpi.Mpi_intf.program =
+  (module Make (struct
+    let params = params
+  end))

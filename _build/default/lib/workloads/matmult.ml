@@ -1,0 +1,172 @@
+(** Master/slave matrix multiplication (§III, Figs. 6 and 8).
+
+    The master broadcasts B, then deals row-blocks of A to slaves; each
+    completion is collected through a wildcard receive and triggers the next
+    assignment — the paper's canonical bounded-mixing study subject. The
+    matrices are real (the result is checked), scaled so the interesting
+    quantity is the matching non-determinism, not FLOPs. *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+type params = {
+  n : int;  (** square matrix dimension *)
+  rows_per_task : int;  (** rows handed out per assignment *)
+  flop_cost : float;  (** virtual seconds per multiply-add *)
+}
+
+let default_params = { n = 8; rows_per_task = 2; flop_cost = 2e-9 }
+
+let tag_task = 0
+let tag_result = 1
+let tag_stop = 2
+
+module Make (P : sig
+  val params : params
+end)
+(M : Mpi.Mpi_intf.MPI_CORE) =
+struct
+  let { n; rows_per_task; flop_cost } = P.params
+
+  (* Deterministic test matrices. *)
+  let a_val i j = float_of_int (((i * 7) + (j * 3)) mod 11)
+  let b_val i j = float_of_int (((i * 5) + j) mod 13)
+
+  let expected i j =
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      acc := !acc +. (a_val i k *. b_val k j)
+    done;
+    !acc
+
+  let encode_rows start count =
+    Payload.Pair
+      ( Payload.Int start,
+        Payload.Arr
+          (Array.init count (fun r ->
+               Payload.Arr (Array.init n (fun j -> Payload.Float (a_val (start + r) j))))) )
+
+  let master world =
+    let size = M.size world in
+    let slaves = size - 1 in
+    let tasks = (n + rows_per_task - 1) / rows_per_task in
+    let next = ref 0 in
+    let give dest =
+      if !next < tasks then begin
+        let start = !next * rows_per_task in
+        let count = min rows_per_task (n - start) in
+        M.send ~tag:tag_task ~dest world (encode_rows start count);
+        incr next;
+        true
+      end
+      else begin
+        M.send ~tag:tag_stop ~dest world Payload.Unit;
+        false
+      end
+    in
+    let outstanding = ref 0 in
+    for s = 1 to slaves do
+      if give s then incr outstanding
+    done;
+    let c = Array.make_matrix n n 0.0 in
+    while !outstanding > 0 do
+      (* The wildcard collection at the heart of the study. *)
+      let result, status = M.recv ~src:M.any_source ~tag:tag_result world in
+      decr outstanding;
+      (match result with
+      | Payload.Pair (Payload.Int start, Payload.Arr rows) ->
+          Array.iteri
+            (fun r row ->
+              match row with
+              | Payload.Arr vals ->
+                  Array.iteri
+                    (fun j v -> c.(start + r).(j) <- Payload.to_float v)
+                    vals
+              | _ -> failwith "matmult: malformed result row")
+            rows
+      | _ -> failwith "matmult: malformed result");
+      if give status.Types.source then incr outstanding
+    done;
+    (* Validate every entry: an incorrect matching order that corrupted the
+       result would crash here and be reported by the verifier. *)
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if Float.abs (c.(i).(j) -. expected i j) > 1e-6 then
+          failwith
+            (Printf.sprintf "matmult: wrong C[%d][%d] = %f (expected %f)" i j
+               c.(i).(j) (expected i j))
+      done
+    done
+
+  let slave world b =
+    (* B arrived via the broadcast; serve tasks until stopped. *)
+    let running = ref true in
+    while !running do
+      let status = M.probe ~src:0 ~tag:M.any_tag world in
+      if status.Types.tag = tag_stop then begin
+        ignore (M.recv ~src:0 ~tag:tag_stop world);
+        running := false
+      end
+      else begin
+        let task, _ = M.recv ~src:0 ~tag:tag_task world in
+        match task with
+        | Payload.Pair (Payload.Int start, Payload.Arr rows) ->
+            let count = Array.length rows in
+            (* n multiply-adds per output element. *)
+            M.work (flop_cost *. float_of_int (count * n * n));
+            let result =
+              Payload.Pair
+                ( Payload.Int start,
+                  Payload.Arr
+                    (Array.init count (fun r ->
+                         let row =
+                           match rows.(r) with
+                           | Payload.Arr vals -> Array.map Payload.to_float vals
+                           | _ -> failwith "matmult: malformed task row"
+                         in
+                         Payload.Arr
+                           (Array.init n (fun j ->
+                                let acc = ref 0.0 in
+                                for k = 0 to n - 1 do
+                                  acc := !acc +. (row.(k) *. b.(k).(j))
+                                done;
+                                Payload.Float !acc)))) )
+            in
+            M.send ~tag:tag_result ~dest:0 world result
+        | _ -> failwith "matmult: malformed task"
+      end
+    done
+
+  let main () =
+    let world = M.comm_world in
+    (* The master owns B and broadcasts it (paper's protocol). *)
+    let contrib =
+      if M.rank world = 0 then
+        Payload.Arr
+          (Array.init n (fun i ->
+               Payload.Arr (Array.init n (fun j -> Payload.Float (b_val i j)))))
+      else Payload.Unit
+    in
+    let b_payload = M.bcast ~root:0 world contrib in
+    if M.rank world = 0 then master world
+    else begin
+      let b =
+        match b_payload with
+        | Payload.Arr rows ->
+            Array.map
+              (fun row ->
+                match row with
+                | Payload.Arr vals -> Array.map Payload.to_float vals
+                | _ -> failwith "matmult: malformed B row")
+              rows
+        | _ -> failwith "matmult: malformed B"
+      in
+      slave world b
+    end
+end
+
+(** [program ?params ()] — the matmult workload as a verifiable program. *)
+let program ?(params = default_params) () : Mpi.Mpi_intf.program =
+  (module Make (struct
+    let params = params
+  end))

@@ -1,0 +1,118 @@
+(** NAS Parallel Benchmarks 3.3 communication skeletons (Table II rows).
+
+    Shapes encode each benchmark's communication personality — the driver
+    of DAMPI overhead and of the leak findings the paper reports:
+
+    - BT: block-tridiagonal solver; heavy multi-neighbor face exchanges,
+      periodic reductions. The paper's run leaks a communicator.
+    - CG: conjugate gradient; sparse row/column exchanges with an
+      allreduce per iteration (dot products).
+    - DT: data-traffic graph; few large deterministic transfers.
+    - EP: embarrassingly parallel; almost pure compute, one final reduce.
+    - FT: 3-D FFT; all-to-all transposes dominate. Leaks a communicator.
+    - IS: integer bucket sort; all-to-all key exchange plus reductions.
+    - LU: pipelined SSOR wavefront; fine-grained, communication-bound,
+      and the one NAS benchmark the paper reports wildcard receives for
+      (R* = 1K at 1024 ranks: one pipelined wildcard per process).
+    - MG: multigrid V-cycles; neighbor exchanges at every level with
+      periodic residual reductions. *)
+
+let bt =
+  {
+    Skeleton.base with
+    name = "BT";
+    rounds = 60;
+    degree = 6;
+    payload_ints = 200;
+    compute_per_round = 4.5e-5;
+    collective_every = 20;
+    collective = Skeleton.Allreduce;
+    leak_comm = true;
+  }
+
+let cg =
+  {
+    Skeleton.base with
+    name = "CG";
+    rounds = 75;
+    degree = 2;
+    payload_ints = 96;
+    compute_per_round = 6e-5;
+    collective_every = 3;
+    collective = Skeleton.Allreduce;
+  }
+
+let dt =
+  {
+    Skeleton.base with
+    name = "DT";
+    rounds = 12;
+    degree = 2;
+    payload_ints = 640;
+    compute_per_round = 1.2e-3;
+    collective_every = 0;
+  }
+
+let ep =
+  {
+    Skeleton.base with
+    name = "EP";
+    rounds = 4;
+    degree = 2;
+    payload_ints = 8;
+    compute_per_round = 6e-3;
+    collective_every = 0;
+  }
+
+let ft =
+  {
+    Skeleton.base with
+    name = "FT";
+    rounds = 10;
+    degree = 2;
+    payload_ints = 128;
+    compute_per_round = 1.5e-3;
+    collective_every = 1;
+    collective = Skeleton.Alltoall;
+    leak_comm = true;
+  }
+
+let is_ =
+  {
+    Skeleton.base with
+    name = "IS";
+    rounds = 16;
+    degree = 2;
+    payload_ints = 64;
+    compute_per_round = 1.5e-4;
+    collective_every = 2;
+    collective = Skeleton.Alltoall;
+  }
+
+let lu =
+  {
+    Skeleton.base with
+    name = "LU";
+    rounds = 150;
+    degree = 2;
+    payload_ints = 24;
+    compute_per_round = 1e-6;
+    collective_every = 50;
+    collective = Skeleton.Allreduce;
+    solo_wildcards = 1;
+  }
+
+let mg =
+  {
+    Skeleton.base with
+    name = "MG";
+    rounds = 50;
+    degree = 4;
+    payload_ints = 80;
+    compute_per_round = 4e-5;
+    collective_every = 10;
+    collective = Skeleton.Allreduce;
+  }
+
+let all = [ bt; cg; dt; ep; ft; is_; lu; mg ]
+let program shape = Skeleton.program shape

@@ -1,0 +1,81 @@
+(** The paper's illustrative micro-patterns, packaged as verifiable
+    programs for the examples and the test/bench suites.
+
+    - {!fig3}: the 3-process wildcard race whose bug appears only under the
+      alternate match (paper Fig. 3);
+    - {!fig4}: the cross-coupled pattern on which Lamport clocks lose
+      completeness while vector clocks retain it (paper Fig. 4);
+    - {!fig10}: the clock-escape pattern DAMPI cannot cover but its runtime
+      monitor flags (paper Fig. 10, §V);
+    - {!head_to_head}: a deterministic cross-receive deadlock (tool sanity
+      baseline). *)
+
+module Payload = Mpi.Payload
+
+module Fig3 (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 -> M.send ~dest:1 world (Payload.int 22)
+    | 1 ->
+        let x, _ = M.recv ~src:M.any_source world in
+        if Payload.to_int x = 33 then
+          failwith "fig3: received 33 — the interleaving-dependent bug"
+    | 2 -> M.send ~dest:1 world (Payload.int 33)
+    | _ -> ()
+end
+
+let fig3 : Mpi.Mpi_intf.program = (module Fig3)
+
+module Fig4 (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 -> M.send ~dest:1 world (Payload.int 0)
+    | 1 ->
+        let x, _ = M.recv ~src:M.any_source world in
+        if Payload.to_int x = 2 then
+          failwith "fig4: P1 matched P2 — only vector clocks reach this"
+    | 2 ->
+        let _ = M.recv ~src:M.any_source world in
+        M.send ~dest:1 world (Payload.int 2)
+    | 3 -> M.send ~dest:2 world (Payload.int 3)
+    | _ -> ()
+end
+
+let fig4 : Mpi.Mpi_intf.program = (module Fig4)
+
+module Fig10 (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 ->
+        let req = M.isend ~dest:1 world (Payload.int 22) in
+        M.barrier world;
+        ignore (M.wait req)
+    | 1 ->
+        let req = M.irecv ~src:M.any_source world in
+        M.barrier world;
+        ignore (M.wait req);
+        if Payload.to_int (M.recv_data req) = 33 then
+          failwith "fig10: received 33 — beyond DAMPI's guarantee"
+    | 2 ->
+        M.barrier world;
+        M.send ~dest:1 world (Payload.int 33)
+    | _ -> ()
+end
+
+let fig10 : Mpi.Mpi_intf.program = (module Fig10)
+
+module Head_to_head (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let peer = 1 - M.rank world in
+    if M.rank world <= 1 then begin
+      (* Both receive before sending: guaranteed deadlock. *)
+      ignore (M.recv ~src:peer world);
+      M.send ~dest:peer world Payload.Unit
+    end
+end
+
+let head_to_head : Mpi.Mpi_intf.program = (module Head_to_head)

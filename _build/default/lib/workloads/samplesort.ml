@@ -1,0 +1,107 @@
+(** Parallel sample sort — a complete distributed algorithm over the
+    substrate's collective stack (gather, bcast, alltoall) with a
+    point-to-point boundary check at the end.
+
+    1. Each rank draws a deterministic pseudo-random block of keys.
+    2. Regular samples are gathered at rank 0, which picks np-1 splitters
+       and broadcasts them.
+    3. Keys are partitioned by splitter and exchanged with one alltoall.
+    4. Each rank sorts its bucket locally, then verifies the global order
+       by sending its maximum to the successor (sendrecv ring) and checking
+       it does not exceed the local minimum.
+
+    Fully deterministic: under verification it must be a single clean
+    interleaving. A broken exchange or partition trips an assertion and is
+    reported as a crash by the verifier. *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+type params = {
+  keys_per_rank : int;
+  seed : int;
+  compare_cost : float;  (** virtual seconds per comparison, for timing *)
+}
+
+let default_params = { keys_per_rank = 64; seed = 42; compare_cost = 5e-9 }
+
+module Make (P : sig
+  val params : params
+end)
+(M : Mpi.Mpi_intf.MPI_CORE) =
+struct
+  let { keys_per_rank; seed; compare_cost } = P.params
+
+  let local_keys rank =
+    let rng = Sim.Splitmix.create (seed + (rank * 7919)) in
+    Array.init keys_per_rank (fun _ -> Sim.Splitmix.int rng 1_000_000)
+
+  let ints_payload a = Payload.Arr (Array.map (fun v -> Payload.Int v) a)
+  let ints_of_payload p = Array.map Payload.to_int (Payload.to_arr p)
+
+  let main () =
+    let world = M.comm_world in
+    let rank = M.rank world and np = M.size world in
+    let keys = local_keys rank in
+    Array.sort compare keys;
+    M.work (compare_cost *. float_of_int (keys_per_rank * 8));
+    (* Regular sampling: np local samples per rank. *)
+    let samples =
+      Array.init np (fun i -> keys.(i * keys_per_rank / np))
+    in
+    let splitters =
+      match M.gather ~root:0 world (ints_payload samples) with
+      | Some all ->
+          let pool = Array.concat (List.map ints_of_payload (Array.to_list all)) in
+          Array.sort compare pool;
+          let n = Array.length pool in
+          ints_payload (Array.init (np - 1) (fun i -> pool.((i + 1) * n / np)))
+      | None -> Payload.Unit
+    in
+    let splitters = ints_of_payload (M.bcast ~root:0 world splitters) in
+    (* Partition into np buckets by splitter. *)
+    let buckets = Array.make np [] in
+    Array.iter
+      (fun k ->
+        let rec find i =
+          if i >= np - 1 || k < splitters.(i) then i else find (i + 1)
+        in
+        let b = find 0 in
+        buckets.(b) <- k :: buckets.(b))
+      keys;
+    let outgoing =
+      Array.map (fun l -> ints_payload (Array.of_list (List.rev l))) buckets
+    in
+    (* One alltoall moves every key to its destination bucket. *)
+    let incoming = M.alltoall world outgoing in
+    let mine =
+      Array.concat (List.map ints_of_payload (Array.to_list incoming))
+    in
+    Array.sort compare mine;
+    M.work (compare_cost *. float_of_int (Array.length mine * 8));
+    (* Global-order verification: my maximum must not exceed my successor's
+       minimum. Ring sendrecv; sentinels at the ends. *)
+    let my_max =
+      if Array.length mine = 0 then min_int else mine.(Array.length mine - 1)
+    in
+    let my_min = if Array.length mine = 0 then max_int else mine.(0) in
+    if np > 1 then begin
+      let succ_rank = (rank + 1) mod np and pred_rank = (rank + np - 1) mod np in
+      let pred_max, _ =
+        M.sendrecv ~dest:succ_rank ~src:pred_rank world (Payload.int my_max)
+      in
+      if rank > 0 && Payload.to_int pred_max > my_min then
+        failwith "samplesort: global order violated"
+    end;
+    (* Conservation: total key count unchanged. *)
+    let total =
+      Payload.to_int
+        (M.allreduce ~op:Types.Sum world (Payload.int (Array.length mine)))
+    in
+    assert (total = np * keys_per_rank)
+end
+
+let program ?(params = default_params) () : Mpi.Mpi_intf.program =
+  (module Make (struct
+    let params = params
+  end))

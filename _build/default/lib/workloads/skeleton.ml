@@ -1,0 +1,155 @@
+(** Generic communication-skeleton builder for the Table II benchmark rows.
+
+    Each NAS-PB / SpecMPI benchmark is modelled by the communication
+    behaviour Table II's columns depend on: rounds of neighbor exchange
+    (with an optional wildcard-receive fraction), a collective cadence, a
+    compute/communication ratio, and deliberate resource leaks where the
+    paper reports them. The numerics of the original codes are irrelevant
+    to DAMPI overhead; the op mix is what loads the tool. *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+type collective_kind = Allreduce | Barrier | Alltoall | Bcast | Allgather
+
+type shape = {
+  name : string;
+  rounds : int;  (** exchange rounds per process *)
+  degree : int;  (** neighbor count (symmetric, capped at np-1) *)
+  payload_ints : int;  (** message size in 8-byte words *)
+  compute_per_round : float;  (** virtual seconds of local work per round *)
+  wildcard_every : int;
+      (** every k-th round receives via MPI_ANY_SOURCE; 0 = never
+          (deterministic benchmark) *)
+  solo_wildcards : int;
+      (** per-process count of pipelined ring-style wildcard receives
+          (one candidate each): loads the tool's non-determinism handling
+          (the R* column) without exploding the match space *)
+  collective_every : int;  (** a collective every k rounds; 0 = never *)
+  collective : collective_kind;
+  final_allreduce : bool;  (** verification/residual reduction at the end *)
+  leak_comm : bool;  (** Table II C-leak column *)
+  leak_request : bool;  (** Table II R-leak column *)
+}
+
+let base =
+  {
+    name = "skeleton";
+    rounds = 10;
+    degree = 2;
+    payload_ints = 64;
+    compute_per_round = 1e-3;
+    wildcard_every = 0;
+    solo_wildcards = 0;
+    collective_every = 0;
+    collective = Allreduce;
+    final_allreduce = true;
+    leak_comm = false;
+    leak_request = false;
+  }
+
+module Make (S : sig
+  val shape : shape
+end)
+(M : Mpi.Mpi_intf.MPI_CORE) =
+struct
+  let s = S.shape
+
+  let neighbors ~np ~me =
+    let half = max 1 (min (s.degree / 2) ((np - 1) / 2)) in
+    if np = 2 then [ 1 - me ]
+    else
+      List.concat_map
+        (fun j -> [ (me + j) mod np; (me - j + np) mod np ])
+        (List.init half (fun i -> i + 1))
+      |> List.sort_uniq compare
+      |> List.filter (fun r -> r <> me)
+
+  let run_collective comm round =
+    match s.collective with
+    | Allreduce -> ignore (M.allreduce ~op:Types.Sum comm (Payload.Int round))
+    | Barrier -> M.barrier comm
+    | Bcast -> ignore (M.bcast ~root:0 comm (Payload.Int round))
+    | Allgather -> ignore (M.allgather comm (Payload.Int round))
+    | Alltoall ->
+        let n = M.size comm in
+        ignore
+          (M.alltoall comm (Array.init n (fun i -> Payload.Int (round + i))))
+
+  let main () =
+    let world = M.comm_world in
+    let np = M.size world and me = M.rank world in
+    let nbs = neighbors ~np ~me in
+    let payload =
+      Payload.Arr (Array.init s.payload_ints (fun i -> Payload.Int (me lxor i)))
+    in
+    let leaked_comm = if s.leak_comm then Some (M.comm_dup world) else None in
+    ignore leaked_comm;
+    for round = 1 to s.rounds do
+      let tag = round land 0xFFFF in
+      let sends =
+        List.map (fun nb -> M.isend ~tag ~dest:nb world payload) nbs
+      in
+      let wildcard =
+        s.wildcard_every > 0 && round mod s.wildcard_every = 0
+      in
+      let recvs =
+        (* A wildcard round receives its neighbor messages through
+           MPI_ANY_SOURCE (pipelined wavefront style); the tag still keys
+           the round, so matching stays well-defined. *)
+        if wildcard then
+          List.map (fun _ -> M.irecv ~src:M.any_source ~tag world) nbs
+        else List.map (fun nb -> M.irecv ~src:nb ~tag world) nbs
+      in
+      M.work s.compute_per_round;
+      ignore (M.waitall (sends @ recvs));
+      if s.collective_every > 0 && round mod s.collective_every = 0 then
+        run_collective world round
+    done;
+    (* Pipelined ring wildcards: each process forwards to its successor and
+       receives from MPI_ANY_SOURCE; exactly one message can match, so R*
+       grows without growing the interleaving space. *)
+    for i = 1 to s.solo_wildcards do
+      let tag = 0x5150 + (i land 0xFF) in
+      let send = M.isend ~tag ~dest:((me + 1) mod np) world (Payload.Int i) in
+      let recv = M.irecv ~src:M.any_source ~tag world in
+      ignore (M.waitall [ send; recv ])
+    done;
+    if s.leak_request then
+      (* One request posted and never completed (Table II R-leak). The
+         matching message is never sent, so nothing dangles in transit. *)
+      ignore (M.irecv ~src:(if me = 0 then np - 1 else me - 1) ~tag:0xDEAD world);
+    if s.final_allreduce then
+      ignore (M.allreduce ~op:Types.Max world (Payload.Int me))
+end
+
+(** [program shape] — a verifiable program exercising [shape]. *)
+let program shape : Mpi.Mpi_intf.program =
+  (module Make (struct
+    let shape = shape
+  end))
+
+(** Total wildcard receives a shape issues across [np] ranks (the paper's
+    R* column). *)
+let wildcard_total shape ~np =
+  (np * shape.solo_wildcards)
+  +
+  if shape.wildcard_every = 0 then 0
+  else
+    let degree np me =
+      let half = max 1 (min (shape.degree / 2) ((np - 1) / 2)) in
+      if np = 2 then 1
+      else
+        List.concat_map
+          (fun j -> [ (me + j) mod np; (me - j + np) mod np ])
+          (List.init half (fun i -> i + 1))
+        |> List.sort_uniq compare
+        |> List.filter (fun r -> r <> me)
+        |> List.length
+    in
+    let per_proc me = shape.rounds / shape.wildcard_every * degree np me in
+    let total = ref 0 in
+    for me = 0 to np - 1 do
+      total := !total + per_proc me
+    done;
+    !total

@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Clocks List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dampi.ml: Alcotest Clocks Dampi Fun List Mpi Printf Workloads

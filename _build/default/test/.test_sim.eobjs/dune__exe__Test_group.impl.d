@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Array Dampi Fun List Mpi Printexc Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_interpose.ml: Alcotest Array Clocks Dampi List Mpi Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_isp.ml: Alcotest Dampi Isp List Printf Sim Workloads

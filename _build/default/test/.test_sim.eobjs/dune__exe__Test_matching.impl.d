@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Hashtbl List Mpi Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array List Mpi Printexc Printf QCheck QCheck_alcotest Sim String

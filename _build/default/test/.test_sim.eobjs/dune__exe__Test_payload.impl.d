@@ -1,0 +1,1 @@
+test/test_payload.ml: Alcotest Array Format List Mpi QCheck QCheck_alcotest String

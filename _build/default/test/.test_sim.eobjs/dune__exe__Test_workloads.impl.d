@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dampi Isp List Mpi Printexc Printf Sim String Workloads

@@ -1,0 +1,11 @@
+  $ dampi list | head -8
+  $ dampi verify fig3 -q
+  $ dampi verify fig4 -q
+  $ dampi verify fig4 --clock vector -q
+  $ dampi verify fig10 -q
+  $ dampi verify fig10 --dual-clock -q
+  $ dampi verify matmult -q --max-runs 100000 -k 0
+  $ dampi verify deadlock -q
+  $ dampi verify fig3 -q --dump-schedule fig3.sched
+  $ cat fig3.sched
+  $ dampi replay fig3 fig3.sched | tail -2

@@ -1,0 +1,175 @@
+(* Tests for process groups and group-based communicator creation. *)
+
+module Group = Mpi.Group
+module Runtime = Mpi.Runtime
+module Comm = Mpi.Comm
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+module Coroutine = Sim.Coroutine
+
+let exec ~np body =
+  let rt = Runtime.create ~np () in
+  Runtime.spawn_ranks rt (fun rank -> body rt rank);
+  (rt, Runtime.run rt)
+
+let check_finished = function
+  | Coroutine.All_finished -> ()
+  | Coroutine.Deadlock _ -> Alcotest.fail "deadlock"
+  | Coroutine.Crashed (pid, e, _) ->
+      Alcotest.failf "rank %d crashed: %s" pid (Printexc.to_string e)
+
+(* ---- pure group algebra ---- *)
+
+(* A group over a synthetic world 0..n-1 built through a comm. *)
+let group_world n =
+  Group.of_comm
+    (Comm.make ~ctx:99 ~ranks:(Array.init n Fun.id) ~internal:false ~label:"g")
+
+let test_incl_excl () =
+  let w = group_world 8 in
+  let g = Group.incl w [ 3; 1; 5 ] in
+  Alcotest.(check (array int)) "incl keeps order" [| 3; 1; 5 |]
+    (Group.members g);
+  let e = Group.excl w [ 0; 2; 4; 6 ] in
+  Alcotest.(check (array int)) "excl" [| 1; 3; 5; 7 |] (Group.members e);
+  Alcotest.(check bool) "membership" true (Group.is_member g 5);
+  Alcotest.(check bool) "non-membership" false (Group.is_member g 0);
+  Alcotest.(check (option int)) "rank lookup" (Some 1) (Group.rank_opt g 1)
+
+let test_set_ops () =
+  let w = group_world 6 in
+  let a = Group.incl w [ 0; 1; 2; 3 ] in
+  let b = Group.incl w [ 2; 3; 4; 5 ] in
+  Alcotest.(check (array int)) "union" [| 0; 1; 2; 3; 4; 5 |]
+    (Group.members (Group.union a b));
+  Alcotest.(check (array int)) "inter" [| 2; 3 |]
+    (Group.members (Group.inter a b));
+  Alcotest.(check (array int)) "diff" [| 0; 1 |]
+    (Group.members (Group.diff a b));
+  Alcotest.(check bool) "equal" true (Group.equal a (Group.incl w [ 0; 1; 2; 3 ]))
+
+let test_incl_out_of_range () =
+  let w = group_world 4 in
+  Alcotest.check_raises "out of range"
+    (Types.Mpi_error "Group.incl: rank 7 out of range (size 4)") (fun () ->
+      ignore (Group.incl w [ 7 ]))
+
+let prop_union_contains_both =
+  QCheck.Test.make ~name:"union contains both operands" ~count:200
+    QCheck.(pair (small_list (int_range 0 7)) (small_list (int_range 0 7)))
+    (fun (la, lb) ->
+      let dedup l = List.sort_uniq compare l in
+      let w = group_world 8 in
+      let a = Group.incl w (dedup la) and b = Group.incl w (dedup lb) in
+      let u = Group.union a b in
+      Array.for_all (Group.is_member u) (Group.members a)
+      && Array.for_all (Group.is_member u) (Group.members b))
+
+let prop_inter_subset =
+  QCheck.Test.make ~name:"intersection is a subset of both" ~count:200
+    QCheck.(pair (small_list (int_range 0 7)) (small_list (int_range 0 7)))
+    (fun (la, lb) ->
+      let dedup l = List.sort_uniq compare l in
+      let w = group_world 8 in
+      let a = Group.incl w (dedup la) and b = Group.incl w (dedup lb) in
+      Array.for_all
+        (fun m -> Group.is_member a m && Group.is_member b m)
+        (Group.members (Group.inter a b)))
+
+(* ---- comm_create over the runtime ---- *)
+
+let test_comm_create () =
+  let members_got = Array.make 6 (-2) in
+  let _, outcome =
+    exec ~np:6 (fun rt rank ->
+        let world = Runtime.comm_world rt in
+        let g = Group.incl (Runtime.comm_group rt world) [ 1; 3; 5 ] in
+        match Runtime.comm_create rt world g with
+        | Some sub ->
+            members_got.(rank) <- Comm.rank_of_world sub rank;
+            (* Communicate within the new comm to prove it works. *)
+            if Comm.rank_of_world sub rank = 0 then
+              Runtime.send rt ~dest:2 sub (Payload.int 77)
+            else if Comm.rank_of_world sub rank = 2 then begin
+              let v, _ = Runtime.recv rt ~src:0 sub in
+              assert (Payload.to_int v = 77)
+            end;
+            Runtime.comm_free rt sub
+        | None -> members_got.(rank) <- -1)
+  in
+  check_finished outcome;
+  Alcotest.(check (array int)) "ranks within the new communicator"
+    [| -1; 0; -1; 1; -1; 2 |] members_got
+
+let test_comm_create_group_mismatch () =
+  let _, outcome =
+    exec ~np:4 (fun rt rank ->
+        let world = Runtime.comm_world rt in
+        let g =
+          Group.incl (Runtime.comm_group rt world)
+            (if rank = 0 then [ 0; 1 ] else [ 0; 2 ])
+        in
+        ignore (Runtime.comm_create rt world g))
+  in
+  match outcome with
+  | Coroutine.Crashed (_, Types.Mpi_error _, _) -> ()
+  | _ -> Alcotest.fail "expected group-mismatch error"
+
+(* comm_create under DAMPI: wildcards inside the created communicator are
+   explored like any other. *)
+module Subteam (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let g = Group.incl (M.comm_group world) [ 0; 2; 3 ] in
+    match M.comm_create world g with
+    | None -> ()
+    | Some sub ->
+        (match M.rank sub with
+        | 0 ->
+            let a, _ = M.recv ~src:M.any_source sub in
+            let b, _ = M.recv ~src:M.any_source sub in
+            if Payload.to_int a = 2 && Payload.to_int b = 1 then
+              failwith "subteam order bug"
+        | r -> M.send ~dest:0 sub (Payload.int r));
+        M.comm_free sub
+end
+
+let test_comm_create_under_dampi () =
+  let report =
+    Dampi.Explorer.verify ~config:Dampi.Explorer.default_config ~np:4
+      (module Subteam : Mpi.Mpi_intf.PROGRAM)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explores the subteam wildcards (got %d)"
+       report.Dampi.Report.interleavings)
+    true
+    (report.Dampi.Report.interleavings >= 2);
+  Alcotest.(check int) "planted order bug found" 1
+    (List.length
+       (List.filter
+          (fun (f : Dampi.Report.finding) ->
+            match f.Dampi.Report.error with
+            | Dampi.Report.Crash _ -> true
+            | _ -> false)
+          report.Dampi.Report.findings))
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "incl / excl" `Quick test_incl_excl;
+          Alcotest.test_case "union / inter / diff" `Quick test_set_ops;
+          Alcotest.test_case "incl out of range" `Quick test_incl_out_of_range;
+          QCheck_alcotest.to_alcotest prop_union_contains_both;
+          QCheck_alcotest.to_alcotest prop_inter_subset;
+        ] );
+      ( "comm-create",
+        [
+          Alcotest.test_case "create + use + free" `Quick test_comm_create;
+          Alcotest.test_case "group mismatch detected" `Quick
+            test_comm_create_group_mismatch;
+          Alcotest.test_case "verified under DAMPI" `Quick
+            test_comm_create_under_dampi;
+        ] );
+    ]

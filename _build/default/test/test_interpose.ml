@@ -1,0 +1,486 @@
+(* White-box tests of the DAMPI verifier state machine, plus coverage of the
+   interposition layer over the wider MPI surface (sendrecv, scan, split
+   communicators, probes under guidance). *)
+
+module State = Dampi.State
+module Epoch = Dampi.Epoch
+module Decisions = Dampi.Decisions
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+let lamport = (module Clocks.Lamport : Clocks.Clock_intf.S)
+
+let fresh_state ?(np = 4) ?config () =
+  State.create ?config ~np ~plan:(Decisions.empty ~np) ~fork_index:(-1) ()
+
+(* ---- State: clocks and epochs ---- *)
+
+let test_record_epoch_ticks () =
+  let st = fresh_state () in
+  Alcotest.(check int) "scalar starts at 0" 0 (State.scalar st 1);
+  let e1 = State.record_epoch st ~me:1 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:5 in
+  Alcotest.(check int) "epoch id is pre-tick" 0 e1.Epoch.id;
+  Alcotest.(check int) "clock ticked" 1 (State.scalar st 1);
+  let e2 = State.record_epoch st ~me:1 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:5 in
+  Alcotest.(check int) "second epoch id" 1 e2.Epoch.id;
+  Alcotest.(check int) "other process unaffected" 0 (State.scalar st 2)
+
+let test_merge_in () =
+  let st = fresh_state () in
+  State.merge_in st 0 [| 7 |];
+  Alcotest.(check int) "merge lifts to incoming" 7 (State.scalar st 0);
+  State.merge_in st 0 [| 3 |];
+  Alcotest.(check int) "merge keeps max" 7 (State.scalar st 0)
+
+let test_find_potential_matches_lateness () =
+  let st = fresh_state () in
+  (* Epoch at clock 0 (event clock 1). *)
+  let e = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:9 in
+  (* A send carrying clock 0 is late (0 < event 1); clock 1 is not. *)
+  State.find_potential_matches st ~me:0 ~src_rank:2 ~ctx:0 ~tag:9
+    ~send_enc:[| 0 |];
+  Alcotest.(check (list int)) "clock-0 send is a potential" [ 2 ]
+    (Epoch.alternatives e);
+  State.find_potential_matches st ~me:0 ~src_rank:3 ~ctx:0 ~tag:9
+    ~send_enc:[| 1 |];
+  Alcotest.(check (list int)) "clock-1 send is not" [ 2 ]
+    (Epoch.alternatives e)
+
+let test_find_potential_matches_spec () =
+  let st = fresh_state () in
+  let e = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:1 ~tag:9 in
+  (* Wrong context. *)
+  State.find_potential_matches st ~me:0 ~src_rank:1 ~ctx:0 ~tag:9
+    ~send_enc:[| 0 |];
+  (* Wrong tag. *)
+  State.find_potential_matches st ~me:0 ~src_rank:2 ~ctx:1 ~tag:8
+    ~send_enc:[| 0 |];
+  Alcotest.(check (list int)) "spec mismatches filtered" []
+    (Epoch.alternatives e);
+  (* An any-tag epoch accepts all tags. *)
+  let e2 =
+    State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:1
+      ~tag:Types.any_tag
+  in
+  State.find_potential_matches st ~me:0 ~src_rank:3 ~ctx:1 ~tag:42
+    ~send_enc:[| 0 |];
+  Alcotest.(check (list int)) "any-tag epoch matched" [ 3 ]
+    (Epoch.alternatives e2)
+
+let test_scan_pruning_covers_equal_ids () =
+  (* Several epochs; a message with scalar s must be matched against all
+     epochs with id >= s and no others (the newest-first prune must not cut
+     at equality). *)
+  let st = fresh_state () in
+  let e0 = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:1 in
+  let e1 = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:1 in
+  let e2 = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:1 in
+  (* ids 0,1,2; send scalar 1: late for ids 1 and 2 (send <= id), not 0. *)
+  State.find_potential_matches st ~me:0 ~src_rank:3 ~ctx:0 ~tag:1
+    ~send_enc:[| 1 |];
+  Alcotest.(check (list int)) "id 0: not late" [] (Epoch.alternatives e0);
+  Alcotest.(check (list int)) "id 1: late (equal)" [ 3 ] (Epoch.alternatives e1);
+  Alcotest.(check (list int)) "id 2: late" [ 3 ] (Epoch.alternatives e2)
+
+let test_bounded_mixing_window_math () =
+  let config = State.make_config ~clock:lamport ~mixing_bound:1 () in
+  (* Forked run at global index 2: new epochs complete at indices 3,4,5 —
+     only those within fork+k stay expandable. *)
+  let plan =
+    Decisions.of_decisions ~np:4
+      [
+        { Decisions.owner = 0; epoch_id = 0; src = 1; kind = Epoch.Wildcard_recv };
+        { Decisions.owner = 0; epoch_id = 1; src = 2; kind = Epoch.Wildcard_recv };
+        { Decisions.owner = 0; epoch_id = 2; src = 3; kind = Epoch.Wildcard_recv };
+      ]
+  in
+  let st = State.create ~config ~np:4 ~plan ~fork_index:2 () in
+  let mk () =
+    State.record_epoch st ~me:1 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:0
+  in
+  let e3 = mk () and e4 = mk () and e5 = mk () in
+  State.complete_epoch st e3 ~matched_src:0;
+  State.complete_epoch st e4 ~matched_src:0;
+  State.complete_epoch st e5 ~matched_src:0;
+  Alcotest.(check bool) "index 3 within window" true e3.Epoch.expandable;
+  Alcotest.(check bool) "index 4 outside" false e4.Epoch.expandable;
+  Alcotest.(check bool) "index 5 outside" false e5.Epoch.expandable
+
+let test_initial_run_unbounded () =
+  (* On the initial self run (fork = -1) the window never applies. *)
+  let config = State.make_config ~clock:lamport ~mixing_bound:0 () in
+  let st =
+    State.create ~config ~np:2 ~plan:(Decisions.empty ~np:2) ~fork_index:(-1) ()
+  in
+  let e = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:0 in
+  State.complete_epoch st e ~matched_src:1;
+  Alcotest.(check bool) "expandable on initial run" true e.Epoch.expandable
+
+let test_monitor_watch_set () =
+  let st = fresh_state () in
+  let e = State.record_epoch st ~me:2 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:0 in
+  State.watch_wildcard st ~req_uid:10 e;
+  State.monitor_clock_escape st ~me:2 ~op:"send";
+  Alcotest.(check int) "alert raised" 1 (List.length (State.warnings st));
+  (* Duplicate suppression per epoch. *)
+  State.monitor_clock_escape st ~me:2 ~op:"send";
+  Alcotest.(check int) "no duplicate" 1 (List.length (State.warnings st));
+  (* Other processes' escapes don't alert for our epoch. *)
+  State.monitor_clock_escape st ~me:1 ~op:"send";
+  Alcotest.(check int) "other pid quiet" 1 (List.length (State.warnings st));
+  State.unwatch_wildcard st ~req_uid:10;
+  let e2 = State.record_epoch st ~me:2 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:0 in
+  State.watch_wildcard st ~req_uid:11 e2;
+  State.unwatch_wildcard st ~req_uid:11;
+  State.monitor_clock_escape st ~me:2 ~op:"send";
+  Alcotest.(check int) "closed wildcard: no alert" 1
+    (List.length (State.warnings st))
+
+let test_pcontrol_nesting () =
+  let st = fresh_state () in
+  Alcotest.(check bool) "initially outside" false (State.in_abstracted_loop st 0);
+  State.pcontrol st 0 1;
+  State.pcontrol st 0 1;
+  Alcotest.(check bool) "nested inside" true (State.in_abstracted_loop st 0);
+  State.pcontrol st 0 0;
+  Alcotest.(check bool) "still inside after one exit" true
+    (State.in_abstracted_loop st 0);
+  State.pcontrol st 0 0;
+  Alcotest.(check bool) "outside after matching exits" false
+    (State.in_abstracted_loop st 0);
+  State.pcontrol st 0 0;
+  Alcotest.(check bool) "underflow clamps" false (State.in_abstracted_loop st 0)
+
+let test_dual_clock_lag () =
+  let config = State.make_config ~clock:lamport ~dual_clock:true () in
+  let st = fresh_state ~config () in
+  let _ = State.record_epoch st ~me:0 ~kind:Epoch.Wildcard_recv ~ctx:0 ~tag:0 in
+  (* The analysis clock ticked; the transmitted clock lags. *)
+  Alcotest.(check int) "analysis clock" 1 (State.scalar st 0);
+  (match State.clock_payload st 0 with
+  | Payload.Arr [| Payload.Int v |] ->
+      Alcotest.(check int) "transmitted clock lags" 0 v
+  | _ -> Alcotest.fail "unexpected payload shape");
+  State.sync_xmit st 0;
+  match State.clock_payload st 0 with
+  | Payload.Arr [| Payload.Int v |] ->
+      Alcotest.(check int) "synchronized at wait/test" 1 v
+  | _ -> Alcotest.fail "unexpected payload shape"
+
+(* ---- Schedule file round-trip ---- *)
+
+let test_schedule_roundtrip () =
+  let plan =
+    Decisions.of_decisions ~np:5
+      [
+        { Decisions.owner = 1; epoch_id = 0; src = 2; kind = Epoch.Wildcard_recv };
+        { Decisions.owner = 3; epoch_id = 4; src = 0; kind = Epoch.Wildcard_probe };
+      ]
+  in
+  match Decisions.of_string (Decisions.to_string plan) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok plan' ->
+      Alcotest.(check int) "length" (Decisions.length plan)
+        (Decisions.length plan');
+      Alcotest.(check (option int)) "lookup recv" (Some 2)
+        (Decisions.forced_src plan' ~owner:1 ~epoch_id:0
+           ~kind:Epoch.Wildcard_recv);
+      Alcotest.(check (option int)) "lookup probe" (Some 0)
+        (Decisions.forced_src plan' ~owner:3 ~epoch_id:4
+           ~kind:Epoch.Wildcard_probe)
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"schedule files round-trip" ~count:200
+    QCheck.(
+      pair (int_range 1 16)
+        (small_list (triple (int_range 0 15) (int_range 0 100) (int_range 0 15))))
+    (fun (np, raw) ->
+      let decisions =
+        List.map
+          (fun (owner, epoch_id, src) ->
+            {
+              Decisions.owner = owner mod np;
+              epoch_id;
+              src;
+              kind =
+                (if (owner + src) mod 2 = 0 then Epoch.Wildcard_recv
+                 else Epoch.Wildcard_probe);
+            })
+          raw
+      in
+      let plan = Decisions.of_decisions ~np decisions in
+      match Decisions.of_string (Decisions.to_string plan) with
+      | Error _ -> false
+      | Ok plan' ->
+          Decisions.to_string plan = Decisions.to_string plan'
+          && plan.Decisions.guided_epoch = plan'.Decisions.guided_epoch)
+
+(* ---- Interposition over the wider surface ---- *)
+
+let verify ?(np = 4) program =
+  Explorer.verify
+    ~config:{ Explorer.default_config with max_runs = 5_000 }
+    ~np program
+
+(* Halo exchange via sendrecv, with a final scan sanity check. *)
+module Halo (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let rank = M.rank world and size = M.size world in
+    let right = (rank + 1) mod size and left = (rank + size - 1) mod size in
+    let got, st =
+      M.sendrecv ~dest:right ~src:left world (Payload.int rank)
+    in
+    assert (Payload.to_int got = left);
+    assert (st.Types.source = left);
+    let prefix = M.scan ~op:Types.Sum world (Payload.int rank) in
+    assert (Payload.to_int prefix = rank * (rank + 1) / 2)
+end
+
+let test_sendrecv_scan_under_dampi () =
+  let report = verify (module Halo : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check int) "halo ring verifies clean" 0
+    (List.length report.Report.findings);
+  Alcotest.(check int) "deterministic" 1 report.Report.interleavings
+
+(* exscan and reduce_scatter_block through the DAMPI stack: the clock
+   exchanges (exclusive prefix merge; full exchange) must neither deadlock
+   nor corrupt results, and the causal ordering they imply must hold. *)
+module Prefix_ops (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let rank = M.rank world and np = M.size world in
+    (match M.exscan ~op:Types.Sum world (Payload.int (rank + 1)) with
+    | Payload.Unit -> assert (rank = 0)
+    | p -> assert (Payload.to_int p = rank * (rank + 1) / 2));
+    let contribs = Array.init np (fun r -> Payload.int ((10 * rank) + r)) in
+    let mine = M.reduce_scatter_block ~op:Types.Sum world contribs in
+    (* slot r = sum over s of (10 s + r) *)
+    assert (Payload.to_int mine = (10 * (np * (np - 1) / 2)) + (np * rank))
+end
+
+let test_prefix_collectives_under_dampi () =
+  let report = verify ~np:5 (module Prefix_ops : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check int) "clean" 0 (List.length report.Report.findings);
+  Alcotest.(check int) "deterministic" 1 report.Report.interleavings
+
+(* exscan after a wildcard: a lower rank's open wildcard epoch leaking its
+   clock through the prefix exchange must trip the monitor. *)
+module Exscan_escape (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    (match M.rank world with
+    | 0 ->
+        let req = M.irecv ~src:M.any_source world in
+        ignore (M.exscan ~op:Types.Sum world (Payload.int 1));
+        ignore (M.wait req)
+    | 1 ->
+        M.send ~dest:0 world (Payload.int 1);
+        ignore (M.exscan ~op:Types.Sum world (Payload.int 1))
+    | _ -> ignore (M.exscan ~op:Types.Sum world (Payload.int 1)));
+    M.barrier world
+end
+
+let test_exscan_monitor () =
+  let report = verify ~np:3 (module Exscan_escape : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check bool) "monitor flags the exscan escape" true
+    (report.Report.monitor_alerts >= 1)
+
+(* Wildcard sendrecv: the receive half is an epoch like any other. *)
+module Wildcard_sendrecv (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 ->
+        let got, _ =
+          M.sendrecv ~dest:1 ~src:M.any_source world (Payload.int 0)
+        in
+        if Payload.to_int got = 2 then failwith "wildcard sendrecv bug"
+    | 1 ->
+        let _ = M.recv ~src:0 world in
+        M.send ~dest:0 world (Payload.int 1)
+    | 2 -> M.send ~dest:0 world (Payload.int 2)
+    | _ -> ()
+end
+
+let test_wildcard_sendrecv_explored () =
+  let report = verify ~np:3 (module Wildcard_sendrecv : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check int) "both matches explored" 2 report.Report.interleavings;
+  Alcotest.(check int) "bug found" 1
+    (List.length
+       (List.filter
+          (fun (f : Report.finding) ->
+            match f.Report.error with Report.Crash _ -> true | _ -> false)
+          report.Report.findings))
+
+(* Wildcards on a split communicator: the verifier must keep contexts
+   separate (a late message on one communicator is no alternative for an
+   epoch on another). *)
+module Split_wildcards (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    let rank = M.rank world in
+    let sub = M.comm_split ~color:(rank mod 2) ~key:rank world in
+    (* Within each parity class: member 1 wildcard-receives from both other
+       members... only if the class has 3+ members; with np=6 each class has
+       3. *)
+    (if M.size sub = 3 then
+       match M.rank sub with
+       | 1 ->
+           let a, _ = M.recv ~src:M.any_source sub in
+           let b, _ = M.recv ~src:M.any_source sub in
+           ignore (Payload.to_int a + Payload.to_int b)
+       | r -> M.send ~dest:1 sub (Payload.int (100 + r)));
+    M.comm_free sub
+end
+
+let test_split_contexts_isolated () =
+  let report = verify ~np:6 (module Split_wildcards : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check int) "no findings" 0 (List.length report.Report.findings);
+  (* Each class: 2 wildcard receives with 2 senders -> 2 orders; classes
+     independent: expect > 1 but bounded exploration. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "explores (got %d)" report.Report.interleavings)
+    true
+    (report.Report.interleavings >= 2)
+
+(* A guided wildcard probe: forcing probe matches replays correctly. *)
+module Probe_race (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 ->
+        (* Learn a source via wildcard probe, then receive from it. *)
+        let st = M.probe ~src:M.any_source world in
+        let v, _ = M.recv ~src:st.Types.source world in
+        if Payload.to_int v = 2 then failwith "probe steered to rank 2";
+        (* Drain the other message. *)
+        ignore (M.recv ~src:M.any_source world)
+    | r -> M.send ~dest:0 world (Payload.int r)
+end
+
+let test_probe_epochs_explored () =
+  let report = verify ~np:3 (module Probe_race : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check bool)
+    (Printf.sprintf "probe alternatives explored (got %d)"
+       report.Report.interleavings)
+    true
+    (report.Report.interleavings >= 2);
+  Alcotest.(check int) "probe-dependent bug found" 1
+    (List.length
+       (List.filter
+          (fun (f : Report.finding) ->
+            match f.Report.error with Report.Crash _ -> true | _ -> false)
+          report.Report.findings))
+
+(* Persistent requests: each start is a fresh instrumented post; a wildcard
+   recv_init yields one epoch per activation. *)
+module Persistent (M : Mpi.Mpi_intf.MPI_CORE) = struct
+  let main () =
+    let world = M.comm_world in
+    match M.rank world with
+    | 0 ->
+        let template = M.recv_init ~src:M.any_source world in
+        let seen = ref [] in
+        for _ = 1 to 3 do
+          let req = M.start template in
+          ignore (M.wait req);
+          seen := Payload.to_int (M.recv_data req) :: !seen
+        done;
+        if !seen = [ 1; 2; 1 ] then failwith "persistent order bug"
+    | 1 ->
+        let t = M.send_init ~dest:0 world (Payload.int 1) in
+        ignore (M.waitall (M.startall [ t; t ]))
+    | 2 -> M.send ~dest:0 world (Payload.int 2)
+    | _ -> ()
+end
+
+let test_persistent_requests () =
+  let report = verify ~np:3 (module Persistent : Mpi.Mpi_intf.PROGRAM) in
+  Alcotest.(check bool)
+    (Printf.sprintf "epochs per activation explored (got %d)"
+       report.Report.interleavings)
+    true
+    (report.Report.interleavings >= 3);
+  Alcotest.(check int) "order-dependent bug found" 1
+    (List.length
+       (List.filter
+          (fun (f : Report.finding) ->
+            match f.Report.error with Report.Crash _ -> true | _ -> false)
+          report.Report.findings))
+
+let test_persistent_native () =
+  let rt = Mpi.Runtime.create ~np:2 () in
+  let module B = Mpi.Bind.Make (struct
+    let rt = rt
+  end) in
+  Mpi.Runtime.spawn_ranks rt (fun rank ->
+      let world = B.comm_world in
+      if rank = 0 then begin
+        let t = B.send_init ~tag:3 ~dest:1 world (Payload.int 9) in
+        ignore (B.wait (B.start t));
+        ignore (B.wait (B.start t))
+      end
+      else begin
+        let t = B.recv_init ~src:0 ~tag:3 world in
+        let r1 = B.start t in
+        ignore (B.wait r1);
+        Alcotest.(check int) "first activation" 9
+          (Payload.to_int (B.recv_data r1));
+        let r2 = B.start t in
+        ignore (B.wait r2);
+        Alcotest.(check int) "second activation" 9
+          (Payload.to_int (B.recv_data r2))
+      end);
+  match Mpi.Runtime.run rt with
+  | Sim.Coroutine.All_finished -> ()
+  | _ -> Alcotest.fail "expected completion"
+
+let () =
+  Alcotest.run "interpose"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "record_epoch ticks" `Quick test_record_epoch_ticks;
+          Alcotest.test_case "merge_in" `Quick test_merge_in;
+          Alcotest.test_case "lateness judgement" `Quick
+            test_find_potential_matches_lateness;
+          Alcotest.test_case "spec filtering" `Quick
+            test_find_potential_matches_spec;
+          Alcotest.test_case "prune keeps equal ids" `Quick
+            test_scan_pruning_covers_equal_ids;
+          Alcotest.test_case "bounded mixing window" `Quick
+            test_bounded_mixing_window_math;
+          Alcotest.test_case "initial run unbounded" `Quick
+            test_initial_run_unbounded;
+          Alcotest.test_case "monitor watch set" `Quick test_monitor_watch_set;
+          Alcotest.test_case "pcontrol nesting" `Quick test_pcontrol_nesting;
+          Alcotest.test_case "dual clock lag" `Quick test_dual_clock_lag;
+        ] );
+      ( "schedule-files",
+        [
+          Alcotest.test_case "round trip" `Quick test_schedule_roundtrip;
+          QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "persistent requests (native)" `Quick
+            test_persistent_native;
+          Alcotest.test_case "persistent requests under DAMPI" `Quick
+            test_persistent_requests;
+          Alcotest.test_case "sendrecv + scan under DAMPI" `Quick
+            test_sendrecv_scan_under_dampi;
+          Alcotest.test_case "exscan + reduce_scatter under DAMPI" `Quick
+            test_prefix_collectives_under_dampi;
+          Alcotest.test_case "exscan clock escape monitored" `Quick
+            test_exscan_monitor;
+          Alcotest.test_case "wildcard sendrecv explored" `Quick
+            test_wildcard_sendrecv_explored;
+          Alcotest.test_case "split contexts isolated" `Quick
+            test_split_contexts_isolated;
+          Alcotest.test_case "probe epochs explored" `Quick
+            test_probe_epochs_explored;
+        ] );
+    ]

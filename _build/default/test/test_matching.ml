@@ -1,0 +1,201 @@
+(* Property-based tests of the message-matching engine — the substrate whose
+   non-overtaking discipline the whole verification approach leans on. *)
+
+module Matching = Mpi.Matching
+module Envelope = Mpi.Envelope
+module Request = Mpi.Request
+module Types = Mpi.Types
+module Payload = Mpi.Payload
+
+(* Build an envelope by hand; uid doubles as global arrival order. *)
+let env ~uid ~src ~tag ~seq =
+  {
+    Envelope.uid;
+    src;
+    dst = 0;
+    tag;
+    ctx = 0;
+    seq;
+    payload = Payload.Int uid;
+    send_time = 0.0;
+    sync = false;
+    send_req = -1;
+  }
+
+let recv_req ~uid ~src ~tag =
+  {
+    Request.uid;
+    owner = 0;
+    kind =
+      Request.Recv
+        { src; tag; ctx = 0; posted_as_wildcard = src = Types.any_source };
+    complete = false;
+    released = false;
+    status = None;
+    data = None;
+    arrive_time = 0.0;
+  }
+
+(* Feed a stream of arrivals into a mailbox, per-source seq numbers kept
+   consistent with arrival order (as the runtime does). *)
+let mailbox_of_arrivals srcs_tags =
+  let mbox = Matching.create () in
+  let seqs = Hashtbl.create 8 in
+  List.iteri
+    (fun i (src, tag) ->
+      let seq = Option.value ~default:0 (Hashtbl.find_opt seqs src) in
+      Hashtbl.replace seqs src (seq + 1);
+      match Matching.on_arrival mbox (env ~uid:i ~src ~tag ~seq) with
+      | Matching.Queued -> ()
+      | Matching.Delivered _ -> assert false (* no receives posted *))
+    srcs_tags;
+  mbox
+
+let gen_arrivals =
+  QCheck.(small_list (pair (int_range 0 4) (int_range 0 2)))
+
+let prop_candidates_one_per_source =
+  QCheck.Test.make ~name:"candidates: at most one per source, spec-matching"
+    ~count:300 gen_arrivals
+    (fun arrivals ->
+      let mbox = mailbox_of_arrivals arrivals in
+      let cands =
+        Matching.candidates mbox ~src:Types.any_source ~tag:Types.any_tag ~ctx:0
+      in
+      let srcs = List.map (fun (e : Envelope.t) -> e.Envelope.src) cands in
+      List.length (List.sort_uniq compare srcs) = List.length srcs)
+
+let prop_candidates_earliest_per_source =
+  QCheck.Test.make ~name:"candidates: earliest matching message per source"
+    ~count:300 gen_arrivals
+    (fun arrivals ->
+      let mbox = mailbox_of_arrivals arrivals in
+      let cands =
+        Matching.candidates mbox ~src:Types.any_source ~tag:Types.any_tag ~ctx:0
+      in
+      List.for_all
+        (fun (c : Envelope.t) ->
+          List.for_all
+            (fun (other : Envelope.t) ->
+              other.Envelope.src <> c.Envelope.src
+              || other.Envelope.uid >= c.Envelope.uid)
+            (Matching.unexpected mbox))
+        cands)
+
+let prop_tag_filter =
+  QCheck.Test.make ~name:"candidates: tag spec respected" ~count:300
+    (QCheck.pair gen_arrivals (QCheck.int_range 0 2))
+    (fun (arrivals, tag) ->
+      let mbox = mailbox_of_arrivals arrivals in
+      let cands = Matching.candidates mbox ~src:Types.any_source ~tag ~ctx:0 in
+      List.for_all (fun (e : Envelope.t) -> e.Envelope.tag = tag) cands)
+
+(* Drain a mailbox with wildcard receives that always pick the first
+   candidate: per source, the consumed messages must come out in seq
+   order (non-overtaking). *)
+let prop_non_overtaking_drain =
+  QCheck.Test.make ~name:"drain preserves per-source seq order" ~count:300
+    gen_arrivals
+    (fun arrivals ->
+      let mbox = mailbox_of_arrivals arrivals in
+      let taken = ref [] in
+      let n = List.length arrivals in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let req = recv_req ~uid:(1000 + i) ~src:Types.any_source ~tag:Types.any_tag in
+        match Matching.post_recv mbox req ~choose:List.hd with
+        | Some env -> taken := env :: !taken
+        | None -> ok := false
+      done;
+      let per_source = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Envelope.t) ->
+          let prev =
+            Option.value ~default:(-1) (Hashtbl.find_opt per_source e.Envelope.src)
+          in
+          if e.Envelope.seq <> prev + 1 then ok := false;
+          Hashtbl.replace per_source e.Envelope.src e.Envelope.seq)
+        (List.rev !taken);
+      !ok)
+
+(* Posting then arriving: the earliest posted matching receive wins. *)
+let test_arrival_matches_earliest_posted () =
+  let mbox = Matching.create () in
+  let r1 = recv_req ~uid:1 ~src:Types.any_source ~tag:7 in
+  let r2 = recv_req ~uid:2 ~src:Types.any_source ~tag:Types.any_tag in
+  assert (Matching.post_recv mbox r1 ~choose:List.hd = None);
+  assert (Matching.post_recv mbox r2 ~choose:List.hd = None);
+  (match Matching.on_arrival mbox (env ~uid:0 ~src:3 ~tag:7 ~seq:0) with
+  | Matching.Delivered req ->
+      Alcotest.(check int) "tag-7 message goes to the tag-7 receive" 1
+        req.Request.uid
+  | Matching.Queued -> Alcotest.fail "expected delivery");
+  match Matching.on_arrival mbox (env ~uid:1 ~src:3 ~tag:9 ~seq:1) with
+  | Matching.Delivered req ->
+      Alcotest.(check int) "tag-9 message goes to the wildcard" 2
+        req.Request.uid
+  | Matching.Queued -> Alcotest.fail "expected delivery"
+
+let test_choose_consulted_only_on_ambiguity () =
+  let mbox = Matching.create () in
+  ignore (Matching.on_arrival mbox (env ~uid:0 ~src:1 ~tag:0 ~seq:0));
+  let called = ref false in
+  let choose l =
+    called := true;
+    List.hd l
+  in
+  let r = recv_req ~uid:5 ~src:Types.any_source ~tag:Types.any_tag in
+  ignore (Matching.post_recv mbox r ~choose);
+  Alcotest.(check bool) "single candidate: oracle not consulted" false !called;
+  ignore (Matching.on_arrival mbox (env ~uid:1 ~src:1 ~tag:0 ~seq:1));
+  ignore (Matching.on_arrival mbox (env ~uid:2 ~src:2 ~tag:0 ~seq:0));
+  let r2 = recv_req ~uid:6 ~src:Types.any_source ~tag:Types.any_tag in
+  ignore (Matching.post_recv mbox r2 ~choose);
+  Alcotest.(check bool) "two sources: oracle consulted" true !called
+
+let test_oracle_choice_removed () =
+  let mbox = Matching.create () in
+  ignore (Matching.on_arrival mbox (env ~uid:0 ~src:1 ~tag:0 ~seq:0));
+  ignore (Matching.on_arrival mbox (env ~uid:1 ~src:2 ~tag:0 ~seq:0));
+  let pick_src_2 cands =
+    List.find (fun (e : Envelope.t) -> e.Envelope.src = 2) cands
+  in
+  let r = recv_req ~uid:9 ~src:Types.any_source ~tag:Types.any_tag in
+  (match Matching.post_recv mbox r ~choose:pick_src_2 with
+  | Some e -> Alcotest.(check int) "oracle's pick returned" 2 e.Envelope.src
+  | None -> Alcotest.fail "expected a match");
+  Alcotest.(check int) "only the pick was removed" 1
+    (Matching.unexpected_count mbox);
+  match Matching.unexpected mbox with
+  | [ e ] -> Alcotest.(check int) "src-1 message remains" 1 e.Envelope.src
+  | _ -> Alcotest.fail "unexpected queue shape"
+
+let test_cancel_posted () =
+  let mbox = Matching.create () in
+  let r = recv_req ~uid:3 ~src:0 ~tag:0 in
+  assert (Matching.post_recv mbox r ~choose:List.hd = None);
+  Alcotest.(check int) "posted" 1 (Matching.posted_count mbox);
+  Matching.cancel_posted mbox r;
+  Alcotest.(check int) "cancelled" 0 (Matching.posted_count mbox)
+
+let () =
+  Alcotest.run "matching"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_candidates_one_per_source;
+          QCheck_alcotest.to_alcotest prop_candidates_earliest_per_source;
+          QCheck_alcotest.to_alcotest prop_tag_filter;
+          QCheck_alcotest.to_alcotest prop_non_overtaking_drain;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "earliest posted wins" `Quick
+            test_arrival_matches_earliest_posted;
+          Alcotest.test_case "oracle consulted only on ambiguity" `Quick
+            test_choose_consulted_only_on_ambiguity;
+          Alcotest.test_case "oracle choice removed from queue" `Quick
+            test_oracle_choice_removed;
+          Alcotest.test_case "cancel posted" `Quick test_cancel_posted;
+        ] );
+    ]

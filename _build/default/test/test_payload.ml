@@ -1,0 +1,148 @@
+(* Property tests for payloads and reduction operators — the value algebra
+   collectives compute over. *)
+
+module Payload = Mpi.Payload
+module Types = Mpi.Types
+
+let gen_scalar =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Payload.Int n) (int_range (-1000) 1000);
+        map (fun f -> Payload.Float (float_of_int f /. 8.0)) (int_range (-800) 800);
+      ])
+
+(* Shallow random payloads: scalars, pairs, small int arrays. *)
+let gen_payload =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_scalar;
+        map2 (fun a b -> Payload.Pair (a, b)) gen_scalar gen_scalar;
+        map
+          (fun l -> Payload.Arr (Array.of_list (List.map (fun n -> Payload.Int n) l)))
+          (list_size (int_range 1 5) (int_range (-100) 100));
+        map (fun s -> Payload.Str s) (string_size (int_range 0 12));
+        return Payload.Unit;
+      ])
+
+let payload = QCheck.make ~print:(Format.asprintf "%a" Payload.pp) gen_payload
+
+let int_arr =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 6) (int_range (-100) 100))
+
+let arr_of l = Payload.Arr (Array.of_list (List.map (fun n -> Payload.Int n) l))
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"equal is reflexive" ~count:300 payload (fun p ->
+      Payload.equal p p)
+
+let prop_size_nonneg =
+  QCheck.Test.make ~name:"size_bytes >= 0" ~count:300 payload (fun p ->
+      Payload.size_bytes p >= 0)
+
+let prop_pair_size_additive =
+  QCheck.Test.make ~name:"pair size is additive" ~count:300
+    (QCheck.pair payload payload)
+    (fun (a, b) ->
+      Payload.size_bytes (Payload.Pair (a, b))
+      = Payload.size_bytes a + Payload.size_bytes b)
+
+(* Reduction laws on same-length int arrays (the shapes collectives use). *)
+let combine_ints op a b =
+  match Payload.combine op (arr_of a) (arr_of b) with
+  | Payload.Arr r -> Array.to_list (Array.map Payload.to_int r)
+  | _ -> assert false
+
+let same_len (a, b) =
+  let n = min (List.length a) (List.length b) in
+  let take l = List.filteri (fun i _ -> i < n) l in
+  (take a, take b)
+
+let prop_sum_commutative =
+  QCheck.Test.make ~name:"sum commutes" ~count:300 (QCheck.pair int_arr int_arr)
+    (fun p ->
+      let a, b = same_len p in
+      a = [] || combine_ints Types.Sum a b = combine_ints Types.Sum b a)
+
+let prop_max_associative =
+  QCheck.Test.make ~name:"max associates" ~count:300
+    (QCheck.triple int_arr int_arr int_arr)
+    (fun (a, b, c) ->
+      let n = min (List.length a) (min (List.length b) (List.length c)) in
+      let take l = List.filteri (fun i _ -> i < n) l in
+      let a = take a and b = take b and c = take c in
+      a = []
+      || combine_ints Types.Max (combine_ints Types.Max a b) c
+         = combine_ints Types.Max a (combine_ints Types.Max b c))
+
+let prop_max_idempotent =
+  QCheck.Test.make ~name:"max idempotent" ~count:300 int_arr (fun a ->
+      combine_ints Types.Max a a = a)
+
+let prop_min_le_max =
+  QCheck.Test.make ~name:"min <= max pointwise" ~count:300
+    (QCheck.pair int_arr int_arr)
+    (fun p ->
+      let a, b = same_len p in
+      a = []
+      || List.for_all2 ( <= )
+           (combine_ints Types.Min a b)
+           (combine_ints Types.Max a b))
+
+let prop_logical_ops_boolean =
+  QCheck.Test.make ~name:"land/lor produce 0/1" ~count:300
+    (QCheck.pair int_arr int_arr)
+    (fun p ->
+      let a, b = same_len p in
+      a = []
+      || List.for_all
+           (fun v -> v = 0 || v = 1)
+           (combine_ints Types.Land a b @ combine_ints Types.Lor a b))
+
+let test_combine_length_mismatch () =
+  Alcotest.check_raises "length mismatch rejected"
+    (Types.Mpi_error "Payload.combine: array length mismatch (2 vs 3)")
+    (fun () -> ignore (Payload.combine Types.Sum (arr_of [ 1; 2 ]) (arr_of [ 1; 2; 3 ])))
+
+let test_numeric_promotion () =
+  match Payload.combine Types.Sum (Payload.Int 1) (Payload.Float 2.5) with
+  | Payload.Float f -> Alcotest.(check (float 1e-9)) "int+float promotes" 3.5 f
+  | _ -> Alcotest.fail "expected float"
+
+let test_destructor_errors () =
+  Alcotest.(check bool) "to_int rejects strings" true
+    (try
+       ignore (Payload.to_int (Payload.Str "x"));
+       false
+     with Types.Mpi_error _ -> true);
+  Alcotest.(check bool) "to_arr rejects scalars" true
+    (try
+       ignore (Payload.to_arr (Payload.Int 1));
+       false
+     with Types.Mpi_error _ -> true)
+
+let () =
+  Alcotest.run "payload"
+    [
+      ( "structure",
+        [
+          QCheck_alcotest.to_alcotest prop_equal_reflexive;
+          QCheck_alcotest.to_alcotest prop_size_nonneg;
+          QCheck_alcotest.to_alcotest prop_pair_size_additive;
+          Alcotest.test_case "destructor errors" `Quick test_destructor_errors;
+        ] );
+      ( "reduction-laws",
+        [
+          QCheck_alcotest.to_alcotest prop_sum_commutative;
+          QCheck_alcotest.to_alcotest prop_max_associative;
+          QCheck_alcotest.to_alcotest prop_max_idempotent;
+          QCheck_alcotest.to_alcotest prop_min_le_max;
+          QCheck_alcotest.to_alcotest prop_logical_ops_boolean;
+          Alcotest.test_case "length mismatch" `Quick
+            test_combine_length_mismatch;
+          Alcotest.test_case "numeric promotion" `Quick test_numeric_promotion;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Randomized soak test: generate deadlock-free-by-construction random MPI
+   programs, push them through full DAMPI verification, and check the
+   verifier's own invariants.
+
+   Construction: draw a global sequence of events (sends, wildcard
+   receives, barriers). Each rank executes its projection in global order;
+   every receive's matching send is strictly earlier in the global order,
+   and every receive is a wildcard on a common tag. Then:
+
+   - any matching order can complete (counting argument), so {e every}
+     explored interleaving must finish — no deadlock, no crash;
+   - verification must be deterministic: two runs agree exactly;
+   - Lamport exploration is a subset of vector exploration (soundness of
+     the scalar under-approximation). *)
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+module Payload = Mpi.Payload
+
+type event = Send of { src : int; dst : int } | Recv of { dst : int } | Barrier
+
+(* A random deadlock-free script over [np] ranks: maintain a per-rank count
+   of messages in flight to it; a Recv event for rank d is only emitted when
+   pending(d) > 0. *)
+let gen_script ~np ~len rng =
+  let pending = Array.make np 0 in
+  let events = ref [] in
+  for _ = 1 to len do
+    let roll = Sim.Splitmix.int rng 10 in
+    if roll < 6 then begin
+      let src = Sim.Splitmix.int rng np in
+      let dst = (src + 1 + Sim.Splitmix.int rng (np - 1)) mod np in
+      pending.(dst) <- pending.(dst) + 1;
+      events := Send { src; dst } :: !events
+    end
+    else if roll < 9 then begin
+      (* receive somewhere a message is pending *)
+      let candidates =
+        List.filter (fun d -> pending.(d) > 0) (List.init np Fun.id)
+      in
+      match candidates with
+      | [] -> ()
+      | l ->
+          let dst = List.nth l (Sim.Splitmix.int rng (List.length l)) in
+          pending.(dst) <- pending.(dst) - 1;
+          events := Recv { dst } :: !events
+    end
+    else events := Barrier :: !events
+  done;
+  (* Drain every remaining pending message so no run can leak requests. *)
+  Array.iteri
+    (fun d n ->
+      for _ = 1 to n do
+        events := Recv { dst = d } :: !events
+      done)
+    pending;
+  List.rev !events
+
+(* Turn a script into a program functor. *)
+let program_of_script ~np script : Mpi.Mpi_intf.program =
+  (module functor (M : Mpi.Mpi_intf.MPI_CORE) ->
+  struct
+    let main () =
+      let world = M.comm_world in
+      let me = M.rank world in
+      ignore np;
+      List.iter
+        (fun ev ->
+          match ev with
+          | Send { src; dst } ->
+              if me = src then M.send ~dest:dst world (Payload.int src)
+          | Recv { dst } ->
+              if me = dst then ignore (M.recv ~src:M.any_source world)
+          | Barrier -> M.barrier world)
+        script
+  end)
+
+let verify_with ~clock ~np program =
+  Explorer.verify
+    ~config:
+      {
+        Explorer.default_config with
+        state_config = State.make_config ~clock ();
+        max_runs = 400;
+      }
+    ~np program
+
+let lamport = (module Clocks.Lamport : Clocks.Clock_intf.S)
+let vector = (module Clocks.Vector : Clocks.Clock_intf.S)
+
+let gen_case =
+  QCheck.make
+    ~print:(fun (seed, np, len) -> Printf.sprintf "seed=%d np=%d len=%d" seed np len)
+    QCheck.Gen.(
+      triple (int_bound 10_000) (int_range 2 5) (int_range 4 24))
+
+let build (seed, np, len) =
+  let rng = Sim.Splitmix.create seed in
+  let script = gen_script ~np ~len rng in
+  program_of_script ~np script
+
+let prop_all_interleavings_clean =
+  QCheck.Test.make ~name:"every explored interleaving finishes cleanly"
+    ~count:60 gen_case
+    (fun ((_, np, _) as case) ->
+      let report = verify_with ~clock:lamport ~np (build case) in
+      report.Report.findings = [])
+
+let prop_verification_deterministic =
+  QCheck.Test.make ~name:"verification is deterministic" ~count:40 gen_case
+    (fun ((_, np, _) as case) ->
+      let r1 = verify_with ~clock:lamport ~np (build case) in
+      let r2 = verify_with ~clock:lamport ~np (build case) in
+      r1.Report.interleavings = r2.Report.interleavings
+      && r1.Report.wildcards_analyzed = r2.Report.wildcards_analyzed
+      && r1.Report.first_run_makespan = r2.Report.first_run_makespan)
+
+let prop_lamport_subset_of_vector =
+  QCheck.Test.make
+    ~name:"lamport explores no more than vector (soundness of the scalar)"
+    ~count:40 gen_case
+    (fun ((_, np, _) as case) ->
+      let lam = verify_with ~clock:lamport ~np (build case) in
+      let vec = verify_with ~clock:vector ~np (build case) in
+      (* Vector lateness is exact; Lamport under-approximates it, so Lamport
+         can only discover fewer (or equal) alternatives. Comparisons are
+         only meaningful below the run cap. *)
+      lam.Report.interleavings > 350 || vec.Report.interleavings > 350
+      || lam.Report.interleavings <= vec.Report.interleavings)
+
+let prop_dual_clock_clean_too =
+  QCheck.Test.make ~name:"dual-clock mode also verifies clean" ~count:30
+    gen_case
+    (fun ((_, np, _) as case) ->
+      let report =
+        Explorer.verify
+          ~config:
+            {
+              Explorer.default_config with
+              state_config = State.make_config ~dual_clock:true ();
+              max_runs = 400;
+            }
+          ~np (build case)
+      in
+      report.Report.findings = [])
+
+let prop_native_matches_self_run =
+  QCheck.Test.make
+    ~name:"instrumented self run preserves the native outcome" ~count:60
+    gen_case
+    (fun ((_, np, _) as case) ->
+      let program = build case in
+      let _, outcome = Mpi.Bind.exec ~np program in
+      let record =
+        Explorer.replay ~config:Explorer.default_config ~np program
+          (Dampi.Decisions.empty ~np)
+      in
+      match (outcome, record.Report.outcome) with
+      | Sim.Coroutine.All_finished, Sim.Coroutine.All_finished -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "random-programs",
+        [
+          QCheck_alcotest.to_alcotest prop_all_interleavings_clean;
+          QCheck_alcotest.to_alcotest prop_verification_deterministic;
+          QCheck_alcotest.to_alcotest prop_lamport_subset_of_vector;
+          QCheck_alcotest.to_alcotest prop_dual_clock_clean_too;
+          QCheck_alcotest.to_alcotest prop_native_matches_self_run;
+        ] );
+    ]

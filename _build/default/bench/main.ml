@@ -368,6 +368,110 @@ let ablation_mixing () =
         (explore_count ~np:6 ~k ~max_runs:50_000 program))
     [ Some 0; Some 1; Some 2; Some 3; Some 4; None ]
 
+(* ---- Parallel exploration scaling (SS IV: decentralized replays are
+   independent, so the cluster-level concurrency of the paper maps onto a
+   pool of OCaml domains here). Emits BENCH_parallel_explore.json. ---- *)
+
+let parallel_explore () =
+  heading
+    "Parallel exploration -- wall-clock scaling of domain-parallel guided \
+     replays (matmult exhaustive, adlb k=1)";
+  pf "(host has %d recommended domain(s); speedup above that count is \
+      bounded by the hardware)\n"
+    (Domain.recommended_domain_count ());
+  let scenarios =
+    [
+      ( "matmult",
+        6,
+        None,
+        max_int,
+        fun () ->
+          Workloads.Matmult.program
+            ~params:
+              { Workloads.Matmult.default_params with n = 8; rows_per_task = 1 }
+            () );
+      ( "adlb",
+        8,
+        Some 1,
+        2_000,
+        fun () -> Workloads.Adlb.program () );
+    ]
+  in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let all_results =
+    List.map
+      (fun (name, np, k, max_runs, build) ->
+        pf "\n%-10s np=%d %s\n" name np
+          (match k with
+          | None -> "(unbounded, exhaustive)"
+          | Some k -> Printf.sprintf "(mixing bound k=%d, max-runs %d)" k max_runs);
+        pf "%6s %14s %10s %12s %9s %12s\n" "jobs" "interleavings" "findings"
+          "wall-s" "speedup" "queue-waits";
+        let state_config = State.make_config ?mixing_bound:k () in
+        let rows =
+          List.map
+            (fun jobs ->
+              let report =
+                Explorer.verify
+                  ~config:
+                    {
+                      Explorer.default_config with
+                      state_config;
+                      max_runs;
+                      jobs;
+                    }
+                  ~np (build ())
+              in
+              (jobs, report))
+            jobs_list
+        in
+        let base_wall =
+          match rows with (_, r) :: _ -> r.Report.host_seconds | [] -> 0.0
+        in
+        List.iter
+          (fun (jobs, (r : Report.t)) ->
+            let waits =
+              List.fold_left
+                (fun acc (w : Report.worker_stat) -> acc + w.Report.queue_waits)
+                0 r.Report.workers
+            in
+            pf "%6d %14d %10d %12.3f %8.2fx %12d\n%!" jobs
+              r.Report.interleavings
+              (List.length r.Report.findings)
+              r.Report.host_seconds
+              (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+              waits)
+          rows;
+        (name, np, max_runs, base_wall, rows))
+      scenarios
+  in
+  let path = "BENCH_parallel_explore.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"parallel_explore\",\n  \"scenarios\": [\n";
+  let ns = List.length all_results in
+  List.iteri
+    (fun si (name, np, max_runs, base_wall, rows) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"np\": %d, \"max_runs\": %d, \"results\": [\n"
+        name np max_runs;
+      let nr = List.length rows in
+      List.iteri
+        (fun ri (jobs, (r : Report.t)) ->
+          Printf.fprintf oc
+            "      {\"jobs\": %d, \"interleavings\": %d, \"findings\": %d, \
+             \"wall_seconds\": %.6f, \"speedup\": %.4f}%s\n"
+            jobs r.Report.interleavings
+            (List.length r.Report.findings)
+            r.Report.host_seconds
+            (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+            (if ri = nr - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    ]}%s\n" (if si = ns - 1 then "" else ","))
+    all_results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  pf "\nresults written to %s\n" path
+
 (* ---- Bechamel microbenchmarks of the substrate ---- *)
 
 let micro () =
@@ -452,7 +556,8 @@ let micro () =
 let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
-    \                 ablation-piggyback|ablation-mixing|micro] [--np N]\n"
+    \                 ablation-piggyback|ablation-mixing|parallel|micro] \
+     [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -482,6 +587,7 @@ let () =
     | "ablation-piggyback" -> ablation_piggyback ()
     | "ablation-random" -> ablation_random ()
     | "ablation-mixing" -> ablation_mixing ()
+    | "parallel" -> parallel_explore ()
     | "micro" -> micro ()
     | "all" ->
         fig5 ();
@@ -493,7 +599,8 @@ let () =
         ablation_clocks ();
         ablation_piggyback ();
         ablation_random ();
-        ablation_mixing ()
+        ablation_mixing ();
+        parallel_explore ()
     | other ->
         pf "unknown command %S\n" other;
         usage ();

@@ -114,7 +114,7 @@ let list_cmd =
 (* ---- verify command ---- *)
 
 let verify_run workload np clock_name mixing_bound max_runs engine dual
-    stop_first quiet dump_schedule =
+    stop_first quiet dump_schedule jobs =
   match find_entry workload with
   | None ->
       Printf.eprintf
@@ -145,11 +145,13 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                   state_config;
                   max_runs;
                   stop_on_first_error = stop_first;
+                  jobs;
                 }
               ~np program
         | "isp" ->
             Isp.Engine.verify
-              ~config:{ Isp.Engine.default_config with state_config; max_runs }
+              ~config:
+                { Isp.Engine.default_config with state_config; max_runs; jobs }
               ~np program
         | other ->
             Printf.eprintf "unknown engine %S (dampi|isp)\n" other;
@@ -236,6 +238,15 @@ let verify_cmd =
             "Write the first finding's reproduction schedule (an \
              Epoch-Decisions file) to $(docv); replay it with $(b,replay).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains exploring interleavings in parallel (guided \
+             replays are independent re-executions, so any $(docv) finds \
+             the same interleavings and findings on an exhaustive search).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -243,7 +254,7 @@ let verify_cmd =
           matches. Exits 1 if errors were found.")
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
-      $ dual $ stop_first $ quiet $ dump_schedule)
+      $ dual $ stop_first $ quiet $ dump_schedule $ jobs)
 
 (* ---- replay command ---- *)
 
@@ -363,12 +374,122 @@ let trace_cmd =
        ~doc:"Run a workload natively and print its message-flow trace.")
     Term.(const trace_run $ workload $ np $ limit)
 
+(* ---- bench command: parallel-exploration scaling ---- *)
+
+let bench_run workload np mixing_bound max_runs jobs_list output =
+  match find_entry workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 2
+  | Some entry ->
+      let np = match np with Some np -> np | None -> entry.default_np in
+      let state_config = State.make_config ?mixing_bound () in
+      let measure jobs =
+        let program = entry.build () in
+        let report =
+          Explorer.verify
+            ~config:
+              { Explorer.default_config with state_config; max_runs; jobs }
+            ~np program
+        in
+        (jobs, report)
+      in
+      let results = List.map measure jobs_list in
+      let base_wall =
+        match results with
+        | (_, r) :: _ -> r.Report.host_seconds
+        | [] -> 0.0
+      in
+      Printf.printf "parallel exploration scaling: %s np=%d max-runs=%d\n"
+        entry.key np max_runs;
+      Printf.printf "%6s %14s %10s %12s %9s\n" "jobs" "interleavings"
+        "findings" "wall-s" "speedup";
+      List.iter
+        (fun (jobs, (r : Report.t)) ->
+          Printf.printf "%6d %14d %10d %12.3f %8.2fx\n%!" jobs
+            r.Report.interleavings
+            (List.length r.Report.findings)
+            r.Report.host_seconds
+            (base_wall /. Float.max 1e-9 r.Report.host_seconds))
+        results;
+      (match output with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Printf.fprintf oc
+            "{\n  \"bench\": \"parallel_explore\",\n  \"workload\": %S,\n\
+            \  \"np\": %d,\n  \"max_runs\": %d,\n  \"results\": [\n" entry.key
+            np max_runs;
+          let n = List.length results in
+          List.iteri
+            (fun i (jobs, (r : Report.t)) ->
+              Printf.fprintf oc
+                "    {\"jobs\": %d, \"interleavings\": %d, \"findings\": %d, \
+                 \"wall_seconds\": %.6f, \"total_virtual_seconds\": %.6f, \
+                 \"speedup\": %.4f}%s\n"
+                jobs r.Report.interleavings
+                (List.length r.Report.findings)
+                r.Report.host_seconds r.Report.total_virtual_time
+                (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+                (if i = n - 1 then "" else ","))
+            results;
+          Printf.fprintf oc "  ]\n}\n";
+          close_out oc;
+          Printf.printf "results written to %s\n" path)
+
+let bench_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to benchmark (see $(b,list)).")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+  in
+  let mixing =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "mixing-bound" ] ~docv:"K"
+          ~doc:"Bounded-mixing window (default: unbounded).")
+  in
+  let max_runs =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-runs" ] ~docv:"N" ~doc:"Interleaving budget.")
+  in
+  let jobs_list =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "j"; "jobs" ] ~docv:"N,..."
+          ~doc:"Comma-separated worker-domain counts to sweep.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure wall-clock scaling of parallel interleaving exploration \
+          over a sweep of worker-domain counts.")
+    Term.(
+      const bench_run $ workload $ np $ mixing $ max_runs $ jobs_list $ output)
+
 let main =
   Cmd.group
     (Cmd.info "dampi" ~version:"1.0.0"
        ~doc:
          "Distributed Analyzer for MPI programs — dynamic formal verification \
           over a simulated MPI runtime (SC'10 reproduction).")
-    [ list_cmd; verify_cmd; replay_cmd; trace_cmd ]
+    [ list_cmd; verify_cmd; replay_cmd; trace_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,1 +1,1 @@
-lib/dampi/explorer.ml: Array Decisions Epoch Hashtbl Interpose List Mpi Printexc Printf Report Sim State Unix
+lib/dampi/explorer.ml: Array Atomic Decisions Epoch Hashtbl Interpose List Mpi Mutex Printexc Printf Report Scheduler Sim State Unix

@@ -1,0 +1,1 @@
+lib/dampi/scheduler.ml: Array Condition Domain Fun List Mutex

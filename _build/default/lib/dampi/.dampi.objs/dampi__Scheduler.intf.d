@@ -1,0 +1,1 @@
+lib/dampi/scheduler.mli:

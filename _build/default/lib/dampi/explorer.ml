@@ -21,6 +21,7 @@ type config = {
   max_runs : int;  (** interleaving budget; [max_int] = exhaustive *)
   check_leaks : bool;
   stop_on_first_error : bool;
+  jobs : int;  (** worker domains; 1 = sequential depth-first walk *)
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     max_runs = max_int;
     check_leaks = true;
     stop_on_first_error = false;
+    jobs = 1;
   }
 
 type runner = Decisions.plan -> fork_index:int -> Report.run_record
@@ -140,30 +142,81 @@ let native_makespan ?(cost = Runtime.default_cost) ~np program =
   let rt, _outcome = Mpi.Bind.exec ~cost ~np program in
   Runtime.makespan rt
 
-(* ---- Depth-first walk over epoch decisions ---- *)
+(* ---- The walk over epoch decisions ---- *)
 
-type frame = {
+(* One pending guided run: the observed prefix up to a fork, plus the single
+   alternate match to force there. Expanding a frontier into one item per
+   alternative (rather than one frame per epoch with an [untried] list)
+   keeps the work-queue items immutable, which is what lets a pool of
+   domains consume them without sharing any per-frame mutable state. *)
+type item = {
   prefix : Decisions.decision list;  (* observed matches before the fork *)
-  fork_owner : int;
-  fork_id : int;
-  fork_kind : Epoch.kind;
-  mutable untried : int list;
+  choice : Decisions.decision;  (* the alternate match this run forces *)
 }
 
 let rec take n = function
   | [] -> []
   | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
+(* The child frontier of [record]: one item per unexplored alternative of
+   each expandable epoch, deepest epoch first and alternatives in ascending
+   order. Under a LIFO queue with one worker this visits exactly the same
+   depth-first order as the original recursive walk: the deepest fork's
+   first alternative runs next, and its whole subtree is exhausted before
+   the second alternative starts. *)
+let items_of_record (record : Report.run_record) ~plan_decisions =
+  let observed =
+    List.map
+      (fun (e : Epoch.t) ->
+        Decisions.decision_of_epoch e ~src:e.Epoch.matched_src)
+      record.Report.new_epochs
+  in
+  let batches =
+    List.mapi
+      (fun i (e : Epoch.t) ->
+        if not e.Epoch.expandable then []
+        else
+          List.map
+            (fun alt ->
+              {
+                prefix = plan_decisions @ take i observed;
+                choice =
+                  {
+                    Decisions.owner = e.Epoch.owner;
+                    epoch_id = e.Epoch.id;
+                    src = alt;
+                    kind = e.Epoch.kind;
+                  };
+              })
+            (Epoch.alternatives e))
+      record.Report.new_epochs
+  in
+  List.concat (List.rev batches)
+
+(* Sequential and parallel exploration share this one loop: the frontier
+   lives in a Scheduler work queue, and each executed item is a complete
+   guided replay (fresh Runtime + State inside [runner], so workers share
+   no mutable state beyond the queue and the findings table). Findings
+   merge under [m] keyed by error signature, keeping the canonically
+   smallest reproduction schedule, and the report sorts findings by
+   schedule — so the finding set, interleaving count, and bounded-epoch
+   count are identical at any worker count (on an exhaustive exploration;
+   a binding [max_runs] budget selects a worker-order-dependent subset of
+   runs by nature). *)
 let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   let started = Unix.gettimeofday () in
-  let stack = ref [] in
+  let jobs = max 1 config.jobs in
+  let m = Mutex.create () in
   let findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
   let total_vtime = ref 0.0 in
-  let first_makespan = ref 0.0 in
-  let wildcards_analyzed = ref 0 in
   let monitor_alerts = ref 0 in
   let bounded = ref 0 in
+  let error_found = Atomic.make false in
+  let worker_runs = Array.make jobs 0 in
+  let worker_wall = Array.make jobs 0.0 in
+  let worker_vtime = Array.make jobs 0.0 in
+  (* Caller holds [m]. *)
   let record_findings (record : Report.run_record) ~run_index ~schedule =
     List.iter
       (fun error ->
@@ -171,108 +224,102 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
         | Report.Monitor_alert _ -> incr monitor_alerts
         | _ -> ());
         let key = Report.error_signature error in
-        if not (Hashtbl.mem findings key) then
-          Hashtbl.replace findings key { Report.error; run_index; schedule })
+        let candidate = { Report.error; run_index; schedule } in
+        match Hashtbl.find_opt findings key with
+        | None -> Hashtbl.replace findings key candidate
+        | Some kept ->
+            if Report.compare_schedule schedule kept.Report.schedule < 0 then
+              Hashtbl.replace findings key candidate)
       record.Report.run_errors
   in
-  (* Push one frame per expandable epoch of [record], deepest last so the
-     stack pops the last decision first. *)
-  let push_frames (record : Report.run_record) ~plan_decisions =
-    let observed =
-      List.map
-        (fun (e : Epoch.t) ->
-          Decisions.decision_of_epoch e ~src:e.Epoch.matched_src)
-        record.Report.new_epochs
-    in
-    List.iteri
-      (fun i (e : Epoch.t) ->
-        if not e.Epoch.expandable then incr bounded;
-        if e.Epoch.expandable then
-          match Epoch.alternatives e with
-          | [] -> ()
-          | alts ->
-              stack :=
-                {
-                  prefix = plan_decisions @ take i observed;
-                  fork_owner = e.Epoch.owner;
-                  fork_id = e.Epoch.id;
-                  fork_kind = e.Epoch.kind;
-                  untried = alts;
-                }
-                :: !stack)
-      record.Report.new_epochs
-  in
-  let run_one plan ~fork_index ~schedule =
+  let run_one plan ~fork_index ~schedule ~worker =
+    let t0 = Unix.gettimeofday () in
     let record = runner plan ~fork_index in
+    let wall = Unix.gettimeofday () -. t0 in
+    Mutex.lock m;
     let index = !runs in
     incr runs;
     total_vtime := !total_vtime +. record.Report.makespan;
+    worker_runs.(worker) <- worker_runs.(worker) + 1;
+    worker_wall.(worker) <- worker_wall.(worker) +. wall;
+    worker_vtime.(worker) <- worker_vtime.(worker) +. record.Report.makespan;
+    List.iter
+      (fun (e : Epoch.t) -> if not e.Epoch.expandable then incr bounded)
+      record.Report.new_epochs;
     record_findings record ~run_index:index ~schedule;
+    if
+      List.exists
+        (function Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
+        record.Report.run_errors
+    then Atomic.set error_found true;
+    Mutex.unlock m;
     record
   in
-  (* Initial self run. *)
+  (* Initial self run, on the calling domain. *)
   let initial =
-    run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
+    run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[] ~worker:0
   in
-  first_makespan := initial.Report.makespan;
-  wildcards_analyzed := initial.Report.wildcards;
-  push_frames initial ~plan_decisions:[];
-  let errors_found () =
-    Hashtbl.fold
-      (fun _ (f : Report.finding) acc ->
-        acc
-        ||
-        match f.Report.error with
-        | Report.Deadlock _ | Report.Crash _ -> true
-        | _ -> false)
-      findings false
+  let sched_stats =
+    if
+      !runs >= config.max_runs
+      || (config.stop_on_first_error && Atomic.get error_found)
+    then []
+    else begin
+      let sched =
+        Scheduler.create ~order:Scheduler.Lifo ~jobs
+          ~budget:(config.max_runs - !runs)
+          ()
+      in
+      Scheduler.push_batch sched (items_of_record initial ~plan_decisions:[]);
+      Scheduler.run sched (fun ~worker it ->
+          let decisions = it.prefix @ [ it.choice ] in
+          let plan = Decisions.of_decisions ~np decisions in
+          let record =
+            run_one plan
+              ~fork_index:(List.length decisions - 1)
+              ~schedule:decisions ~worker
+          in
+          if config.stop_on_first_error && Atomic.get error_found then begin
+            Scheduler.cancel sched;
+            []
+          end
+          else items_of_record record ~plan_decisions:decisions);
+      Scheduler.stats sched
+    end
   in
-  let rec loop () =
-    if !runs >= config.max_runs then ()
-    else if config.stop_on_first_error && errors_found () then ()
-    else
-      match !stack with
-      | [] -> ()
-      | frame :: rest -> (
-          match frame.untried with
-          | [] ->
-              stack := rest;
-              loop ()
-          | alt :: more ->
-              frame.untried <- more;
-              let decisions =
-                frame.prefix
-                @ [
-                    {
-                      Decisions.owner = frame.fork_owner;
-                      epoch_id = frame.fork_id;
-                      src = alt;
-                      kind = frame.fork_kind;
-                    };
-                  ]
-              in
-              let plan = Decisions.of_decisions ~np decisions in
-              let record =
-                run_one plan
-                  ~fork_index:(List.length decisions - 1)
-                  ~schedule:decisions
-              in
-              push_frames record ~plan_decisions:decisions;
-              loop ())
+  let workers =
+    List.init jobs (fun i ->
+        let queue_waits =
+          match
+            List.find_opt
+              (fun (ws : Scheduler.worker_stats) -> ws.Scheduler.worker_id = i)
+              sched_stats
+          with
+          | Some ws -> ws.Scheduler.queue_waits
+          | None -> 0
+        in
+        {
+          Report.worker_id = i;
+          runs_executed = worker_runs.(i);
+          queue_waits;
+          wall_seconds = worker_wall.(i);
+          virtual_seconds = worker_vtime.(i);
+        })
   in
-  loop ();
   {
     Report.np;
     interleavings = !runs;
     findings =
       Hashtbl.fold (fun _ f acc -> f :: acc) findings []
-      |> List.sort (fun a b -> compare a.Report.run_index b.Report.run_index);
-    wildcards_analyzed = !wildcards_analyzed;
-    first_run_makespan = !first_makespan;
+      |> List.sort Report.compare_finding;
+    wildcards_analyzed = initial.Report.wildcards;
+    first_run_makespan = initial.Report.makespan;
     total_virtual_time = !total_vtime;
     monitor_alerts = !monitor_alerts;
     bounded_epochs = !bounded;
     host_seconds = Unix.gettimeofday () -. started;
+    jobs;
+    workers;
   }
 
 (** Verify [program] on [np] simulated ranks under DAMPI. *)

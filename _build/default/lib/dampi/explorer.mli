@@ -11,7 +11,14 @@ type config = {
   max_runs : int;  (** interleaving budget; [max_int] = exhaustive *)
   check_leaks : bool;
   stop_on_first_error : bool;
-      (** stop after the first deadlock/crash finding *)
+      (** stop after the first deadlock/crash finding (cooperative in
+          parallel mode: in-flight replays complete, queued work is dropped) *)
+  jobs : int;
+      (** worker domains running guided replays concurrently; 1 (default)
+          keeps the sequential depth-first walk. Every replay is a full
+          independent re-execution, so on an exhaustive exploration the
+          finding-signature set, interleaving count, and bounded-epoch count
+          are identical at any worker count. *)
 }
 
 val default_config : config
@@ -30,8 +37,11 @@ val native_makespan :
 (** Virtual makespan of an uninstrumented run — the overhead baseline. *)
 
 val explore : ?config:config -> np:int -> runner -> Report.t
-(** Depth-first walk over epoch decisions, generic in the runner (the ISP
-    baseline reuses it with its own cost model). *)
+(** Walk over epoch decisions, generic in the runner (the ISP baseline
+    reuses it with its own cost model). With [config.jobs = 1] this is the
+    depth-first walk of the paper; with more jobs the frontier is served to
+    a pool of domains (see {!Scheduler}), each executing complete guided
+    replays. *)
 
 val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Report.t
 (** [verify ~np program] — the main entry point: DAMPI verification of

@@ -55,6 +55,40 @@ type finding = {
   schedule : Decisions.decision list;  (** forced matches reproducing it *)
 }
 
+(* Canonical total order on schedules: shallower forks first, then
+   lexicographic on the forced decisions. Execution-order independent, so
+   sequential and parallel exploration canonicalize findings identically. *)
+let compare_decision (a : Decisions.decision) (b : Decisions.decision) =
+  compare
+    (a.Decisions.owner, a.Decisions.epoch_id, a.Decisions.src, a.Decisions.kind)
+    (b.Decisions.owner, b.Decisions.epoch_id, b.Decisions.src, b.Decisions.kind)
+
+let rec compare_schedule_lex a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare_decision x y in
+      if c <> 0 then c else compare_schedule_lex xs ys
+
+let compare_schedule a b =
+  let c = compare (List.length a) (List.length b) in
+  if c <> 0 then c else compare_schedule_lex a b
+
+let compare_finding a b =
+  let c = compare_schedule a.schedule b.schedule in
+  if c <> 0 then c else compare (error_signature a.error) (error_signature b.error)
+
+(** Per-worker exploration counters (parallel mode, §IV scaling). *)
+type worker_stat = {
+  worker_id : int;
+  runs_executed : int;  (** replays this worker ran (worker 0 owns the self run) *)
+  queue_waits : int;  (** times the worker blocked on an empty work queue *)
+  wall_seconds : float;  (** host time spent inside the runner *)
+  virtual_seconds : float;  (** summed virtual makespans of its replays *)
+}
+
 (** Result of a whole verification (all explored interleavings). *)
 type t = {
   np : int;
@@ -68,6 +102,8 @@ type t = {
       (** epochs whose exploration a heuristic suppressed (loop abstraction
           or bounded mixing) *)
   host_seconds : float;  (** wall-clock cost of the exploration itself *)
+  jobs : int;  (** worker domains the exploration ran on *)
+  workers : worker_stat list;  (** per-worker counters, worker-id order *)
 }
 
 let has_errors t =
@@ -89,11 +125,21 @@ let pp_finding ppf f =
             f.schedule));
   Format.fprintf ppf "@]"
 
+let pp_worker_stat ppf w =
+  Format.fprintf ppf
+    "worker %d: %d runs, %d queue waits, %.3fs wall, %.6fs virtual"
+    w.worker_id w.runs_executed w.queue_waits w.wall_seconds w.virtual_seconds
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>verification of %d ranks:@ interleavings explored: %d@ wildcard \
      events analyzed (R*): %d@ findings: %d@ %a@ initial-run virtual time: \
-     %.6fs@ total virtual time: %.6fs@ host time: %.3fs@]"
+     %.6fs@ total virtual time: %.6fs@ host time: %.3fs"
     t.np t.interleavings t.wildcards_analyzed (List.length t.findings)
     (Format.pp_print_list pp_finding)
-    t.findings t.first_run_makespan t.total_virtual_time t.host_seconds
+    t.findings t.first_run_makespan t.total_virtual_time t.host_seconds;
+  if t.jobs > 1 then
+    Format.fprintf ppf "@ parallel exploration on %d domains:@ %a" t.jobs
+      (Format.pp_print_list pp_worker_stat)
+      t.workers;
+  Format.fprintf ppf "@]"

@@ -32,8 +32,29 @@ type run_record = {
 (** A deduplicated finding, with the schedule that reproduces it. *)
 type finding = {
   error : error;
-  run_index : int;  (** which interleaving (0 = the initial self run) *)
+  run_index : int;
+      (** which interleaving (0 = the initial self run). Informational: it
+          reflects execution order, which worker scheduling permutes; the
+          canonical identity of a finding is its signature and schedule. *)
   schedule : Decisions.decision list;
+}
+
+val compare_schedule :
+  Decisions.decision list -> Decisions.decision list -> int
+(** Canonical total order on reproduction schedules: shallower forks first,
+    then lexicographic. Independent of execution order, so reports
+    canonicalize identically at any worker count. *)
+
+val compare_finding : finding -> finding -> int
+(** Orders by {!compare_schedule}, then by {!error_signature}. *)
+
+(** Per-worker exploration counters (parallel mode). *)
+type worker_stat = {
+  worker_id : int;
+  runs_executed : int;  (** replays this worker ran (worker 0 owns the self run) *)
+  queue_waits : int;  (** times the worker blocked on an empty work queue *)
+  wall_seconds : float;  (** host time spent inside the runner *)
+  virtual_seconds : float;  (** summed virtual makespans of its replays *)
 }
 
 (** Result of a whole verification. *)
@@ -48,6 +69,8 @@ type t = {
   bounded_epochs : int;
       (** epochs a heuristic suppressed (loop abstraction / bounded mixing) *)
   host_seconds : float;
+  jobs : int;  (** worker domains the exploration ran on *)
+  workers : worker_stat list;  (** per-worker counters, worker-id order *)
 }
 
 val has_errors : t -> bool
@@ -55,4 +78,5 @@ val has_errors : t -> bool
     divergences are advisories). *)
 
 val pp_finding : Format.formatter -> finding -> unit
+val pp_worker_stat : Format.formatter -> worker_stat -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+(* Mutex-protected work deque + Domain pool. See scheduler.mli for the
+   contract. Locking discipline: every mutable field below is read and
+   written only under [m]; workers execute user code strictly outside the
+   lock. [in_flight] distinguishes "queue momentarily empty" from "drained":
+   a worker holding an item may still push children, so idle workers wait on
+   [wakeup] until the queue refills or [in_flight] drops to zero. *)
+
+type order = Lifo | Fifo
+
+type worker_stats = {
+  worker_id : int;
+  mutable items_run : int;
+  mutable queue_waits : int;
+}
+
+type 'a t = {
+  order : order;
+  jobs : int;
+  budget : int;
+  m : Mutex.t;
+  wakeup : Condition.t;
+  mutable front : 'a list;  (* pop side, head first *)
+  mutable back : 'a list;  (* Fifo push side, reversed *)
+  mutable size : int;
+  mutable in_flight : int;
+  mutable claimed : int;
+  mutable is_cancelled : bool;
+  mutable ran : bool;
+  stats : worker_stats array;
+}
+
+let create ?(order = Lifo) ~jobs ?(budget = max_int) () =
+  let jobs = max 1 jobs in
+  {
+    order;
+    jobs;
+    budget = max 0 budget;
+    m = Mutex.create ();
+    wakeup = Condition.create ();
+    front = [];
+    back = [];
+    size = 0;
+    in_flight = 0;
+    claimed = 0;
+    is_cancelled = false;
+    ran = false;
+    stats =
+      Array.init jobs (fun worker_id ->
+          { worker_id; items_run = 0; queue_waits = 0 });
+  }
+
+(* ---- queue primitives (caller holds [m]) ---- *)
+
+let push_batch_locked t items =
+  let n = List.length items in
+  if n > 0 then begin
+    (match t.order with
+    | Lifo -> t.front <- items @ t.front
+    | Fifo -> t.back <- List.rev_append items t.back);
+    t.size <- t.size + n;
+    Condition.broadcast t.wakeup
+  end
+
+let take_locked t =
+  (match t.front with
+  | [] ->
+      t.front <- List.rev t.back;
+      t.back <- []
+  | _ :: _ -> ());
+  match t.front with
+  | [] -> None
+  | x :: tl ->
+      t.front <- tl;
+      t.size <- t.size - 1;
+      Some x
+
+(* ---- public queue operations ---- *)
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x = locked t (fun () -> push_batch_locked t [ x ])
+let push_batch t items = locked t (fun () -> push_batch_locked t items)
+
+let cancel t =
+  locked t (fun () ->
+      t.is_cancelled <- true;
+      Condition.broadcast t.wakeup)
+
+let cancelled t = locked t (fun () -> t.is_cancelled)
+let pending t = locked t (fun () -> t.size)
+let executed t = locked t (fun () -> t.claimed)
+let stats t = Array.to_list t.stats
+
+(* ---- worker loop ---- *)
+
+(* Claim the next item, or block while other workers might still produce
+   one. Returns [None] on quiescence, exhausted budget, or cancellation. *)
+let next t (ws : worker_stats) =
+  locked t (fun () ->
+      let rec await () =
+        if t.is_cancelled || t.claimed >= t.budget then None
+        else
+          match take_locked t with
+          | Some item ->
+              t.claimed <- t.claimed + 1;
+              t.in_flight <- t.in_flight + 1;
+              Some item
+          | None ->
+              if t.in_flight = 0 then None
+              else begin
+                ws.queue_waits <- ws.queue_waits + 1;
+                Condition.wait t.wakeup t.m;
+                await ()
+              end
+      in
+      await ())
+
+let finish t children =
+  locked t (fun () ->
+      if not t.is_cancelled then push_batch_locked t children;
+      t.in_flight <- t.in_flight - 1;
+      (* Wake idle workers even when no children arrived: [in_flight] hitting
+         zero is the quiescence signal they are waiting for. *)
+      Condition.broadcast t.wakeup)
+
+let worker_loop t ws f =
+  let rec go () =
+    match next t ws with
+    | None -> ()
+    | Some item ->
+        let children =
+          match f ~worker:ws.worker_id item with
+          | children -> children
+          | exception exn ->
+              (* Keep [in_flight] honest so peers terminate instead of
+                 waiting forever on a worker that died. *)
+              finish t [];
+              raise exn
+        in
+        ws.items_run <- ws.items_run + 1;
+        finish t children;
+        go ()
+  in
+  go ()
+
+let run t f =
+  locked t (fun () ->
+      if t.ran then invalid_arg "Scheduler.run: already ran";
+      t.ran <- true);
+  if pending t = 0 then ()
+  else if t.jobs = 1 then worker_loop t t.stats.(0) f
+  else begin
+    let others =
+      Array.init (t.jobs - 1) (fun i ->
+          let ws = t.stats.(i + 1) in
+          Domain.spawn (fun () -> worker_loop t ws f))
+    in
+    let main_exn =
+      match worker_loop t t.stats.(0) f with
+      | () -> None
+      | exception exn ->
+          (* Unblock the pool before joining, or the join deadlocks. *)
+          cancel t;
+          Some exn
+    in
+    let join_exn =
+      Array.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception exn ->
+              cancel t;
+              (match acc with None -> Some exn | Some _ -> acc))
+        None others
+    in
+    match (main_exn, join_exn) with
+    | Some exn, _ | None, Some exn -> raise exn
+    | None, None -> ()
+  end

@@ -1,0 +1,72 @@
+(** Domain-parallel work queue for guided replays (§IV of the paper).
+
+    DAMPI's exploration is embarrassingly parallel once the initial self run
+    has produced the frontier: every guided interleaving is an independent
+    re-execution from [MPI_Init], so the only shared state a worker needs is
+    the queue of pending fork decisions and the (externally owned) findings
+    table. This module provides exactly that queue: a mutex-protected deque
+    of work items served to a pool of OCaml 5 [Domain]s, with a cooperative
+    run budget and cooperative cancellation.
+
+    Executing one item may discover follow-on items (the child frontier of
+    the replay); the scheduler terminates when the queue is empty {e and} no
+    worker is still executing — an empty queue alone is not quiescence.
+
+    With [jobs = 1] no domain is spawned and items execute inline on the
+    calling domain, in exactly the order a recursive depth-first walk would
+    visit them (under {!Lifo}); the sequential explorer is literally the
+    parallel one with one worker. *)
+
+type order =
+  | Lifo  (** depth-first: the head of the last pushed batch pops first *)
+  | Fifo  (** breadth-first: batches pop in arrival order *)
+
+type worker_stats = {
+  worker_id : int;
+  mutable items_run : int;  (** work items this worker executed *)
+  mutable queue_waits : int;
+      (** times this worker blocked on an empty (but live) queue *)
+}
+
+type 'a t
+
+val create : ?order:order -> jobs:int -> ?budget:int -> unit -> 'a t
+(** [create ~jobs ()] makes a scheduler served by [jobs] workers (clamped to
+    at least 1). [budget] caps the total number of items ever claimed for
+    execution (default: unlimited); items beyond the budget stay queued and
+    are reported by {!pending}. *)
+
+val push : 'a t -> 'a -> unit
+(** Add one item. Under {!Lifo} it becomes the next item to pop. *)
+
+val push_batch : 'a t -> 'a list -> unit
+(** Add a batch atomically, preserving the invariant that the {e first}
+    element of the batch is the first of the batch to pop (under {!Lifo} the
+    whole batch goes on top of the stack in order; under {!Fifo} it is
+    appended in order). *)
+
+val cancel : 'a t -> unit
+(** Cooperative cancellation: no further items are claimed; queued work is
+    left in place (see {!pending}); items already executing run to
+    completion. Idempotent. *)
+
+val cancelled : 'a t -> bool
+
+val pending : 'a t -> int
+(** Items still queued (dropped work, after a cancellation). *)
+
+val executed : 'a t -> int
+(** Items claimed and handed to a worker. *)
+
+val run : 'a t -> (worker:int -> 'a -> 'a list) -> unit
+(** [run t f] drains the queue. Each worker loops: claim an item (consuming
+    one unit of budget), execute [f ~worker item] {e outside} the lock, then
+    push the returned follow-on items. Returns when the queue is drained,
+    the budget is exhausted, or {!cancel} was called. With [jobs = 1] this
+    runs inline; otherwise worker 0 runs on the calling domain and workers
+    [1 .. jobs-1] on fresh domains, all joined before returning. If the
+    queue is empty on entry (a deterministic program's frontier) it returns
+    immediately without spawning any domain. May be called only once. *)
+
+val stats : 'a t -> worker_stats list
+(** Per-worker counters, in worker-id order. *)

@@ -17,6 +17,7 @@ type config = {
   cost : Runtime.cost_model;
   model : Model.t;
   max_runs : int;
+  jobs : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     cost = Runtime.default_cost;
     model = Model.default;
     max_runs = max_int;
+    jobs = 1;
   }
 
 let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
@@ -76,6 +78,7 @@ let verify ?(config = default_config) ~np program =
       state_config = config.state_config;
       cost = config.cost;
       max_runs = config.max_runs;
+      jobs = config.jobs;
     }
   in
   Dampi.Explorer.explore ~config:explorer_config ~np

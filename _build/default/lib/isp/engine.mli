@@ -8,6 +8,7 @@ type config = {
   cost : Mpi.Runtime.cost_model;
   model : Model.t;
   max_runs : int;
+  jobs : int;  (** worker domains for the exploration; 1 = sequential *)
 }
 
 val default_config : config

@@ -1,0 +1,1 @@
+test/test_explorer_parallel.ml: Alcotest Clocks Dampi Format List Mpi Printf Workloads

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Atomic Dampi Fun List Printf

@@ -1,1 +1,1 @@
-test/test_soak.ml: Alcotest Array Clocks Dampi Fun List Mpi Printf QCheck QCheck_alcotest Sim
+test/test_soak.ml: Alcotest Array Clocks Dampi Fun List Mpi Printf QCheck QCheck_alcotest Sim Workloads

@@ -7,8 +7,8 @@ The workload registry lists everything the paper evaluates:
   fig10          paper Fig. 10: clock escape before wait (monitor alert)
   deadlock       deterministic head-to-head deadlock
   matmult        master/slave matrix multiplication (Figs. 6, 8)
+  samplesort     parallel sample sort (deterministic collective pipeline)
   adlb           mini-ADLB work-sharing library (Fig. 9)
-  parmetis       ParMETIS-3.1 communication skeleton, 1% scale (Fig. 5, Tables I-II)
 
 Fig. 3: the bug is found in the guided replay (exit code 1 = errors found):
 

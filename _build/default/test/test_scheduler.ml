@@ -1,0 +1,182 @@
+(* Unit tests for the domain-parallel work queue behind the explorer:
+   ordering guarantees, budget enforcement under contention, cooperative
+   cancellation, and the zero-frame fast path. *)
+
+module Scheduler = Dampi.Scheduler
+
+(* Run a scheduler with one worker and record execution order. [children]
+   maps an item to its follow-on items. *)
+let trace_order ~order ?budget seed children =
+  let sched = Scheduler.create ~order ~jobs:1 ?budget () in
+  Scheduler.push_batch sched seed;
+  let log = ref [] in
+  Scheduler.run sched (fun ~worker:_ x ->
+      log := x :: !log;
+      children x);
+  List.rev !log
+
+let test_lifo_batch_order () =
+  (* The first element of a pushed batch pops first; a popped item's
+     children run before its batch siblings — depth-first order. *)
+  let children = function 1 -> [ 10; 11 ] | 10 -> [ 100 ] | _ -> [] in
+  Alcotest.(check (list int))
+    "depth-first"
+    [ 1; 10; 100; 11; 2; 3 ]
+    (trace_order ~order:Scheduler.Lifo [ 1; 2; 3 ] children)
+
+let test_fifo_batch_order () =
+  (* Under FIFO, children queue behind the remaining seed — breadth-first. *)
+  let children = function 1 -> [ 10; 11 ] | 10 -> [ 100 ] | _ -> [] in
+  Alcotest.(check (list int))
+    "breadth-first"
+    [ 1; 2; 3; 10; 11; 100 ]
+    (trace_order ~order:Scheduler.Fifo [ 1; 2; 3 ] children)
+
+let test_lifo_push_is_a_stack () =
+  let sched = Scheduler.create ~order:Scheduler.Lifo ~jobs:1 () in
+  Scheduler.push sched 1;
+  Scheduler.push sched 2;
+  Scheduler.push sched 3;
+  let log = ref [] in
+  Scheduler.run sched (fun ~worker:_ x ->
+      log := x :: !log;
+      []);
+  Alcotest.(check (list int)) "stack order" [ 3; 2; 1 ] (List.rev !log)
+
+let test_budget_sequential () =
+  (* A self-replicating workload: without the budget it would never end. *)
+  let executed =
+    trace_order ~order:Scheduler.Lifo ~budget:7 [ 0 ] (fun x -> [ x + 1 ])
+  in
+  Alcotest.(check (list int)) "exactly budget items"
+    [ 0; 1; 2; 3; 4; 5; 6 ] executed
+
+let test_budget_under_contention () =
+  (* Four domains racing over a replicating queue: the claim counter is the
+     only admission gate, so exactly [budget] items may ever run. *)
+  let budget = 50 in
+  let sched = Scheduler.create ~order:Scheduler.Lifo ~jobs:4 ~budget () in
+  Scheduler.push_batch sched [ 0; 1; 2; 3 ];
+  let ran = Atomic.make 0 in
+  Scheduler.run sched (fun ~worker:_ x ->
+      Atomic.incr ran;
+      [ (x * 2) + 1; (x * 2) + 2 ]);
+  Alcotest.(check int) "claimed = budget" budget (Scheduler.executed sched);
+  Alcotest.(check int) "ran = budget" budget (Atomic.get ran);
+  let per_worker =
+    List.fold_left
+      (fun acc (ws : Scheduler.worker_stats) -> acc + ws.Scheduler.items_run)
+      0 (Scheduler.stats sched)
+  in
+  Alcotest.(check int) "worker counters sum to budget" budget per_worker
+
+let test_cancel_drops_queued_work () =
+  let sched = Scheduler.create ~order:Scheduler.Lifo ~jobs:1 () in
+  Scheduler.push_batch sched [ 1; 2; 3; 4; 5 ];
+  let log = ref [] in
+  Scheduler.run sched (fun ~worker:_ x ->
+      log := x :: !log;
+      if x = 2 then Scheduler.cancel sched;
+      if x < 100 then [ x + 100 ] else []);
+  Alcotest.(check (list int)) "stops after the cancelling item" [ 1; 101; 2 ]
+    (List.rev !log);
+  Alcotest.(check bool) "cancelled" true (Scheduler.cancelled sched);
+  Alcotest.(check bool)
+    "queued work dropped, not run"
+    true
+    (Scheduler.pending sched > 0)
+
+let test_cancel_under_contention () =
+  (* Cooperative cancellation with racing workers: whatever was in flight
+     finishes, nothing is claimed afterwards, and the queue keeps the
+     abandoned work. *)
+  let sched = Scheduler.create ~order:Scheduler.Fifo ~jobs:4 () in
+  Scheduler.push_batch sched (List.init 64 Fun.id);
+  let ran = Atomic.make 0 in
+  Scheduler.run sched (fun ~worker:_ x ->
+      Atomic.incr ran;
+      if x = 0 then Scheduler.cancel sched;
+      []);
+  Alcotest.(check bool) "cancelled" true (Scheduler.cancelled sched);
+  Alcotest.(check bool)
+    "not everything ran"
+    true
+    (Atomic.get ran < 64);
+  Alcotest.(check int) "ran + pending = pushed" 64
+    (Atomic.get ran + Scheduler.pending sched)
+
+let test_zero_frame_fast_path () =
+  (* A deterministic program produces no fork frames: run must return
+     immediately, for any worker count, without spawning domains. *)
+  List.iter
+    (fun jobs ->
+      let sched = Scheduler.create ~jobs () in
+      let ran = Atomic.make 0 in
+      Scheduler.run sched (fun ~worker:_ _ ->
+          Atomic.incr ran;
+          []);
+      Alcotest.(check int)
+        (Printf.sprintf "nothing ran (jobs=%d)" jobs)
+        0 (Atomic.get ran);
+      Alcotest.(check int)
+        (Printf.sprintf "nothing executed (jobs=%d)" jobs)
+        0 (Scheduler.executed sched))
+    [ 1; 4 ]
+
+let test_parallel_drains_everything () =
+  (* No budget, no cancellation: every item (including discovered children)
+     must run exactly once even with many workers. *)
+  let sched = Scheduler.create ~order:Scheduler.Lifo ~jobs:4 () in
+  Scheduler.push_batch sched (List.init 20 Fun.id);
+  let sum = Atomic.make 0 in
+  Scheduler.run sched (fun ~worker:_ x ->
+      ignore (Atomic.fetch_and_add sum x);
+      if x < 100 then [ x + 100 ] else []);
+  (* seeds 0..19 plus one child x+100 each *)
+  let expected = (190 * 2) + (20 * 100) in
+  Alcotest.(check int) "all items ran once" expected (Atomic.get sum);
+  Alcotest.(check int) "40 executions" 40 (Scheduler.executed sched);
+  Alcotest.(check int) "queue drained" 0 (Scheduler.pending sched)
+
+let test_run_twice_rejected () =
+  let sched = Scheduler.create ~jobs:1 () in
+  Scheduler.push sched 1;
+  Scheduler.run sched (fun ~worker:_ _ -> []);
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Scheduler.run: already ran") (fun () ->
+      Scheduler.run sched (fun ~worker:_ _ -> []))
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "lifo batch is depth-first" `Quick
+            test_lifo_batch_order;
+          Alcotest.test_case "fifo batch is breadth-first" `Quick
+            test_fifo_batch_order;
+          Alcotest.test_case "lifo push is a stack" `Quick
+            test_lifo_push_is_a_stack;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "sequential budget" `Quick test_budget_sequential;
+          Alcotest.test_case "budget under contention" `Quick
+            test_budget_under_contention;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancel drops queued work" `Quick
+            test_cancel_drops_queued_work;
+          Alcotest.test_case "cancel under contention" `Quick
+            test_cancel_under_contention;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "zero-frame fast path" `Quick
+            test_zero_frame_fast_path;
+          Alcotest.test_case "parallel drain" `Quick
+            test_parallel_drains_everything;
+          Alcotest.test_case "run twice rejected" `Quick test_run_twice_rejected;
+        ] );
+    ]

@@ -145,6 +145,66 @@ let prop_dual_clock_clean_too =
       in
       report.Report.findings = [])
 
+(* Parallel-mode soak: qcheck'd random deadlock-free programs explored on 4
+   domains must agree with the sequential walk — same clean verdict, same
+   interleaving count. *)
+let prop_parallel_agrees_with_sequential =
+  QCheck.Test.make
+    ~name:"parallel exploration (jobs=4) agrees with sequential" ~count:25
+    gen_case
+    (fun ((_, np, _) as case) ->
+      let conf jobs =
+        {
+          Explorer.default_config with
+          state_config = State.make_config ~clock:lamport ();
+          max_runs = 400;
+          jobs;
+        }
+      in
+      let seq = Explorer.verify ~config:(conf 1) ~np (build case) in
+      let par = Explorer.verify ~config:(conf 4) ~np (build case) in
+      (* Under a binding budget the explored subset is worker-order
+         dependent; only compare exhaustive explorations. *)
+      seq.Report.interleavings >= 400
+      || (par.Report.findings = [] && seq.Report.findings = []
+         && seq.Report.interleavings = par.Report.interleavings))
+
+(* Repeated parallel verification of the ADLB workload: interleaving counts
+   must be identical on every iteration (stateless replay has nothing to
+   carry over between verifications), and no run may report a replay
+   divergence — divergence would mean workers leaked state into each other's
+   re-executions. *)
+let parallel_adlb_soak () =
+  let config =
+    {
+      Explorer.default_config with
+      state_config = State.make_config ~mixing_bound:0 ();
+      jobs = 4;
+    }
+  in
+  let counts =
+    List.init 10 (fun _ ->
+        let report =
+          Explorer.verify ~config ~np:6 (Workloads.Adlb.program ())
+        in
+        List.iter
+          (fun (f : Report.finding) ->
+            match f.Report.error with
+            | Report.Replay_divergence _ ->
+                Alcotest.failf "replay divergence: %s"
+                  (Report.error_signature f.Report.error)
+            | _ -> ())
+          report.Report.findings;
+        report.Report.interleavings)
+  in
+  match counts with
+  | [] -> assert false
+  | first :: _ ->
+      Alcotest.(check (list int))
+        "stable interleaving counts across 10 iterations"
+        (List.init 10 (fun _ -> first))
+        counts
+
 let prop_native_matches_self_run =
   QCheck.Test.make
     ~name:"instrumented self run preserves the native outcome" ~count:60
@@ -170,5 +230,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_lamport_subset_of_vector;
           QCheck_alcotest.to_alcotest prop_dual_clock_clean_too;
           QCheck_alcotest.to_alcotest prop_native_matches_self_run;
+        ] );
+      ( "parallel-mode",
+        [
+          QCheck_alcotest.to_alcotest prop_parallel_agrees_with_sequential;
+          Alcotest.test_case "adlb 10x verify --jobs 4" `Quick
+            parallel_adlb_soak;
         ] );
     ]

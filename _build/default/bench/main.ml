@@ -459,11 +459,21 @@ let parallel_explore () =
         (fun ri (jobs, (r : Report.t)) ->
           Printf.fprintf oc
             "      {\"jobs\": %d, \"interleavings\": %d, \"findings\": %d, \
-             \"wall_seconds\": %.6f, \"speedup\": %.4f}%s\n"
+             \"wall_seconds\": %.6f, \"speedup\": %.4f, \
+             \"match_attempts\": %d, \"piggyback_bytes\": %d, \
+             \"queue_waits\": %d}%s\n"
             jobs r.Report.interleavings
             (List.length r.Report.findings)
             r.Report.host_seconds
             (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+            (Obs.Metrics.counter_value r.Report.metrics "mpi.match_attempts")
+            (Obs.Metrics.counter_value r.Report.metrics
+               "dampi.piggyback_bytes")
+            (match
+               Obs.Metrics.find r.Report.metrics "sched.queue_wait_s"
+             with
+            | Some (Obs.Metrics.Histogram h) -> h.Obs.Metrics.count
+            | _ -> 0)
             (if ri = nr - 1 then "" else ","))
         rows;
       Printf.fprintf oc "    ]}%s\n" (if si = ns - 1 then "" else ","))
@@ -471,6 +481,48 @@ let parallel_explore () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   pf "\nresults written to %s\n" path
+
+(* ---- Trace overhead: a trace:false runtime must allocate no event
+   records. Both the event list and the per-event records are only built
+   behind the [trace_on] guard, so two untraced runs of a deterministic
+   workload allocate exactly the same number of minor words, and a traced
+   run strictly more. ---- *)
+
+let trace_overhead () =
+  heading
+    "Trace overhead -- message-flow event records only exist under \
+     ~trace:true";
+  let exec ~trace =
+    let rt = Runtime.create ~trace ~np:3 () in
+    let module B = Mpi.Bind.Make (struct
+      let rt = rt
+    end) in
+    let module P = (val Workloads.Patterns.fig3) in
+    let module Prog = P (B) in
+    Runtime.spawn_ranks rt (fun _ -> Prog.main ());
+    ignore (Runtime.run rt);
+    rt
+  in
+  let words ~trace =
+    ignore (exec ~trace);
+    (* warm-up: fault in code paths so both measured runs see the same state *)
+    let before = Gc.minor_words () in
+    let rt = exec ~trace in
+    let after = Gc.minor_words () in
+    (after -. before, List.length (Runtime.trace rt))
+  in
+  let off1, ev_off = words ~trace:false in
+  let off2, _ = words ~trace:false in
+  let on1, ev_on = words ~trace:true in
+  pf "%-14s %14.0f minor words %8d events\n" "trace:false" off1 ev_off;
+  pf "%-14s %14.0f minor words %8s\n" "trace:false" off2 "(repeat)";
+  pf "%-14s %14.0f minor words %8d events\n%!" "trace:true" on1 ev_on;
+  assert (ev_off = 0);
+  assert (ev_on > 0);
+  assert (off1 = off2);
+  assert (on1 > off1);
+  pf "OK: untraced runs allocate identically and record zero events; \
+      tracing allocates strictly more\n"
 
 (* ---- Bechamel microbenchmarks of the substrate ---- *)
 
@@ -556,8 +608,8 @@ let micro () =
 let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
-    \                 ablation-piggyback|ablation-mixing|parallel|micro] \
-     [--np N]\n"
+    \                 ablation-piggyback|ablation-mixing|parallel|\
+     trace-overhead|micro] [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -588,6 +640,7 @@ let () =
     | "ablation-random" -> ablation_random ()
     | "ablation-mixing" -> ablation_mixing ()
     | "parallel" -> parallel_explore ()
+    | "trace-overhead" -> trace_overhead ()
     | "micro" -> micro ()
     | "all" ->
         fig5 ();
@@ -600,7 +653,8 @@ let () =
         ablation_piggyback ();
         ablation_random ();
         ablation_mixing ();
-        parallel_explore ()
+        parallel_explore ();
+        trace_overhead ()
     | other ->
         pf "unknown command %S\n" other;
         usage ();

@@ -101,6 +101,16 @@ let registry =
 let find_entry key =
   List.find_opt (fun e -> String.equal e.key (String.lowercase_ascii key)) registry
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let hist_count snap name =
+  match Obs.Metrics.find snap name with
+  | Some (Obs.Metrics.Histogram h) -> h.Obs.Metrics.count
+  | _ -> 0
+
 (* ---- list command ---- *)
 
 let list_cmd =
@@ -114,7 +124,7 @@ let list_cmd =
 (* ---- verify command ---- *)
 
 let verify_run workload np clock_name mixing_bound max_runs engine dual
-    stop_first quiet dump_schedule jobs =
+    stop_first quiet dump_schedule jobs trace_out metrics_out =
   match find_entry workload with
   | None ->
       Printf.eprintf
@@ -135,6 +145,7 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
         State.make_config ~clock ?mixing_bound ~dual_clock:dual ()
       in
       let program = entry.build () in
+      let trace = trace_out <> None in
       let report =
         match engine with
         | "dampi" ->
@@ -146,12 +157,19 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                   max_runs;
                   stop_on_first_error = stop_first;
                   jobs;
+                  trace;
                 }
               ~np program
         | "isp" ->
             Isp.Engine.verify
               ~config:
-                { Isp.Engine.default_config with state_config; max_runs; jobs }
+                {
+                  Isp.Engine.default_config with
+                  state_config;
+                  max_runs;
+                  jobs;
+                  trace;
+                }
               ~np program
         | other ->
             Printf.eprintf "unknown engine %S (dampi|isp)\n" other;
@@ -162,6 +180,16 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
           report.Report.interleavings
           (List.length report.Report.findings)
       else Format.printf "%a@." Report.pp report;
+      (match trace_out with
+      | Some path ->
+          write_file path (Report.trace_json report);
+          Printf.printf "trace written to %s\n" path
+      | None -> ());
+      (match metrics_out with
+      | Some path ->
+          write_file path (Report.metrics_json report);
+          Printf.printf "metrics written to %s\n" path
+      | None -> ());
       (match (dump_schedule, report.Report.findings) with
       | Some path, f :: _ ->
           Dampi.Decisions.save
@@ -247,6 +275,24 @@ let verify_cmd =
              replays are independent re-executions, so any $(docv) finds \
              the same interleavings and findings on an exhaustive search).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Collect a span timeline of the exploration and write it as \
+             Chrome trace_event JSON to $(docv) (open in ui.perfetto.dev).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's metrics (merged and per-worker-shard) as JSON \
+             to $(docv).")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -254,11 +300,12 @@ let verify_cmd =
           matches. Exits 1 if errors were found.")
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
-      $ dual $ stop_first $ quiet $ dump_schedule $ jobs)
+      $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ trace_out
+      $ metrics_out)
 
 (* ---- replay command ---- *)
 
-let replay_run workload np file =
+let replay_run workload np file trace_out metrics_out =
   match find_entry workload with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
@@ -277,9 +324,18 @@ let replay_run workload np file =
           Format.printf "replaying %d forced decision(s):@.%a@.@."
             (Dampi.Decisions.length plan)
             Dampi.Decisions.pp plan;
+          let registry = Obs.Metrics.create ~shards:1 () in
+          let tracer = Obs.Trace.create ~shards:1 () in
+          let sink = Obs.Trace.sink tracer 0 in
           let record =
-            Explorer.replay ~config:Explorer.default_config ~np
-              (entry.build ()) plan
+            Obs.Trace.with_span sink "replay"
+              ~args:
+                [ ("workload", Obs.Trace.Str entry.key);
+                  ("np", Obs.Trace.Int np) ]
+              (fun () ->
+                Explorer.replay ~config:Explorer.default_config
+                  ~metrics:(Obs.Metrics.shard registry 0)
+                  ~np (entry.build ()) plan)
           in
           (match record.Report.outcome with
           | Sim.Coroutine.All_finished ->
@@ -288,7 +344,18 @@ let replay_run workload np file =
           | Sim.Coroutine.Crashed _ -> print_endline "run crashed");
           List.iter
             (fun e -> Format.printf "  %a@." Report.pp_error e)
-            record.Report.run_errors)
+            record.Report.run_errors;
+          (match trace_out with
+          | Some path ->
+              write_file path (Obs.Trace.to_chrome (Obs.Trace.events tracer));
+              Printf.printf "trace written to %s\n" path
+          | None -> ());
+          (match metrics_out with
+          | Some path ->
+              write_file path
+                (Obs.Metrics.to_json (Obs.Metrics.snapshot registry));
+              Printf.printf "metrics written to %s\n" path
+          | None -> ()))
 
 let replay_cmd =
   let workload =
@@ -310,12 +377,26 @@ let replay_cmd =
       & info [ "np"; "n" ] ~docv:"N"
           ~doc:"Rank count (default: taken from the schedule file).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event span timeline to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the replay's metrics as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Deterministically re-execute one interleaving from an \
           Epoch-Decisions schedule file.")
-    Term.(const replay_run $ workload $ np $ file)
+    Term.(const replay_run $ workload $ np $ file $ trace_out $ metrics_out)
 
 (* ---- trace command ---- *)
 
@@ -376,7 +457,8 @@ let trace_cmd =
 
 (* ---- bench command: parallel-exploration scaling ---- *)
 
-let bench_run workload np mixing_bound max_runs jobs_list output =
+let bench_run workload np mixing_bound max_runs jobs_list output trace_out
+    metrics_out =
   match find_entry workload with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
@@ -384,12 +466,19 @@ let bench_run workload np mixing_bound max_runs jobs_list output =
   | Some entry ->
       let np = match np with Some np -> np | None -> entry.default_np in
       let state_config = State.make_config ?mixing_bound () in
+      let trace = trace_out <> None in
       let measure jobs =
         let program = entry.build () in
         let report =
           Explorer.verify
             ~config:
-              { Explorer.default_config with state_config; max_runs; jobs }
+              {
+                Explorer.default_config with
+                state_config;
+                max_runs;
+                jobs;
+                trace;
+              }
             ~np program
         in
         (jobs, report)
@@ -426,16 +515,35 @@ let bench_run workload np mixing_bound max_runs jobs_list output =
               Printf.fprintf oc
                 "    {\"jobs\": %d, \"interleavings\": %d, \"findings\": %d, \
                  \"wall_seconds\": %.6f, \"total_virtual_seconds\": %.6f, \
-                 \"speedup\": %.4f}%s\n"
+                 \"speedup\": %.4f, \"match_attempts\": %d, \
+                 \"piggyback_bytes\": %d, \"queue_waits\": %d}%s\n"
                 jobs r.Report.interleavings
                 (List.length r.Report.findings)
                 r.Report.host_seconds r.Report.total_virtual_time
                 (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+                (Obs.Metrics.counter_value r.Report.metrics
+                   "mpi.match_attempts")
+                (Obs.Metrics.counter_value r.Report.metrics
+                   "dampi.piggyback_bytes")
+                (hist_count r.Report.metrics "sched.queue_wait_s")
                 (if i = n - 1 then "" else ","))
             results;
           Printf.fprintf oc "  ]\n}\n";
           close_out oc;
-          Printf.printf "results written to %s\n" path)
+          Printf.printf "results written to %s\n" path);
+      let last_report =
+        match List.rev results with (_, r) :: _ -> Some r | [] -> None
+      in
+      (match (trace_out, last_report) with
+      | Some path, Some r ->
+          write_file path (Report.trace_json r);
+          Printf.printf "trace of the last sweep point written to %s\n" path
+      | _ -> ());
+      (match (metrics_out, last_report) with
+      | Some path, Some r ->
+          write_file path (Report.metrics_json r);
+          Printf.printf "metrics of the last sweep point written to %s\n" path
+      | _ -> ())
 
 let bench_cmd =
   let workload =
@@ -476,13 +584,77 @@ let bench_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Also write the results as JSON to $(docv).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Trace every sweep point and write the last one's span timeline \
+             as Chrome trace_event JSON to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the last sweep point's metrics as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Measure wall-clock scaling of parallel interleaving exploration \
           over a sweep of worker-domain counts.")
     Term.(
-      const bench_run $ workload $ np $ mixing $ max_runs $ jobs_list $ output)
+      const bench_run $ workload $ np $ mixing $ max_runs $ jobs_list $ output
+      $ trace_out $ metrics_out)
+
+(* ---- stats command: one native run, operation + metric counters ---- *)
+
+let stats_run workload np =
+  match find_entry workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 2
+  | Some entry ->
+      let np = match np with Some np -> np | None -> entry.default_np in
+      let registry = Obs.Metrics.create ~shards:1 () in
+      let rt, outcome =
+        Mpi.Bind.exec
+          ~metrics:(Obs.Metrics.shard registry 0)
+          ~np (entry.build ())
+      in
+      Printf.printf "%s np=%d (one native run)\n\n" entry.key np;
+      Format.printf "%a@." Mpi.Stats.pp (Mpi.Runtime.stats rt);
+      Format.printf "%a" Obs.Metrics.pp (Obs.Metrics.snapshot registry);
+      match outcome with
+      | Sim.Coroutine.All_finished -> ()
+      | Sim.Coroutine.Deadlock _ ->
+          print_endline "\n(run deadlocked)";
+          exit 1
+      | Sim.Coroutine.Crashed (pid, e, _) ->
+          Printf.printf "\n(rank %d crashed: %s)\n" pid (Printexc.to_string e);
+          exit 1
+
+let stats_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to profile (see $(b,list)).")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload natively once and print its MPI operation counts \
+          and runtime metrics.")
+    Term.(const stats_run $ workload $ np)
 
 let main =
   Cmd.group
@@ -490,6 +662,6 @@ let main =
        ~doc:
          "Distributed Analyzer for MPI programs — dynamic formal verification \
           over a simulated MPI runtime (SC'10 reproduction).")
-    [ list_cmd; verify_cmd; replay_cmd; trace_cmd; bench_cmd ]
+    [ list_cmd; verify_cmd; replay_cmd; trace_cmd; stats_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,1 +1,1 @@
-lib/dampi/explorer.ml: Array Atomic Decisions Epoch Hashtbl Interpose List Mpi Mutex Printexc Printf Report Scheduler Sim State Unix
+lib/dampi/explorer.ml: Array Atomic Decisions Epoch Float Hashtbl Interpose List Mpi Mutex Obs Option Printexc Printf Report Scheduler Sim State Unix

@@ -1,1 +1,1 @@
-lib/dampi/explorer.mli: Decisions Mpi Report Sim State
+lib/dampi/explorer.mli: Decisions Mpi Obs Report Sim State

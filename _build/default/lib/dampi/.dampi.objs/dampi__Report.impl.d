@@ -1,1 +1,1 @@
-lib/dampi/report.ml: Decisions Epoch Format List Printf Sim String
+lib/dampi/report.ml: Decisions Epoch Format List Obs Printf Sim String

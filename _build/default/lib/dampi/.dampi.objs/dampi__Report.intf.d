@@ -1,1 +1,1 @@
-lib/dampi/report.mli: Decisions Epoch Format Sim
+lib/dampi/report.mli: Decisions Epoch Format Obs Sim

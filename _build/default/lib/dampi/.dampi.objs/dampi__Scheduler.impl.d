@@ -1,1 +1,1 @@
-lib/dampi/scheduler.ml: Array Condition Domain Fun List Mutex
+lib/dampi/scheduler.ml: Array Condition Domain Fun List Mutex Obs Option Unix

@@ -1,1 +1,1 @@
-lib/dampi/scheduler.mli:
+lib/dampi/scheduler.mli: Obs

@@ -1,1 +1,1 @@
-lib/dampi/state.ml: Array Clocks Decisions Epoch Hashtbl List Mpi
+lib/dampi/state.ml: Array Clocks Decisions Epoch Hashtbl List Mpi Obs Option

@@ -1,1 +1,1 @@
-lib/dampi/state.mli: Clocks Decisions Epoch Hashtbl Mpi
+lib/dampi/state.mli: Clocks Decisions Epoch Hashtbl Mpi Obs

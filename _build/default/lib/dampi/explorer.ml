@@ -22,6 +22,7 @@ type config = {
   check_leaks : bool;
   stop_on_first_error : bool;
   jobs : int;  (** worker domains; 1 = sequential depth-first walk *)
+  trace : bool;  (** collect a span timeline of the exploration *)
 }
 
 let default_config =
@@ -32,9 +33,21 @@ let default_config =
     check_leaks = true;
     stop_on_first_error = false;
     jobs = 1;
+    trace = false;
   }
 
-type runner = Decisions.plan -> fork_index:int -> Report.run_record
+(* Per-run observability context threaded into the runner: which worker is
+   executing, the metric shard that worker owns, and the poison closure the
+   interposition layer polls for in-replay cancellation. *)
+type run_ctx = {
+  worker : int;
+  metrics : Obs.Metrics.shard option;
+  poison : (unit -> bool) option;
+}
+
+let null_ctx = { worker = 0; metrics = None; poison = None }
+
+type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
 
 (* ---- The DAMPI runner: one interposed execution ---- *)
 
@@ -107,10 +120,11 @@ let errors_of_run ~check_leaks ~(outcome : Coroutine.outcome) ~leaks
   List.rev !errors
 
 let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
- fun plan ~fork_index ->
-  let rt = Runtime.create ~cost:config.cost ~np () in
+ fun ~ctx plan ~fork_index ->
+  let rt = Runtime.create ~cost:config.cost ?metrics:ctx.metrics ~np () in
   let st =
-    State.create ~config:config.state_config ~np ~plan ~fork_index ()
+    State.create ~config:config.state_config ?metrics:ctx.metrics
+      ?poison:ctx.poison ~np ~plan ~fork_index ()
   in
   let module B = Mpi.Bind.Make (struct
     let rt = rt
@@ -125,16 +139,26 @@ let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
       Prog.main ();
       W.finalize_tool ());
   let outcome = Runtime.run rt in
+  (* A poisoned rank surfaces as a crash on [Replay_cancelled]; the run is
+     then a cancelled replay, not a finding. *)
+  let cancelled =
+    match outcome with
+    | Coroutine.Crashed (_, State.Replay_cancelled, _) -> true
+    | _ -> false
+  in
   let leaks = Runtime.leak_report rt in
   {
     Report.run_plan = plan;
     outcome;
     makespan = Runtime.makespan rt;
-    new_epochs = State.completed_epochs st;
+    new_epochs = (if cancelled then [] else State.completed_epochs st);
     run_errors =
-      errors_of_run ~check_leaks:config.check_leaks ~outcome ~leaks
-        ~shadow_ctxs:(W.shadow_ctxs ()) ~st;
+      (if cancelled then []
+       else
+         errors_of_run ~check_leaks:config.check_leaks ~outcome ~leaks
+           ~shadow_ctxs:(W.shadow_ctxs ()) ~st);
     wildcards = State.wildcard_events st;
+    cancelled;
   }
 
 (* A run with no tool attached, for overhead baselines (Table II). *)
@@ -206,13 +230,56 @@ let items_of_record (record : Report.run_record) ~plan_decisions =
 let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   let started = Unix.gettimeofday () in
   let jobs = max 1 config.jobs in
+  (* Shard layout: one per worker domain, plus a final shard for the
+     scheduler (whose writes happen under its own lock). The merged snapshot
+     of a jobs=N exploration equals the jobs=1 one for every series that is
+     a property of the run set. *)
+  let registry = Obs.Metrics.create ~shards:(jobs + 1) () in
+  let worker_shard w = Obs.Metrics.shard registry w in
+  let replays_c =
+    Array.init jobs (fun w ->
+        Obs.Metrics.counter (worker_shard w) "explorer.replays")
+  in
+  let wall_h =
+    Array.init jobs (fun w ->
+        Obs.Metrics.histogram (worker_shard w) "explorer.replay_wall_s")
+  in
+  let vtime_h =
+    Array.init jobs (fun w ->
+        Obs.Metrics.histogram (worker_shard w) "explorer.replay_vtime_s")
+  in
+  let cancel_h =
+    Array.init jobs (fun w ->
+        Obs.Metrics.histogram (worker_shard w) "explorer.cancel_latency_s")
+  in
+  let tracer =
+    if config.trace then Some (Obs.Trace.create ~shards:jobs ()) else None
+  in
   let m = Mutex.create () in
   let findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
+  let runs_cancelled = ref 0 in
   let total_vtime = ref 0.0 in
   let monitor_alerts = ref 0 in
   let bounded = ref 0 in
   let error_found = Atomic.make false in
+  let cancel_at = Atomic.make 0.0 in
+  let poison =
+    if config.stop_on_first_error then
+      Some (fun () -> Atomic.get error_found)
+    else None
+  in
+  let root_span =
+    Option.map
+      (fun tr ->
+        Obs.Trace.begin_span (Obs.Trace.sink tr 0)
+          ~args:[ ("np", Obs.Trace.Int np); ("jobs", Obs.Trace.Int jobs) ]
+          "explore")
+      tracer
+  in
+  let root_id =
+    match root_span with Some sp -> Obs.Trace.span_id sp | None -> -1
+  in
   let worker_runs = Array.make jobs 0 in
   let worker_wall = Array.make jobs 0.0 in
   let worker_vtime = Array.make jobs 0.0 in
@@ -232,32 +299,72 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
               Hashtbl.replace findings key candidate)
       record.Report.run_errors
   in
-  let run_one plan ~fork_index ~schedule ~worker =
+  let run_one plan ~fork_index ~schedule ~worker ~name =
+    let ctx = { worker; metrics = Some (worker_shard worker); poison } in
+    (* Span args carry only run-set-determined values (fork, depth), never
+       wall times, so jobs=1 span trees reproduce exactly. *)
+    let sp =
+      Option.map
+        (fun tr ->
+          Obs.Trace.begin_span (Obs.Trace.sink tr worker) ~parent:root_id
+            ~args:
+              [
+                ("fork", Obs.Trace.Int fork_index);
+                ("depth", Obs.Trace.Int (List.length schedule));
+              ]
+            name)
+        tracer
+    in
     let t0 = Unix.gettimeofday () in
-    let record = runner plan ~fork_index in
+    let record = runner ~ctx plan ~fork_index in
     let wall = Unix.gettimeofday () -. t0 in
+    (match (tracer, sp) with
+    | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr worker) sp
+    | _ -> ());
+    (* Per-worker shard: this domain is the only writer. *)
+    Obs.Metrics.observe wall_h.(worker) wall;
+    if record.Report.cancelled then
+      Obs.Metrics.observe cancel_h.(worker)
+        (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at))
+    else begin
+      Obs.Metrics.incr replays_c.(worker);
+      Obs.Metrics.observe vtime_h.(worker) record.Report.makespan
+    end;
     Mutex.lock m;
-    let index = !runs in
-    incr runs;
-    total_vtime := !total_vtime +. record.Report.makespan;
-    worker_runs.(worker) <- worker_runs.(worker) + 1;
-    worker_wall.(worker) <- worker_wall.(worker) +. wall;
-    worker_vtime.(worker) <- worker_vtime.(worker) +. record.Report.makespan;
-    List.iter
-      (fun (e : Epoch.t) -> if not e.Epoch.expandable then incr bounded)
-      record.Report.new_epochs;
-    record_findings record ~run_index:index ~schedule;
-    if
-      List.exists
-        (function Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
-        record.Report.run_errors
-    then Atomic.set error_found true;
-    Mutex.unlock m;
-    record
+    if record.Report.cancelled then begin
+      incr runs_cancelled;
+      worker_wall.(worker) <- worker_wall.(worker) +. wall;
+      Mutex.unlock m;
+      record
+    end
+    else begin
+      let index = !runs in
+      incr runs;
+      total_vtime := !total_vtime +. record.Report.makespan;
+      worker_runs.(worker) <- worker_runs.(worker) + 1;
+      worker_wall.(worker) <- worker_wall.(worker) +. wall;
+      worker_vtime.(worker) <- worker_vtime.(worker) +. record.Report.makespan;
+      List.iter
+        (fun (e : Epoch.t) -> if not e.Epoch.expandable then incr bounded)
+        record.Report.new_epochs;
+      record_findings record ~run_index:index ~schedule;
+      if
+        List.exists
+          (function Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
+          record.Report.run_errors
+      then begin
+        if not (Atomic.get error_found) then
+          Atomic.set cancel_at (Unix.gettimeofday ());
+        Atomic.set error_found true
+      end;
+      Mutex.unlock m;
+      record
+    end
   in
   (* Initial self run, on the calling domain. *)
   let initial =
     run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[] ~worker:0
+      ~name:"self-run"
   in
   let sched_stats =
     if
@@ -268,6 +375,7 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
       let sched =
         Scheduler.create ~order:Scheduler.Lifo ~jobs
           ~budget:(config.max_runs - !runs)
+          ~metrics:(Obs.Metrics.shard registry jobs)
           ()
       in
       Scheduler.push_batch sched (items_of_record initial ~plan_decisions:[]);
@@ -277,9 +385,12 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
           let record =
             run_one plan
               ~fork_index:(List.length decisions - 1)
-              ~schedule:decisions ~worker
+              ~schedule:decisions ~worker ~name:"replay"
           in
-          if config.stop_on_first_error && Atomic.get error_found then begin
+          if
+            record.Report.cancelled
+            || (config.stop_on_first_error && Atomic.get error_found)
+          then begin
             Scheduler.cancel sched;
             []
           end
@@ -306,6 +417,9 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
           virtual_seconds = worker_vtime.(i);
         })
   in
+  (match (tracer, root_span) with
+  | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr 0) sp
+  | _ -> ());
   {
     Report.np;
     interleavings = !runs;
@@ -320,6 +434,12 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
     host_seconds = Unix.gettimeofday () -. started;
     jobs;
     workers;
+    runs_cancelled = !runs_cancelled;
+    metrics = Obs.Metrics.snapshot registry;
+    worker_metrics =
+      List.init (jobs + 1) (fun i -> (i, Obs.Metrics.shard_snapshot registry i))
+      |> List.filter (fun (_, s) -> s <> []);
+    events = (match tracer with Some tr -> Obs.Trace.events tr | None -> []);
   }
 
 (** Verify [program] on [np] simulated ranks under DAMPI. *)
@@ -328,6 +448,8 @@ let verify ?(config = default_config) ~np program =
 
 (** Execute exactly one guided run under [plan] (e.g. a schedule loaded from
     an Epoch-Decisions file) and report what it produced. *)
-let replay ?(config = default_config) ~np program plan =
-  dampi_runner config ~np program plan
+let replay ?(config = default_config) ?metrics ~np program plan =
+  dampi_runner config ~np program
+    ~ctx:{ null_ctx with metrics }
+    plan
     ~fork_index:(Decisions.length plan - 1)

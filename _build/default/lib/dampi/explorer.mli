@@ -19,11 +19,27 @@ type config = {
           independent re-execution, so on an exhaustive exploration the
           finding-signature set, interleaving count, and bounded-epoch count
           are identical at any worker count. *)
+  trace : bool;
+      (** collect a span timeline ([explore] root, one [self-run]/[replay]
+          span per execution) into {!Report.t}[.events] *)
 }
 
 val default_config : config
 
-type runner = Decisions.plan -> fork_index:int -> Report.run_record
+(** Per-run observability context the explorer threads into its runner: the
+    executing worker's id, the metric shard that worker owns (single
+    writer), and the poison closure the interposition layer polls for
+    in-replay cancellation. *)
+type run_ctx = {
+  worker : int;
+  metrics : Obs.Metrics.shard option;
+  poison : (unit -> bool) option;
+}
+
+val null_ctx : run_ctx
+(** Worker 0, no metrics, no poison — for driving a runner standalone. *)
+
+type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
 (** Executes one interleaving under a given plan. [fork_index] is the global
     decision index this run re-forces (-1 for the initial self run); bounded
     mixing measures its window from it. *)
@@ -49,12 +65,14 @@ val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Report.t
 
 val replay :
   ?config:config ->
+  ?metrics:Obs.Metrics.shard ->
   np:int ->
   Mpi.Mpi_intf.program ->
   Decisions.plan ->
   Report.run_record
 (** One guided run under a given Epoch-Decisions plan — deterministic
-    reproduction of a previously reported finding. *)
+    reproduction of a previously reported finding. [metrics] instruments the
+    replay's runtime and verifier state. *)
 
 (**/**)
 

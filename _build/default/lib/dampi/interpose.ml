@@ -99,11 +99,17 @@ struct
   let me () = M.world_rank ()
   let inline_mode = st.State.config.State.piggyback = State.Inline
 
+  (* In-replay poison check: every interposed MPI call polls the scheduler's
+     cancellation flag, so a poisoned replay aborts at its next call instead
+     of running to the end (raises [State.Replay_cancelled]). *)
+  let check () = State.check_poison st
+
   (* Wire size of one piggybacked clock, to hide it from user-visible
      statuses under inline packing. *)
   let clock_bytes = Payload.size_bytes (State.clock_payload st 0)
 
   let pb_send ~tag ~dest comm =
+    State.count_piggyback st ~bytes:clock_bytes;
     M.isend ~tag ~dest (shadow_of comm) (State.clock_payload st (me ()))
 
   (* Split an inline-packed payload into (clock, user part). *)
@@ -115,16 +121,19 @@ struct
   (* ---- Sends ---- *)
 
   let wrap_send ~sync ?(tag = 0) ~dest comm payload =
+    check ();
     let me = me () in
     State.monitor_clock_escape st ~me ~op:(if sync then "ssend" else "send");
     let send = if sync then M.issend else M.isend in
     let req, pb =
-      if inline_mode then
+      if inline_mode then begin
         (* Datatype-packing mechanism: the clock rides inside the user
            message; costs extra bytes on the wire, no extra message. *)
+        State.count_piggyback st ~bytes:clock_bytes;
         ( send ~tag ~dest comm
             (Payload.Pair (State.clock_payload st me, payload)),
           None )
+      end
       else
         let req = send ~tag ~dest comm payload in
         (req, Some (pb_send ~tag ~dest comm))
@@ -160,6 +169,7 @@ struct
     req
 
   let irecv ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
+    check ();
     let me = me () in
     if src = Types.any_source then begin
       (* Tool CPU cost of handling a non-deterministic event. *)
@@ -264,11 +274,13 @@ struct
 
   (* Encountering any Wait/Test synchronizes the dual clocks (§V). *)
   let wait req =
+    check ();
     State.sync_xmit st (me ());
     let status = M.wait req in
     on_completion req status
 
   let test req =
+    check ();
     State.sync_xmit st (me ());
     match M.test req with
     | None -> None
@@ -277,11 +289,13 @@ struct
   let waitall reqs = List.map wait reqs
 
   let waitany reqs =
+    check ();
     State.sync_xmit st (me ());
     let i, status = M.waitany reqs in
     (i, on_completion (List.nth reqs i) status)
 
   let testall reqs =
+    check ();
     State.sync_xmit st (me ());
     match M.testall reqs with
     | None -> None
@@ -328,6 +342,7 @@ struct
     epoch
 
   let probe ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
+    check ();
     let me = me () in
     if src = Types.any_source then begin
       State.refresh_mode st me;
@@ -349,6 +364,7 @@ struct
     else M.probe ~src ~tag comm
 
   let iprobe ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
+    check ();
     let me = me () in
     if src = Types.any_source then begin
       State.refresh_mode st me;
@@ -381,6 +397,7 @@ struct
   let clock_allreduce comm =
     let my = me () in
     State.monitor_clock_escape st ~me:my ~op:"collective";
+    State.count_piggyback st ~bytes:clock_bytes;
     let merged =
       M.allreduce ~op:Types.Max (shadow_of comm) (State.clock_payload st my)
     in
@@ -388,7 +405,10 @@ struct
 
   let clock_bcast ~root comm =
     let my = me () in
-    if M.rank comm = root then State.monitor_clock_escape st ~me:my ~op:"bcast";
+    if M.rank comm = root then begin
+      State.monitor_clock_escape st ~me:my ~op:"bcast";
+      State.count_piggyback st ~bytes:clock_bytes
+    end;
     let root_clock =
       M.bcast ~root (shadow_of comm) (State.clock_payload st my)
     in
@@ -397,76 +417,92 @@ struct
 
   let clock_reduce ~root comm =
     let my = me () in
-    if M.rank comm <> root then
+    if M.rank comm <> root then begin
       State.monitor_clock_escape st ~me:my ~op:"reduce";
+      State.count_piggyback st ~bytes:clock_bytes
+    end;
     match M.reduce ~root ~op:Types.Max (shadow_of comm) (State.clock_payload st my) with
     | Some merged -> State.merge_in st my (State.clock_of_payload st merged)
     | None -> ()
 
   let barrier comm =
+    check ();
     M.barrier comm;
     clock_allreduce comm
 
   let bcast ~root comm payload =
+    check ();
     let result = M.bcast ~root comm payload in
     clock_bcast ~root comm;
     result
 
   let reduce ~root ~op comm payload =
+    check ();
     let result = M.reduce ~root ~op comm payload in
     clock_reduce ~root comm;
     result
 
   let allreduce ~op comm payload =
+    check ();
     let result = M.allreduce ~op comm payload in
     clock_allreduce comm;
     result
 
   let gather ~root comm payload =
+    check ();
     let result = M.gather ~root comm payload in
     clock_reduce ~root comm;
     result
 
   let allgather comm payload =
+    check ();
     let result = M.allgather comm payload in
     clock_allreduce comm;
     result
 
   let scatter ~root comm payloads =
+    check ();
     let result = M.scatter ~root comm payloads in
     clock_bcast ~root comm;
     result
 
   let alltoall comm payloads =
+    check ();
     let result = M.alltoall comm payloads in
     clock_allreduce comm;
     result
 
   let exscan ~op comm payload =
+    check ();
     let result = M.exscan ~op comm payload in
     (* Rank r receives from ranks 0..r-1: the exclusive Max scan of the
        clocks is the exact prefix merge; rank 0 receives nothing. *)
     let my = me () in
     (* Ranks below the last transmit their clock to higher ranks. *)
-    if M.rank comm < M.size comm - 1 then
+    if M.rank comm < M.size comm - 1 then begin
       State.monitor_clock_escape st ~me:my ~op:"exscan";
+      State.count_piggyback st ~bytes:clock_bytes
+    end;
     (match M.exscan ~op:Types.Max (shadow_of comm) (State.clock_payload st my) with
     | Payload.Unit -> () (* rank 0 *)
     | merged -> State.merge_in st my (State.clock_of_payload st merged));
     result
 
   let reduce_scatter_block ~op comm payloads =
+    check ();
     let result = M.reduce_scatter_block ~op comm payloads in
     (* Everyone receives a slice reduced over everyone: full exchange. *)
     clock_allreduce comm;
     result
 
   let scan ~op comm payload =
+    check ();
     let result = M.scan ~op comm payload in
     (* Rank r effectively receives from ranks 0..r-1: an inclusive Max scan
        of the clocks delivers exactly the prefix merge. *)
     let my = me () in
     State.monitor_clock_escape st ~me:my ~op:"scan";
+    State.count_piggyback st ~bytes:clock_bytes;
     let merged =
       M.scan ~op:Types.Max (shadow_of comm) (State.clock_payload st my)
     in
@@ -478,6 +514,7 @@ struct
   let comm_group = M.comm_group
 
   let comm_create comm group =
+    check ();
     let user = M.comm_create comm group in
     (* Only the new communicator's members create its shadow (collective
        over the new comm); everyone exchanged clocks over the parent. *)
@@ -486,12 +523,14 @@ struct
     user
 
   let comm_dup comm =
+    check ();
     let user = M.comm_dup comm in
     make_shadow user;
     clock_allreduce comm;
     user
 
   let comm_split ~color ~key comm =
+    check ();
     let user = M.comm_split ~color ~key comm in
     (* Collective over the new sub-communicator: all its members are here. *)
     make_shadow user;

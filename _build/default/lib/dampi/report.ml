@@ -46,6 +46,9 @@ type run_record = {
   new_epochs : Epoch.t list;  (** self-run epochs, in completion order *)
   run_errors : error list;
   wildcards : int;  (** non-deterministic events recorded in this run *)
+  cancelled : bool;
+      (** the run was poisoned mid-replay ([--stop-first]): it produced no
+          usable outcome and contributes no findings or child frontier *)
 }
 
 (** A deduplicated finding, with the schedule that reproduces it. *)
@@ -104,7 +107,17 @@ type t = {
   host_seconds : float;  (** wall-clock cost of the exploration itself *)
   jobs : int;  (** worker domains the exploration ran on *)
   workers : worker_stat list;  (** per-worker counters, worker-id order *)
+  runs_cancelled : int;
+      (** replays poisoned mid-flight by [--stop-first]; not counted in
+          [interleavings] *)
+  metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
+  worker_metrics : (int * Obs.Metrics.snapshot) list;
+      (** per-worker-shard views (present when jobs > 1) *)
+  events : Obs.Trace.event list;  (** span stream; empty unless traced *)
 }
+
+let metrics_json t = Obs.Metrics.to_json ~workers:t.worker_metrics t.metrics
+let trace_json t = Obs.Trace.to_chrome t.events
 
 let has_errors t =
   List.exists
@@ -138,6 +151,8 @@ let pp ppf t =
     t.np t.interleavings t.wildcards_analyzed (List.length t.findings)
     (Format.pp_print_list pp_finding)
     t.findings t.first_run_makespan t.total_virtual_time t.host_seconds;
+  if t.runs_cancelled > 0 then
+    Format.fprintf ppf "@ runs cancelled mid-replay: %d" t.runs_cancelled;
   if t.jobs > 1 then
     Format.fprintf ppf "@ parallel exploration on %d domains:@ %a" t.jobs
       (Format.pp_print_list pp_worker_stat)

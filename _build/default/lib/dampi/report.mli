@@ -27,6 +27,8 @@ type run_record = {
   new_epochs : Epoch.t list;  (** self-run epochs, in completion order *)
   run_errors : error list;
   wildcards : int;
+  cancelled : bool;
+      (** poisoned mid-replay ([--stop-first]): no findings, no frontier *)
 }
 
 (** A deduplicated finding, with the schedule that reproduces it. *)
@@ -71,7 +73,17 @@ type t = {
   host_seconds : float;
   jobs : int;  (** worker domains the exploration ran on *)
   workers : worker_stat list;  (** per-worker counters, worker-id order *)
+  runs_cancelled : int;  (** replays poisoned mid-flight by [--stop-first] *)
+  metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
+  worker_metrics : (int * Obs.Metrics.snapshot) list;
+  events : Obs.Trace.event list;  (** span stream; empty unless traced *)
 }
+
+val metrics_json : t -> string
+(** The [--metrics-out] document: merged series plus per-worker shards. *)
+
+val trace_json : t -> string
+(** The [--trace-out] document: Chrome [trace_event] JSON. *)
 
 val has_errors : t -> bool
 (** True if any finding is a deadlock, crash, or leak (alerts and

@@ -11,6 +11,14 @@ type worker_stats = {
   worker_id : int;
   mutable items_run : int;
   mutable queue_waits : int;
+  mutable wait_seconds : float;
+}
+
+(* All metric writes below happen with [m] held, so a single shard keeps the
+   single-writer discipline even though many domains pass through here. *)
+type smetrics = {
+  m_queue_wait : Obs.Metrics.histogram;
+  m_frontier : Obs.Metrics.histogram;
 }
 
 type 'a t = {
@@ -27,9 +35,10 @@ type 'a t = {
   mutable is_cancelled : bool;
   mutable ran : bool;
   stats : worker_stats array;
+  metrics : smetrics option;
 }
 
-let create ?(order = Lifo) ~jobs ?(budget = max_int) () =
+let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics () =
   let jobs = max 1 jobs in
   {
     order;
@@ -46,7 +55,19 @@ let create ?(order = Lifo) ~jobs ?(budget = max_int) () =
     ran = false;
     stats =
       Array.init jobs (fun worker_id ->
-          { worker_id; items_run = 0; queue_waits = 0 });
+          { worker_id; items_run = 0; queue_waits = 0; wait_seconds = 0.0 });
+    metrics =
+      (* Declared eagerly so the series exists even for a run with no waits
+         (a jobs=1 exploration never blocks). *)
+      Option.map
+        (fun sh ->
+          {
+            m_queue_wait = Obs.Metrics.histogram sh "sched.queue_wait_s";
+            m_frontier =
+              Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
+                "sched.frontier_size";
+          })
+        metrics;
   }
 
 (* ---- queue primitives (caller holds [m]) ---- *)
@@ -58,6 +79,9 @@ let push_batch_locked t items =
     | Lifo -> t.front <- items @ t.front
     | Fifo -> t.back <- List.rev_append items t.back);
     t.size <- t.size + n;
+    (match t.metrics with
+    | Some m -> Obs.Metrics.observe m.m_frontier (float_of_int t.size)
+    | None -> ());
     Condition.broadcast t.wakeup
   end
 
@@ -111,7 +135,13 @@ let next t (ws : worker_stats) =
               if t.in_flight = 0 then None
               else begin
                 ws.queue_waits <- ws.queue_waits + 1;
+                let t0 = Unix.gettimeofday () in
                 Condition.wait t.wakeup t.m;
+                let waited = Unix.gettimeofday () -. t0 in
+                ws.wait_seconds <- ws.wait_seconds +. waited;
+                (match t.metrics with
+                | Some m -> Obs.Metrics.observe m.m_queue_wait waited
+                | None -> ());
                 await ()
               end
       in

@@ -26,15 +26,25 @@ type worker_stats = {
   mutable items_run : int;  (** work items this worker executed *)
   mutable queue_waits : int;
       (** times this worker blocked on an empty (but live) queue *)
+  mutable wait_seconds : float;
+      (** host seconds this worker spent blocked on the queue *)
 }
 
 type 'a t
 
-val create : ?order:order -> jobs:int -> ?budget:int -> unit -> 'a t
+val create :
+  ?order:order ->
+  jobs:int ->
+  ?budget:int ->
+  ?metrics:Obs.Metrics.shard ->
+  unit ->
+  'a t
 (** [create ~jobs ()] makes a scheduler served by [jobs] workers (clamped to
     at least 1). [budget] caps the total number of items ever claimed for
     execution (default: unlimited); items beyond the budget stay queued and
-    are reported by {!pending}. *)
+    are reported by {!pending}. [metrics] attaches an observability shard
+    ([sched.queue_wait_s], [sched.frontier_size]); every write to it happens
+    with the scheduler's own lock held, so pass a shard no worker owns. *)
 
 val push : 'a t -> 'a -> unit
 (** Add one item. Under {!Lifo} it becomes the next item to pop. *)

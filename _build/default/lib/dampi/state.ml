@@ -42,6 +42,19 @@ let make_config ?(clock = (module Clocks.Lamport : Clocks.Clock_intf.S))
 
 let default_config = make_config ()
 
+exception Replay_cancelled
+(** Raised from inside a simulated rank when the scheduler has poisoned the
+    run (an error was already found elsewhere and [--stop-first] is on). *)
+
+(* Cached metric handles, resolved once at [create]. *)
+type smetrics = {
+  m_piggyback_bytes : Obs.Metrics.counter;
+  m_piggyback_msgs : Obs.Metrics.counter;
+  m_clock_merges : Obs.Metrics.counter;
+  m_epochs_recorded : Obs.Metrics.counter;
+  m_epochs_completed : Obs.Metrics.counter;
+}
+
 type monitor_warning = {
   warn_pid : int;
   warn_epoch_id : int;
@@ -74,9 +87,13 @@ type t = {
   mutable divergences : int;
       (** guided-mode wildcard events with no decision in the plan — replay
           divergence, should be zero for deterministic programs *)
+  obs : smetrics option;
+  poison : (unit -> bool) option;
+      (** polled at every interposed call; [true] cancels the replay *)
 }
 
-let create ?(config = default_config) ~np ~plan ~fork_index () =
+let create ?(config = default_config) ?metrics ?poison ~np ~plan ~fork_index
+    () =
   let module C = (val config.clock) in
   let zero = C.encode (C.make ~np) in
   {
@@ -97,7 +114,34 @@ let create ?(config = default_config) ~np ~plan ~fork_index () =
     open_wildcards = Hashtbl.create 16;
     warnings = [];
     divergences = 0;
+    obs =
+      Option.map
+        (fun sh ->
+          {
+            m_piggyback_bytes = Obs.Metrics.counter sh "dampi.piggyback_bytes";
+            m_piggyback_msgs = Obs.Metrics.counter sh "dampi.piggyback_msgs";
+            m_clock_merges = Obs.Metrics.counter sh "dampi.clock_merges";
+            m_epochs_recorded = Obs.Metrics.counter sh "dampi.epochs_recorded";
+            m_epochs_completed =
+              Obs.Metrics.counter sh "dampi.epochs_completed";
+          })
+        metrics;
+    poison;
   }
+
+(* The in-replay poison check: polled at every interposed MPI call so a
+   poisoned replay aborts at its next call instead of running to the end. *)
+let check_poison st =
+  match st.poison with
+  | Some f when f () -> raise Replay_cancelled
+  | Some _ | None -> ()
+
+let count_piggyback st ~bytes =
+  match st.obs with
+  | Some m ->
+      Obs.Metrics.incr m.m_piggyback_msgs;
+      Obs.Metrics.add m.m_piggyback_bytes bytes
+  | None -> ()
 
 (* ---- Clock operations (decode / apply / encode) ---- *)
 
@@ -120,6 +164,9 @@ let clock_of_payload (_ : t) payload =
         (Mpi.Payload.size_bytes p)
 
 let merge_in st me enc =
+  (match st.obs with
+  | Some m -> Obs.Metrics.incr m.m_clock_merges
+  | None -> ());
   let module C = (val st.config.clock) in
   let theirs = C.decode ~np:st.np enc in
   let mine = C.decode ~np:st.np st.clocks.(me) in
@@ -152,6 +199,9 @@ let record_epoch st ~me ~kind ~ctx ~tag =
   in
   st.clocks.(me) <- C.encode (C.tick ~me pre);
   st.epochs.(me) <- epoch :: st.epochs.(me);
+  (match st.obs with
+  | Some m -> Obs.Metrics.incr m.m_epochs_recorded
+  | None -> ());
   epoch
 
 (* Tick without recording — a guided (forced) wildcard event must keep the
@@ -172,6 +222,9 @@ let complete_epoch st (epoch : Epoch.t) ~matched_src =
       if epoch.Epoch.global_index - st.fork_index > k then
         epoch.Epoch.expandable <- false
   | Some _ | None -> ());
+  (match st.obs with
+  | Some m -> Obs.Metrics.incr m.m_epochs_completed
+  | None -> ());
   st.completed <- epoch :: st.completed
 
 (* ---- Late-message analysis (FindPotentialMatches of Algorithm 1) ---- *)

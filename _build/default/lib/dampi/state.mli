@@ -34,6 +34,15 @@ val make_config :
 
 val default_config : config
 
+exception Replay_cancelled
+(** Raised from inside a simulated rank when the scheduler has poisoned the
+    run ([--stop-first] found an error elsewhere). The explorer treats the
+    resulting crash outcome as a cancelled run, not a finding. *)
+
+type smetrics
+(** Cached [dampi.*] metric handles (piggyback bytes/messages, clock merges,
+    epoch lifecycle), resolved once at {!create}. *)
+
 type monitor_warning = { warn_pid : int; warn_epoch_id : int; warn_op : string }
 
 type t = {
@@ -51,10 +60,26 @@ type t = {
   open_wildcards : (int, Epoch.t) Hashtbl.t;
   mutable warnings : monitor_warning list;
   mutable divergences : int;
+  obs : smetrics option;
+  poison : (unit -> bool) option;
 }
 
 val create :
-  ?config:config -> np:int -> plan:Decisions.plan -> fork_index:int -> unit -> t
+  ?config:config ->
+  ?metrics:Obs.Metrics.shard ->
+  ?poison:(unit -> bool) ->
+  np:int ->
+  plan:Decisions.plan ->
+  fork_index:int ->
+  unit ->
+  t
+
+val check_poison : t -> unit
+(** Raises {!Replay_cancelled} when the poison closure reports true. Called
+    by the interposition layer at every interposed MPI call. *)
+
+val count_piggyback : t -> bytes:int -> unit
+(** One piggyback message of [bytes] clock payload left this process. *)
 
 (** {1 Clock operations} *)
 

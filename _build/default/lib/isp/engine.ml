@@ -18,6 +18,7 @@ type config = {
   model : Model.t;
   max_runs : int;
   jobs : int;
+  trace : bool;
 }
 
 let default_config =
@@ -27,14 +28,20 @@ let default_config =
     model = Model.default;
     max_runs = max_int;
     jobs = 1;
+    trace = false;
   }
 
 let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
     =
- fun plan ~fork_index ->
-  let rt = Runtime.create ~cost:config.cost ~np () in
+ fun ~ctx plan ~fork_index ->
+  let rt =
+    Runtime.create ~cost:config.cost
+      ?metrics:ctx.Dampi.Explorer.metrics ~np ()
+  in
   let st =
-    Dampi.State.create ~config:config.state_config ~np ~plan ~fork_index ()
+    Dampi.State.create ~config:config.state_config
+      ?metrics:ctx.Dampi.Explorer.metrics ?poison:ctx.Dampi.Explorer.poison
+      ~np ~plan ~fork_index ()
   in
   let server =
     Sim.Vtime.Server.create ~service:(Model.service config.model ~np)
@@ -57,16 +64,24 @@ let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
       Prog.main ();
       D.finalize_tool ());
   let outcome = Runtime.run rt in
+  let cancelled =
+    match outcome with
+    | Sim.Coroutine.Crashed (_, Dampi.State.Replay_cancelled, _) -> true
+    | _ -> false
+  in
   let leaks = Runtime.leak_report rt in
   {
     Dampi.Report.run_plan = plan;
     outcome;
     makespan = Runtime.makespan rt;
-    new_epochs = Dampi.State.completed_epochs st;
+    new_epochs = (if cancelled then [] else Dampi.State.completed_epochs st);
     run_errors =
-      Dampi.Explorer.errors_of_run ~check_leaks:true ~outcome ~leaks
-        ~shadow_ctxs:(D.shadow_ctxs ()) ~st;
+      (if cancelled then []
+       else
+         Dampi.Explorer.errors_of_run ~check_leaks:true ~outcome ~leaks
+           ~shadow_ctxs:(D.shadow_ctxs ()) ~st);
     wildcards = Dampi.State.wildcard_events st;
+    cancelled;
   }
 
 (** Verify under the ISP baseline; the report's virtual times reflect the
@@ -79,6 +94,7 @@ let verify ?(config = default_config) ~np program =
       cost = config.cost;
       max_runs = config.max_runs;
       jobs = config.jobs;
+      trace = config.trace;
     }
   in
   Dampi.Explorer.explore ~config:explorer_config ~np
@@ -88,6 +104,7 @@ let verify ?(config = default_config) ~np program =
     under ISP's scheduler costs, no exploration. *)
 let single_run_makespan ?(config = default_config) ~np program =
   let record =
-    runner config ~np program (Dampi.Decisions.empty ~np) ~fork_index:(-1)
+    runner config ~np program ~ctx:Dampi.Explorer.null_ctx
+      (Dampi.Decisions.empty ~np) ~fork_index:(-1)
   in
   record.Dampi.Report.makespan

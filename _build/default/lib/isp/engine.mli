@@ -9,6 +9,7 @@ type config = {
   model : Model.t;
   max_runs : int;
   jobs : int;  (** worker domains for the exploration; 1 = sequential *)
+  trace : bool;  (** collect a span timeline into the report *)
 }
 
 val default_config : config

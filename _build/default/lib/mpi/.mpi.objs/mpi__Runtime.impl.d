@@ -1,1 +1,1 @@
-lib/mpi/runtime.ml: Array Comm Envelope Float Format Fun Group Hashtbl List Matching Option Payload Printf Request Sim Stats String Types
+lib/mpi/runtime.ml: Array Comm Envelope Float Format Fun Group Hashtbl List Matching Obs Option Payload Printf Request Sim Stats String Types

@@ -1,1 +1,1 @@
-lib/mpi/runtime.mli: Comm Envelope Format Group Payload Request Sim Stats Types
+lib/mpi/runtime.mli: Comm Envelope Format Group Obs Payload Request Sim Stats Types

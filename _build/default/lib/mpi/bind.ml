@@ -73,8 +73,8 @@ end
 
 (** Convenience: run [program] natively on a fresh runtime. Returns the
     runtime (for stats/leak inspection) and the scheduler outcome. *)
-let exec ?cost ?oracle ~np (program : Mpi_intf.program) =
-  let rt = Runtime.create ?cost ?oracle ~np () in
+let exec ?cost ?oracle ?metrics ~np (program : Mpi_intf.program) =
+  let rt = Runtime.create ?cost ?oracle ?metrics ~np () in
   let module P = (val program) in
   let module M = Make (struct
     let rt = rt

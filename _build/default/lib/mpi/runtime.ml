@@ -86,6 +86,15 @@ let pp_event ppf = function
       Format.fprintf ppf "%.6f   coll   %-10s ctx=%d (%d ranks)" t name ctx
         size
 
+(* Cached metric handles, resolved once at [create] so the hot paths do no
+   name lookups. Present only when the caller supplied a metrics shard. *)
+type rmetrics = {
+  m_match_attempts : Obs.Metrics.counter;
+  m_wildcard_candidates : Obs.Metrics.histogram;
+  m_queue_depth : Obs.Metrics.histogram;
+  m_deadlock_checks : Obs.Metrics.counter;
+}
+
 type t = {
   np : int;
   sched : Coroutine.sched;
@@ -107,7 +116,9 @@ type t = {
   wildcard_recvs : int array;
   mutable pcontrol_hook : (pid:int -> int -> unit) option;
   mutable spawned : bool;
-  mutable trace : event list option;  (* reversed; None = tracing off *)
+  trace_on : bool;
+  mutable trace_events : event list;  (* reversed; only filled if trace_on *)
+  metrics : rmetrics option;
 }
 
 let fresh_slot () =
@@ -120,7 +131,7 @@ let register_comm rt comm =
   record
 
 let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
-    ~np () =
+    ?metrics ~np () =
   if np <= 0 then invalid_arg "Runtime.create: np must be positive";
   let comm_world =
     Comm.make ~ctx:0 ~ranks:(Array.init np Fun.id) ~internal:false
@@ -148,7 +159,22 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
       wildcard_recvs = Array.make np 0;
       pcontrol_hook = None;
       spawned = false;
-      trace = (if trace then Some [] else None);
+      trace_on = trace;
+      trace_events = [];
+      metrics =
+        Option.map
+          (fun sh ->
+            {
+              m_match_attempts = Obs.Metrics.counter sh "mpi.match_attempts";
+              m_wildcard_candidates =
+                Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
+                  "mpi.wildcard_candidates";
+              m_queue_depth =
+                Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
+                  "mpi.queue_depth";
+              m_deadlock_checks = Obs.Metrics.counter sh "mpi.deadlock_checks";
+            })
+          metrics;
     }
   in
   ignore (register_comm rt comm_world);
@@ -163,10 +189,33 @@ let advance_clock rt pid dt = Vtime.advance rt.vt pid dt
 let makespan rt = Vtime.makespan rt.vt
 let set_pcontrol_hook rt f = rt.pcontrol_hook <- Some f
 
-let record_event rt ev =
-  match rt.trace with Some evs -> rt.trace <- Some (ev :: evs) | None -> ()
+(* Call sites guard on [rt.trace_on] BEFORE building the event, so a
+   trace-off runtime never allocates an event record at all. *)
+let record_event rt ev = rt.trace_events <- ev :: rt.trace_events
 
-let trace rt = match rt.trace with Some evs -> List.rev evs | None -> []
+let trace rt = List.rev rt.trace_events
+
+let count_match_attempt rt =
+  match rt.metrics with
+  | Some m -> Obs.Metrics.incr m.m_match_attempts
+  | None -> ()
+
+let observe_queue_depth rt dst =
+  match rt.metrics with
+  | Some m ->
+      Obs.Metrics.observe m.m_queue_depth
+        (float_of_int (Matching.unexpected_count rt.mailboxes.(dst)))
+  | None -> ()
+
+(* Wildcard/probe oracle consultation, instrumented with the candidate-list
+   width so the metrics expose how much non-determinism each run faced. *)
+let consult_oracle rt envs =
+  (match rt.metrics with
+  | Some m ->
+      Obs.Metrics.observe m.m_wildcard_candidates
+        (float_of_int (List.length envs))
+  | None -> ());
+  rt.oracle envs
 
 let comm_of_ctx rt ctx =
   match Hashtbl.find_opt rt.comm_by_ctx ctx with
@@ -181,9 +230,13 @@ let record_of_comm rt comm =
         (Comm.label comm) (Comm.ctx comm)
 
 (* Park the current process until [pred] holds; whoever makes it hold must
-   wake us. Spurious wake-ups simply re-check. *)
-let wait_until ~reason pred =
+   wake us. Spurious wake-ups simply re-check. Each re-check of a blocked
+   predicate is one potential-deadlock probe, counted as such. *)
+let wait_until rt ~reason pred =
   while not (pred ()) do
+    (match rt.metrics with
+    | Some m -> Obs.Metrics.incr m.m_deadlock_checks
+    | None -> ());
     Coroutine.block reason
   done
 
@@ -230,15 +283,16 @@ let complete_recv rt (req : Request.t) (env : Envelope.t) =
   (match req.kind with
   | Request.Recv r -> r.src <- env.src
   | Request.Send _ -> assert false);
-  record_event rt
-    (Ev_match
-       {
-         t = req.arrive_time;
-         src = env.Envelope.src;
-         dst = req.owner;
-         tag = env.Envelope.tag;
-         ctx = env.Envelope.ctx;
-       });
+  if rt.trace_on then
+    record_event rt
+      (Ev_match
+         {
+           t = req.arrive_time;
+           src = env.Envelope.src;
+           dst = req.owner;
+           tag = env.Envelope.tag;
+           ctx = env.Envelope.ctx;
+         });
   Coroutine.wake rt.sched req.owner;
   (* A synchronous-mode send completes when its message is matched. *)
   if env.sync then
@@ -299,20 +353,23 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
   in
   if sync then Hashtbl.replace rt.pending_sync req.uid req
   else req.complete <- true;
-  record_event rt
-    (Ev_send
-       {
-         t = env.Envelope.send_time;
-         src = me;
-         dst;
-         tag;
-         ctx;
-         bytes = Payload.size_bytes payload;
-         sync;
-       });
+  if rt.trace_on then
+    record_event rt
+      (Ev_send
+         {
+           t = env.Envelope.send_time;
+           src = me;
+           dst;
+           tag;
+           ctx;
+           bytes = Payload.size_bytes payload;
+           sync;
+         });
+  count_match_attempt rt;
   (match Matching.on_arrival rt.mailboxes.(dst) env with
   | Matching.Delivered rreq -> complete_recv rt rreq env
   | Matching.Queued -> ());
+  observe_queue_depth rt dst;
   (* Always nudge the destination: it may be parked in a blocking probe. *)
   Coroutine.wake rt.sched dst;
   req
@@ -340,10 +397,14 @@ let post_recv rt ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
         (Request.Recv
            { src = src_pid; tag; ctx = Comm.ctx comm; posted_as_wildcard = wildcard })
   in
-  record_event rt
-    (Ev_recv_post
-       { t = Vtime.now rt.vt me; pid = me; src = src_pid; tag; ctx = Comm.ctx comm });
-  (match Matching.post_recv rt.mailboxes.(me) req ~choose:rt.oracle with
+  if rt.trace_on then
+    record_event rt
+      (Ev_recv_post
+         { t = Vtime.now rt.vt me; pid = me; src = src_pid; tag; ctx = Comm.ctx comm });
+  count_match_attempt rt;
+  (match
+     Matching.post_recv rt.mailboxes.(me) req ~choose:(consult_oracle rt)
+   with
   | Some env -> complete_recv rt req env
   | None -> ());
   req
@@ -366,7 +427,7 @@ let wait rt (req : Request.t) =
     Types.mpi_errorf "process %d waits on a request owned by %d" me req.owner;
   Stats.record rt.stats me Stats.Wait "wait";
   Vtime.advance rt.vt me rt.cost.local_op;
-  wait_until
+  wait_until rt
     ~reason:(Format.asprintf "wait(%a)" Request.pp req)
     (fun () -> req.complete);
   observe_completion rt req
@@ -386,7 +447,7 @@ let waitall rt reqs =
   let me = current rt in
   Stats.record rt.stats me Stats.Wait "waitall";
   Vtime.advance rt.vt me rt.cost.local_op;
-  wait_until ~reason:"waitall" (fun () ->
+  wait_until rt ~reason:"waitall" (fun () ->
       List.for_all (fun (r : Request.t) -> r.complete) reqs);
   List.map (observe_completion rt) reqs
 
@@ -395,7 +456,7 @@ let waitany rt reqs =
   let me = current rt in
   Stats.record rt.stats me Stats.Wait "waitany";
   Vtime.advance rt.vt me rt.cost.local_op;
-  wait_until ~reason:"waitany" (fun () ->
+  wait_until rt ~reason:"waitany" (fun () ->
       List.exists (fun (r : Request.t) -> r.complete && not r.released) reqs);
   let rec find i = function
     | [] -> assert false
@@ -462,21 +523,21 @@ let iprobe rt ?src ?tag comm =
       Coroutine.yield ();
       None
   | [ env ] -> Some (status_of_candidate comm env)
-  | envs -> Some (status_of_candidate comm (rt.oracle envs))
+  | envs -> Some (status_of_candidate comm (consult_oracle rt envs))
 
 let probe rt ?src ?tag comm =
   let me = current rt in
   Stats.record rt.stats me Stats.Send_recv "probe";
   Vtime.advance rt.vt me rt.cost.local_op;
   let result = ref None in
-  wait_until ~reason:"probe" (fun () ->
+  wait_until rt ~reason:"probe" (fun () ->
       match probe_candidates rt ?src ?tag comm with
       | [] -> false
       | [ env ] ->
           result := Some env;
           true
       | envs ->
-          result := Some (rt.oracle envs);
+          result := Some (consult_oracle rt envs);
           true);
   let env = Option.get !result in
   Vtime.observe rt.vt me (arrival_stamp rt env);
@@ -535,14 +596,15 @@ let collective rt comm ~name ~contrib ~compute ~timing =
   slot.arrivals <- (my_rank, contrib, Vtime.now rt.vt me) :: slot.arrivals;
   if List.length slot.arrivals = Comm.size comm then begin
     let arrivals = List.rev slot.arrivals in
-    record_event rt
-      (Ev_collective
-         {
-           t = Vtime.now rt.vt me;
-           name;
-           ctx = Comm.ctx comm;
-           size = Comm.size comm;
-         });
+    if rt.trace_on then
+      record_event rt
+        (Ev_collective
+           {
+             t = Vtime.now rt.vt me;
+             name;
+             ctx = Comm.ctx comm;
+             size = Comm.size comm;
+           });
     slot.results <- compute arrivals;
     apply_coll_timing rt comm timing arrivals;
     slot.arrivals <- [];
@@ -554,7 +616,7 @@ let collective rt comm ~name ~contrib ~compute ~timing =
     Coroutine.yield ()
   end
   else
-    wait_until
+    wait_until rt
       ~reason:(Printf.sprintf "collective %s on %s" name (Comm.label comm))
       (fun () -> slot.gen > my_gen);
   slot.results.(my_rank)

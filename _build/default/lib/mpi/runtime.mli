@@ -31,9 +31,18 @@ val default_oracle : oracle
 type t
 
 (** [create ~np ()] builds a runtime; [trace] enables the execution-event
-    log (default off). *)
+    log (default off — a trace-off runtime allocates no event records at
+    all). [metrics] attaches an observability shard: the runtime then counts
+    match attempts and deadlock re-checks and observes wildcard-candidate
+    widths and destination queue depths ([mpi.*] series). *)
 val create :
-  ?cost:cost_model -> ?oracle:oracle -> ?trace:bool -> np:int -> unit -> t
+  ?cost:cost_model ->
+  ?oracle:oracle ->
+  ?trace:bool ->
+  ?metrics:Obs.Metrics.shard ->
+  np:int ->
+  unit ->
+  t
 val np : t -> int
 val comm_world : t -> Comm.t
 val stats : t -> Stats.t

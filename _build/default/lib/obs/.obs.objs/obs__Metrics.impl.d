@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Buffer Char Float Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Array Buffer Float Format Fun Hashtbl List Metrics Option Printf Unix

@@ -1,0 +1,237 @@
+(* Sharded metrics. Each shard is single-writer (a worker domain, or a
+   subsystem that already serializes its writes under a lock), so recording
+   is a plain store with no synchronization; reads happen only after the
+   writers have quiesced (end of an exploration, or after a Domain.join) and
+   merge shard-by-shard. *)
+
+type hist = {
+  h_bounds : float array;  (* ascending upper bounds *)
+  h_counts : int array;  (* length = bounds + 1: last is overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  mutable h_max : float;
+}
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+type histogram = hist
+
+type value = V_counter of counter | V_gauge of gauge | V_hist of hist
+
+type shard = { sh_worker : int; table : (string, value) Hashtbl.t }
+type t = { all : shard array }
+
+let seconds_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+let count_bounds = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+
+let create ~shards () =
+  let shards = max 1 shards in
+  {
+    all =
+      Array.init shards (fun sh_worker ->
+          { sh_worker; table = Hashtbl.create 32 });
+  }
+
+let shards t = Array.length t.all
+let shard t i = t.all.(i)
+let worker sh = sh.sh_worker
+
+let mismatch name =
+  invalid_arg (Printf.sprintf "Obs.Metrics: %S registered with another kind" name)
+
+let counter sh name =
+  match Hashtbl.find_opt sh.table name with
+  | Some (V_counter c) -> c
+  | Some _ -> mismatch name
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.replace sh.table name (V_counter c);
+      c
+
+let add c n = c.c <- c.c + n
+let incr c = add c 1
+
+let gauge_set sh name v =
+  match Hashtbl.find_opt sh.table name with
+  | Some (V_gauge g) -> g.g <- v
+  | Some _ -> mismatch name
+  | None -> Hashtbl.replace sh.table name (V_gauge { g = v })
+
+let histogram sh ?(bounds = seconds_bounds) name =
+  match Hashtbl.find_opt sh.table name with
+  | Some (V_hist h) -> h
+  | Some _ -> mismatch name
+  | None ->
+      let h =
+        {
+          h_bounds = Array.copy bounds;
+          h_counts = Array.make (Array.length bounds + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.replace sh.table name (V_hist h);
+      h
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  if v > h.h_max then h.h_max <- v
+
+(* ---- Snapshots ---- *)
+
+type hist_view = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+  max_value : float;
+}
+
+type sample = Counter of int | Gauge of float | Histogram of hist_view
+
+type snapshot = (string * sample) list
+
+let view_of_hist h =
+  {
+    bounds = Array.copy h.h_bounds;
+    counts = Array.copy h.h_counts;
+    sum = h.h_sum;
+    count = h.h_count;
+    max_value = (if h.h_count = 0 then 0.0 else h.h_max);
+  }
+
+let sample_of_value = function
+  | V_counter c -> Counter c.c
+  | V_gauge g -> Gauge g.g
+  | V_hist h -> Histogram (view_of_hist h)
+
+let merge_samples name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (Float.max x y)
+  | Histogram x, Histogram y ->
+      if x.bounds <> y.bounds then mismatch name
+      else
+        Histogram
+          {
+            bounds = x.bounds;
+            counts = Array.mapi (fun i c -> c + y.counts.(i)) x.counts;
+            sum = x.sum +. y.sum;
+            count = x.count + y.count;
+            max_value = Float.max x.max_value y.max_value;
+          }
+  | _ -> mismatch name
+
+let merge snapshots =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, s) ->
+         match Hashtbl.find_opt acc name with
+         | None -> Hashtbl.replace acc name s
+         | Some prev -> Hashtbl.replace acc name (merge_samples name prev s)))
+    snapshots;
+  Hashtbl.fold (fun name s l -> (name, s) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let raw_shard_snapshot sh =
+  Hashtbl.fold (fun name v l -> (name, sample_of_value v) :: l) sh.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let shard_snapshot t i = raw_shard_snapshot t.all.(i)
+
+let snapshot t =
+  merge (Array.to_list (Array.map raw_shard_snapshot t.all))
+
+let find snap name =
+  Option.map snd (List.find_opt (fun (n, _) -> String.equal n name) snap)
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> n | _ -> 0
+
+(* ---- Export ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let sample_json b = function
+  | Counter n -> Printf.bprintf b "{\"type\":\"counter\",\"value\":%d}" n
+  | Gauge v ->
+      Printf.bprintf b "{\"type\":\"gauge\",\"value\":%s}" (json_float v)
+  | Histogram h ->
+      Printf.bprintf b
+        "{\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"max\":%s,\"buckets\":["
+        h.count (json_float h.sum) (json_float h.max_value);
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char b ',';
+          if i < Array.length h.bounds then
+            Printf.bprintf b "{\"le\":%s,\"count\":%d}"
+              (json_float h.bounds.(i)) c
+          else Printf.bprintf b "{\"le\":\"+inf\",\"count\":%d}" c)
+        h.counts;
+      Buffer.add_string b "]}"
+
+let snapshot_json b snap =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":" (json_escape name);
+      sample_json b s)
+    snap;
+  Buffer.add_char b '}'
+
+let to_json ?(workers = []) snap =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"metrics\": ";
+  snapshot_json b snap;
+  if workers <> [] then begin
+    Buffer.add_string b ",\n  \"workers\": [";
+    List.iteri
+      (fun i (w, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\n    {\"worker\": %d, \"metrics\": " w;
+        snapshot_json b s;
+        Buffer.add_char b '}')
+      workers;
+    Buffer.add_string b "\n  ]"
+  end;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let pp ppf snap =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      match s with
+      | Counter n -> Format.fprintf ppf "%-28s %d" name n
+      | Gauge v -> Format.fprintf ppf "%-28s %g" name v
+      | Histogram h ->
+          Format.fprintf ppf "%-28s count=%d sum=%g max=%g" name h.count h.sum
+            h.max_value)
+    snap;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Dampi Domain List Mpi Obs Workloads

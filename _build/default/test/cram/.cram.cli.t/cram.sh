@@ -9,3 +9,13 @@
   $ dampi verify fig3 -q --dump-schedule fig3.sched
   $ cat fig3.sched
   $ dampi replay fig3 fig3.sched | tail -2
+  $ dampi stats fig3
+  $ dampi verify fig3 -q --trace-out fig3.trace.json --metrics-out fig3.metrics.json
+  $ grep -c '"traceEvents"' fig3.trace.json
+  $ grep -c '"ph":"X"' fig3.trace.json
+  $ for s in mpi.match_attempts dampi.piggyback_bytes sched.queue_wait_s \
+  >   explorer.replay_wall_s explorer.replays; do
+  >   grep -q "\"$s\"" fig3.metrics.json && echo "$s present"
+  > done
+  $ dampi replay fig3 fig3.sched --metrics-out replay.metrics.json | tail -1
+  $ grep -q '"mpi.match_attempts"' replay.metrics.json && echo found

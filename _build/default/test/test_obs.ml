@@ -1,0 +1,225 @@
+(* The observability subsystem: metric recording and shard merging
+   (including under real domain parallelism), span-tree determinism of
+   traced explorations, merged-counter equality between jobs=1 and jobs=4,
+   zero-allocation tracing when disabled, and in-replay poisoning. *)
+
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+
+(* ---- histogram bucketing ---- *)
+
+let test_histogram_bucketing () =
+  let m = Metrics.create ~shards:1 () in
+  let sh = Metrics.shard m 0 in
+  let h = Metrics.histogram sh ~bounds:[| 1.0; 10.0; 100.0 |] "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 10.0; 99.0; 100.5; 1e9 ];
+  match Metrics.find (Metrics.snapshot m) "h" with
+  | Some (Metrics.Histogram v) ->
+      Alcotest.(check (array int)) "bucket counts (le 1, 10, 100, +inf)"
+        [| 2; 2; 1; 2 |] v.Metrics.counts;
+      Alcotest.(check int) "count" 7 v.Metrics.count;
+      Alcotest.(check (float 1e-6)) "max" 1e9 v.Metrics.max_value;
+      Alcotest.(check (float 1e-3)) "sum" 1000000216.0 v.Metrics.sum
+  | _ -> Alcotest.fail "histogram not found in snapshot"
+
+(* ---- counters, gauges, and handle idempotence ---- *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create ~shards:2 () in
+  let sh0 = Metrics.shard m 0 and sh1 = Metrics.shard m 1 in
+  let c = Metrics.counter sh0 "c" in
+  Metrics.add c 5;
+  (* resolving the same name again must return the same cell *)
+  Metrics.incr (Metrics.counter sh0 "c");
+  Metrics.add (Metrics.counter sh1 "c") 10;
+  Metrics.gauge_set sh0 "g" 3.0;
+  Metrics.gauge_set sh1 "g" 7.0;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "counters sum across shards" 16
+    (Metrics.counter_value snap "c");
+  (match Metrics.find snap "g" with
+  | Some (Metrics.Gauge g) ->
+      Alcotest.(check (float 1e-9)) "gauges merge by max" 7.0 g
+  | _ -> Alcotest.fail "gauge not found");
+  Alcotest.(check int) "absent counter reads 0" 0
+    (Metrics.counter_value snap "nope")
+
+(* ---- shard merging under real domains ---- *)
+
+let test_domain_shard_merge () =
+  let m = Metrics.create ~shards:4 () in
+  let worker i () =
+    let sh = Metrics.shard m i in
+    let c = Metrics.counter sh "hits" in
+    let h = Metrics.histogram sh ~bounds:Metrics.count_bounds "depth" in
+    for k = 1 to 10_000 do
+      Metrics.incr c;
+      Metrics.observe h (float_of_int (k mod 7))
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "4 x 10k increments merge to 40k" 40_000
+    (Metrics.counter_value snap "hits");
+  (match Metrics.find snap "depth" with
+  | Some (Metrics.Histogram v) ->
+      Alcotest.(check int) "histogram observations all merged" 40_000
+        v.Metrics.count
+  | _ -> Alcotest.fail "histogram not found");
+  (* merging the per-shard snapshots by hand equals the registry merge *)
+  let by_hand =
+    Metrics.merge (List.init 4 (Metrics.shard_snapshot m))
+  in
+  Alcotest.(check bool) "merge of shard snapshots = snapshot" true
+    (by_hand = snap)
+
+(* ---- traced exploration: span-tree determinism ---- *)
+
+let traced_report () =
+  Explorer.verify
+    ~config:{ Explorer.default_config with trace = true }
+    ~np:3 Workloads.Patterns.fig3
+
+let test_span_forest_deterministic () =
+  let f1 = Trace.span_forest (traced_report ()).Report.events in
+  let f2 = Trace.span_forest (traced_report ()).Report.events in
+  Alcotest.(check bool)
+    "two traced jobs=1 runs have identical span forests" true (f1 = f2);
+  match f1 with
+  | [ root ] ->
+      Alcotest.(check string) "root span" "explore" root.Trace.t_name;
+      let names =
+        List.sort_uniq compare
+          (List.map (fun t -> t.Trace.t_name) root.Trace.t_children)
+      in
+      Alcotest.(check (list string))
+        "children are the self run and the replays" [ "replay"; "self-run" ]
+        names
+  | _ -> Alcotest.fail "expected exactly one root span"
+
+(* ---- jobs=1 vs jobs=4: merged counters agree on run-set series ---- *)
+
+let test_parallel_metrics_equal () =
+  let run jobs =
+    let program =
+      Workloads.Matmult.program
+        ~params:
+          { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+        ()
+    in
+    (Explorer.verify
+       ~config:{ Explorer.default_config with jobs }
+       ~np:5 program)
+      .Report.metrics
+  in
+  let s1 = run 1 and s4 = run 4 in
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " equal at jobs=1 and jobs=4")
+        (Metrics.counter_value s1 name)
+        (Metrics.counter_value s4 name))
+    [
+      "mpi.match_attempts";
+      "dampi.piggyback_bytes";
+      "dampi.piggyback_msgs";
+      "dampi.epochs_recorded";
+      "explorer.replays";
+    ];
+  Alcotest.(check bool) "replays counted" true
+    (Metrics.counter_value s1 "explorer.replays" > 0)
+
+(* ---- trace:false runtimes record nothing ---- *)
+
+let test_untraced_runtime_empty () =
+  let rt = Mpi.Runtime.create ~np:3 () in
+  let module B = Mpi.Bind.Make (struct
+    let rt = rt
+  end) in
+  let module P = (val Workloads.Patterns.fig3) in
+  let module Prog = P (B) in
+  Mpi.Runtime.spawn_ranks rt (fun _ -> Prog.main ());
+  ignore (Mpi.Runtime.run rt);
+  Alcotest.(check int) "no events recorded with trace:false" 0
+    (List.length (Mpi.Runtime.trace rt))
+
+(* ---- in-replay poisoning ---- *)
+
+let test_poison_cancels_run () =
+  let config = Explorer.default_config in
+  let runner = Explorer.dampi_runner config ~np:3 Workloads.Patterns.fig3 in
+  let ctx =
+    { Explorer.null_ctx with Explorer.poison = Some (fun () -> true) }
+  in
+  let record = runner ~ctx (Dampi.Decisions.empty ~np:3) ~fork_index:(-1) in
+  Alcotest.(check bool) "record marked cancelled" true
+    record.Report.cancelled;
+  Alcotest.(check int) "no epochs from a cancelled run" 0
+    (List.length record.Report.new_epochs);
+  Alcotest.(check int) "no errors from a cancelled run" 0
+    (List.length record.Report.run_errors);
+  (* un-poisoned, the same runner completes normally *)
+  let clean =
+    runner ~ctx:Explorer.null_ctx (Dampi.Decisions.empty ~np:3)
+      ~fork_index:(-1)
+  in
+  Alcotest.(check bool) "unpoisoned run is not cancelled" false
+    clean.Report.cancelled
+
+(* ---- stop-first populates the cancellation series at jobs>1 ---- *)
+
+let test_stop_first_counts_cancellations () =
+  let report =
+    Explorer.verify
+      ~config:
+        { Explorer.default_config with stop_on_first_error = true; jobs = 4 }
+      ~np:5
+      (Workloads.Matmult.program
+         ~params:
+           { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+         ())
+  in
+  (* matmult is clean: nothing to stop on, nothing cancelled *)
+  Alcotest.(check int) "no cancellations without findings" 0
+    report.Report.runs_cancelled;
+  let report_err =
+    Explorer.verify
+      ~config:
+        { Explorer.default_config with stop_on_first_error = true; jobs = 2 }
+      ~np:3 Workloads.Patterns.fig3
+  in
+  Alcotest.(check bool) "finding still reported under stop-first" true
+    (report_err.Report.findings <> [])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "4-domain shard merge" `Quick
+            test_domain_shard_merge;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "span-forest determinism" `Quick
+            test_span_forest_deterministic;
+          Alcotest.test_case "trace:false records nothing" `Quick
+            test_untraced_runtime_empty;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "jobs=1 = jobs=4 merged counters" `Quick
+            test_parallel_metrics_equal;
+          Alcotest.test_case "poison cancels a replay" `Quick
+            test_poison_cancels_run;
+          Alcotest.test_case "stop-first cancellation counters" `Quick
+            test_stop_first_counts_cancellations;
+        ] );
+    ]

@@ -482,6 +482,96 @@ let parallel_explore () =
   close_out oc;
   pf "\nresults written to %s\n" path
 
+(* ---- Fault soak: exploration under injected faults (SS robustness).
+   Transient send failures and rank kills abort individual replay attempts;
+   the watchdog + retry machinery must absorb them, and whenever every
+   replay eventually succeeds within its retry budget the canonical report
+   (interleavings, findings) must equal the fault-free one. Emits
+   BENCH_fault_soak.json. ---- *)
+
+let fault_soak () =
+  heading
+    "Fault soak -- exploration under deterministic fault injection (adlb \
+     np=8, k=0)";
+  let np = 8 in
+  let state_config = State.make_config ~mixing_bound:0 () in
+  let build () = Workloads.Adlb.program () in
+  let run ?fault ?(jobs = 1) () =
+    let config =
+      {
+        Explorer.default_config with
+        state_config;
+        jobs;
+        robustness =
+          {
+            Explorer.default_robustness with
+            fault;
+            max_retries = 4;
+            max_replay_steps = Some 200_000;
+          };
+      }
+    in
+    Explorer.verify ~config ~np (build ())
+  in
+  let baseline = run () in
+  pf "%-26s %6s %14s %10s %9s %9s %9s\n" "scenario" "jobs" "interleavings"
+    "findings" "timeouts" "retries" "faulted";
+  let show label (r : Report.t) jobs =
+    pf "%-26s %6d %14d %10d %9d %9d %9d%s\n%!" label jobs
+      r.Report.interleavings
+      (List.length r.Report.findings)
+      r.Report.runs_timed_out r.Report.runs_retried r.Report.runs_crashed
+      (if
+         r.Report.interleavings = baseline.Report.interleavings
+         && List.length r.Report.findings
+            = List.length baseline.Report.findings
+       then "  (= fault-free)"
+       else "")
+  in
+  show "fault-free" baseline 1;
+  let scenarios =
+    [
+      ("sendfail(seed=1)", { (Mpi.Fault.default_spec ~seed:1) with delay_prob = 0.0 }, 1);
+      ("delay+sendfail(seed=2)", Mpi.Fault.default_spec ~seed:2, 1);
+      ("delay+sendfail(seed=2)", Mpi.Fault.default_spec ~seed:2, 4);
+      ( "kills(seed=3)",
+        { Mpi.Fault.inert with seed = 3; crash_prob = 0.02 },
+        4 );
+      ( "wedges(seed=4)",
+        { Mpi.Fault.inert with seed = 4; wedge_prob = 0.02 },
+        4 );
+    ]
+  in
+  let results =
+    List.map
+      (fun (label, spec, jobs) ->
+        let r = run ~fault:spec ~jobs () in
+        show label r jobs;
+        (label, spec, jobs, r))
+      scenarios
+  in
+  let path = "BENCH_fault_soak.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"fault_soak\",\n  \"np\": %d,\n" np;
+  Printf.fprintf oc "  \"baseline_interleavings\": %d,\n  \"results\": [\n"
+    baseline.Report.interleavings;
+  let n = List.length results in
+  List.iteri
+    (fun i (label, spec, jobs, (r : Report.t)) ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"spec\": %S, \"jobs\": %d, \
+         \"interleavings\": %d, \"findings\": %d, \"timed_out\": %d, \
+         \"retried\": %d, \"faulted\": %d, \"matches_baseline\": %b}%s\n"
+        label (Mpi.Fault.to_string spec) jobs r.Report.interleavings
+        (List.length r.Report.findings)
+        r.Report.runs_timed_out r.Report.runs_retried r.Report.runs_crashed
+        (r.Report.interleavings = baseline.Report.interleavings)
+        (if i = n - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  pf "\nresults written to %s\n" path
+
 (* ---- Trace overhead: a trace:false runtime must allocate no event
    records. Both the event list and the per-event records are only built
    behind the [trace_on] guard, so two untraced runs of a deterministic
@@ -609,7 +699,7 @@ let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
     \                 ablation-piggyback|ablation-mixing|parallel|\
-     trace-overhead|micro] [--np N]\n"
+     fault-soak|trace-overhead|micro] [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -640,6 +730,7 @@ let () =
     | "ablation-random" -> ablation_random ()
     | "ablation-mixing" -> ablation_mixing ()
     | "parallel" -> parallel_explore ()
+    | "fault-soak" -> fault_soak ()
     | "trace-overhead" -> trace_overhead ()
     | "micro" -> micro ()
     | "all" ->
@@ -654,6 +745,7 @@ let () =
         ablation_random ();
         ablation_mixing ();
         parallel_explore ();
+        fault_soak ();
         trace_overhead ()
     | other ->
         pf "unknown command %S\n" other;

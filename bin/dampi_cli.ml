@@ -124,7 +124,9 @@ let list_cmd =
 (* ---- verify command ---- *)
 
 let verify_run workload np clock_name mixing_bound max_runs engine dual
-    stop_first quiet dump_schedule jobs trace_out metrics_out =
+    stop_first quiet dump_schedule jobs trace_out metrics_out
+    (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
+     max_retries, retry_backoff, fault_seed, fault_spec) =
   match find_entry workload with
   | None ->
       Printf.eprintf
@@ -144,6 +146,71 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       let state_config =
         State.make_config ~clock ?mixing_bound ~dual_clock:dual ()
       in
+      let fault =
+        match (fault_seed, fault_spec) with
+        | None, None -> None
+        | seed, text -> (
+            match
+              Mpi.Fault.of_string ?seed (Option.value text ~default:"")
+            with
+            | Ok spec -> Some spec
+            | Error msg ->
+                Printf.eprintf "bad fault spec: %s\n" msg;
+                exit 2)
+      in
+      (* The label pins everything that shapes the exploration; resuming
+         under a different configuration would silently diverge, so it is
+         rejected instead. *)
+      let label =
+        Printf.sprintf "%s %s np=%d clock=%s k=%d dual=%b" engine entry.key np
+          clock_name
+          (Option.value mixing_bound ~default:(-1))
+          dual
+      in
+      let resume =
+        match checkpoint_path with
+        | Some path when Sys.file_exists path -> (
+            match Dampi.Checkpoint.load path with
+            | Error msg ->
+                Printf.eprintf "cannot resume from %s: %s\n" path msg;
+                exit 2
+            | Ok c ->
+                if c.Dampi.Checkpoint.label <> label then begin
+                  Printf.eprintf
+                    "cannot resume from %s: it belongs to a different \
+                     configuration (%s, this run is %s)\n"
+                    path c.Dampi.Checkpoint.label label;
+                  exit 2
+                end;
+                if c.Dampi.Checkpoint.np <> np then begin
+                  Printf.eprintf
+                    "cannot resume from %s: np mismatch (checkpoint %d, this \
+                     run %d)\n"
+                    path c.Dampi.Checkpoint.np np;
+                  exit 2
+                end;
+                Printf.printf
+                  "resuming from %s: %d interleavings already explored, %d \
+                   frontier item(s)\n"
+                  path c.Dampi.Checkpoint.runs
+                  (List.length c.Dampi.Checkpoint.frontier);
+                Some c)
+        | _ -> None
+      in
+      let robustness =
+        {
+          Explorer.replay_timeout;
+          max_replay_steps;
+          max_retries;
+          retry_backoff;
+          fault;
+          checkpoint =
+            Option.map
+              (fun path -> { Explorer.path; every = checkpoint_every; label })
+              checkpoint_path;
+          interrupt_after = None;
+        }
+      in
       let program = entry.build () in
       let trace = trace_out <> None in
       let report =
@@ -158,8 +225,9 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                   stop_on_first_error = stop_first;
                   jobs;
                   trace;
+                  robustness;
                 }
-              ~np program
+              ?resume ~np program
         | "isp" ->
             Isp.Engine.verify
               ~config:
@@ -169,8 +237,9 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                   max_runs;
                   jobs;
                   trace;
+                  robustness;
                 }
-              ~np program
+              ?resume ~np program
         | other ->
             Printf.eprintf "unknown engine %S (dampi|isp)\n" other;
             exit 2
@@ -199,6 +268,15 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       | Some path, [] ->
           Printf.printf "no findings; nothing written to %s\n" path
       | None, _ -> ());
+      (match (report.Report.interrupted, checkpoint_path) with
+      | true, Some path ->
+          Printf.printf
+            "interrupted; frontier checkpointed to %s (rerun with the same \
+             --checkpoint to resume)\n"
+            path;
+          exit 3
+      | true, None -> exit 3
+      | false, _ -> ());
       if Report.has_errors report then exit 1
 
 let verify_cmd =
@@ -293,15 +371,97 @@ let verify_cmd =
             "Write the run's metrics (merged and per-worker-shard) as JSON \
              to $(docv).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint the exploration frontier to $(docv) (atomically, \
+             periodically and on SIGINT/SIGTERM). If $(docv) already exists, \
+             resume from it: the resumed exploration reaches the same \
+             canonical report as an uninterrupted one. Exits 3 when \
+             interrupted.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Completed replays between periodic checkpoint writes (0 writes \
+             only on interrupt and completion).")
+  in
+  let replay_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "replay-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock watchdog per replay attempt; a wedged replay is \
+             cancelled, counted as timed out, and retried per \
+             $(b,--max-retries) without stalling other workers.")
+  in
+  let max_replay_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-replay-steps" ] ~docv:"N"
+          ~doc:
+            "Deterministic per-attempt budget of verifier steps (interposed \
+             MPI events); exceeding it counts as a timeout.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Retries per replay after a timeout or an injected transient \
+             fault, each under a fresh fault salt.")
+  in
+  let retry_backoff =
+    Arg.(
+      value & opt float 0.0
+      & info [ "retry-backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base of the capped exponential backoff between retry attempts \
+             (0 retries immediately).")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Enable deterministic fault injection with the default rates \
+             under $(docv); the same seed reproduces the same fault schedule.")
+  in
+  let fault_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-injection spec as comma-separated key=value pairs (keys: \
+             $(b,seed), $(b,delay), $(b,max-delay), $(b,sendfail), \
+             $(b,crash), $(b,wedge), $(b,rank)), e.g. \
+             $(b,seed=7,delay=0.1,sendfail=0.05).")
+  in
+  let robustness_opts =
+    Term.(
+      const (fun a b c d e f g h -> (a, b, c, d, e, f, g, h))
+      $ checkpoint $ checkpoint_every $ replay_timeout $ max_replay_steps
+      $ max_retries $ retry_backoff $ fault_seed $ fault_spec)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Verify a bundled workload over the space of its non-deterministic \
-          matches. Exits 1 if errors were found.")
+          matches. Exits 1 if errors were found, 3 if interrupted (after \
+          checkpointing the frontier when $(b,--checkpoint) is set).")
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
       $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ trace_out
-      $ metrics_out)
+      $ metrics_out $ robustness_opts)
 
 (* ---- replay command ---- *)
 

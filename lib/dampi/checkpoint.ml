@@ -1,0 +1,394 @@
+(* On-disk checkpoint of an exploration: canonical counters + findings so
+   far, the set of completed replay schedules, and the outstanding frontier.
+   See checkpoint.mli for the resume contract.
+
+   The format is line-oriented text, versioned, and self-contained — it is
+   the wire format a distributed mode will ship between workers, so nothing
+   here may depend on in-process state. Every free-form string (finding
+   messages, workload labels) is percent-encoded to keep the grammar
+   whitespace-delimited. *)
+
+let version = 1
+
+type item = {
+  prefix : Decisions.decision list;
+  choice : Decisions.decision;
+}
+
+type t = {
+  label : string;  (** workload identity; validated on resume *)
+  np : int;
+  complete : bool;  (** frontier empty: resuming just re-reports *)
+  runs : int;
+  runs_cancelled : int;
+  runs_timed_out : int;
+  runs_retried : int;
+  runs_crashed : int;
+  monitor_alerts : int;
+  bounded_epochs : int;
+  wildcards_analyzed : int;
+  first_run_makespan : float;
+  total_virtual_time : float;
+  findings : Report.finding list;
+  completed : string list;  (** {!schedule_key}s of counted replays *)
+  frontier : item list;
+}
+
+(* ---- percent-encoding (RFC 3986 unreserved set) ---- *)
+
+let unreserved c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.' || c = '~'
+
+let enc s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if unreserved c then Buffer.add_char b c
+      else Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let dec s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code -> Buffer.add_char b (Char.chr code)
+        | None -> Buffer.add_string b (String.sub s i 3));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+(* ---- schedule keys ---- *)
+
+let decision_to_key (d : Decisions.decision) =
+  Printf.sprintf "%s:%d:%d:%d"
+    (Decisions.kind_to_string d.Decisions.kind)
+    d.Decisions.owner d.Decisions.epoch_id d.Decisions.src
+
+let decision_of_key s =
+  match String.split_on_char ':' s with
+  | [ kind; owner; epoch_id; src ] -> (
+      match
+        ( Decisions.kind_of_string kind,
+          int_of_string_opt owner,
+          int_of_string_opt epoch_id,
+          int_of_string_opt src )
+      with
+      | Some kind, Some owner, Some epoch_id, Some src ->
+          Some { Decisions.owner; epoch_id; src; kind }
+      | _ -> None)
+  | _ -> None
+
+let schedule_key = function
+  | [] -> "-"
+  | ds -> String.concat "," (List.map decision_to_key ds)
+
+let schedule_of_key = function
+  | "-" -> Some []
+  | s ->
+      let parts = String.split_on_char ',' s in
+      let ds = List.map decision_of_key parts in
+      if List.exists Option.is_none ds then None
+      else Some (List.filter_map Fun.id ds)
+
+let item_key it = schedule_key (it.prefix @ [ it.choice ])
+
+(* ---- error serialization ---- *)
+
+let error_to_line = function
+  | Report.Deadlock { blocked } ->
+      Printf.sprintf "deadlock %s"
+        (String.concat ";"
+           (List.map
+              (fun (pid, r) -> Printf.sprintf "%d:%s" pid (enc r))
+              blocked))
+  | Report.Crash { pid; message } ->
+      Printf.sprintf "crash %d:%s" pid (enc message)
+  | Report.Comm_leak { pid; labels } ->
+      Printf.sprintf "commleak %d:%s" pid
+        (String.concat ";" (List.map enc labels))
+  | Report.Request_leak { pid; count } ->
+      Printf.sprintf "reqleak %d:%d" pid count
+  | Report.Monitor_alert { pid; epoch_id; op } ->
+      Printf.sprintf "monitor %d:%d:%s" pid epoch_id (enc op)
+  | Report.Replay_divergence { count } ->
+      Printf.sprintf "divergence %d" count
+
+let error_of_line tag payload =
+  let int_pair s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+    | _ -> None
+  in
+  match tag with
+  | "deadlock" ->
+      let parse_one entry =
+        match String.index_opt entry ':' with
+        | Some i -> (
+            match int_of_string_opt (String.sub entry 0 i) with
+            | Some pid ->
+                Some
+                  ( pid,
+                    dec (String.sub entry (i + 1) (String.length entry - i - 1))
+                  )
+            | None -> None)
+        | None -> None
+      in
+      let blocked =
+        List.map parse_one
+          (if payload = "" then [] else String.split_on_char ';' payload)
+      in
+      if List.exists Option.is_none blocked then None
+      else Some (Report.Deadlock { blocked = List.filter_map Fun.id blocked })
+  | "crash" -> (
+      match String.index_opt payload ':' with
+      | Some i -> (
+          match int_of_string_opt (String.sub payload 0 i) with
+          | Some pid ->
+              Some
+                (Report.Crash
+                   {
+                     pid;
+                     message =
+                       dec
+                         (String.sub payload (i + 1)
+                            (String.length payload - i - 1));
+                   })
+          | None -> None)
+      | None -> None)
+  | "commleak" -> (
+      match String.index_opt payload ':' with
+      | Some i -> (
+          match int_of_string_opt (String.sub payload 0 i) with
+          | Some pid ->
+              let labels =
+                String.sub payload (i + 1) (String.length payload - i - 1)
+              in
+              Some
+                (Report.Comm_leak
+                   {
+                     pid;
+                     labels =
+                       (if labels = "" then []
+                        else List.map dec (String.split_on_char ';' labels));
+                   })
+          | None -> None)
+      | None -> None)
+  | "reqleak" -> (
+      match int_pair payload with
+      | Some (pid, count) -> Some (Report.Request_leak { pid; count })
+      | None -> None)
+  | "monitor" -> (
+      match String.split_on_char ':' payload with
+      | [ pid; epoch_id; op ] -> (
+          match (int_of_string_opt pid, int_of_string_opt epoch_id) with
+          | Some pid, Some epoch_id ->
+              Some (Report.Monitor_alert { pid; epoch_id; op = dec op })
+          | _ -> None)
+      | _ -> None)
+  | "divergence" -> (
+      match int_of_string_opt payload with
+      | Some count -> Some (Report.Replay_divergence { count })
+      | None -> None)
+  | _ -> None
+
+(* ---- document ---- *)
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# DAMPI checkpoint";
+  line "version %d" version;
+  line "label %s" (enc t.label);
+  line "np %d" t.np;
+  line "complete %d" (if t.complete then 1 else 0);
+  line "runs %d" t.runs;
+  line "cancelled %d" t.runs_cancelled;
+  line "timed-out %d" t.runs_timed_out;
+  line "retried %d" t.runs_retried;
+  line "crashed %d" t.runs_crashed;
+  line "alerts %d" t.monitor_alerts;
+  line "bounded %d" t.bounded_epochs;
+  line "wildcards %d" t.wildcards_analyzed;
+  (* %h (hex floats) round-trips exactly; canonical-report equality after a
+     resume depends on it. *)
+  line "first-makespan %h" t.first_run_makespan;
+  line "total-vtime %h" t.total_virtual_time;
+  List.iter
+    (fun (f : Report.finding) ->
+      line "finding %d %s %s" f.Report.run_index
+        (schedule_key f.Report.schedule)
+        (error_to_line f.Report.error))
+    t.findings;
+  List.iter (fun k -> line "done %s" k) t.completed;
+  List.iter
+    (fun it ->
+      line "item %s %s" (schedule_key it.prefix) (decision_to_key it.choice))
+    t.frontier;
+  Buffer.contents b
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: rest when header = "# DAMPI checkpoint" -> (
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+      let seen_version = ref None in
+      let label = ref "" in
+      let np = ref 0 in
+      let complete = ref false in
+      let runs = ref 0 in
+      let cancelled = ref 0 in
+      let timed_out = ref 0 in
+      let retried = ref 0 in
+      let crashed = ref 0 in
+      let alerts = ref 0 in
+      let bounded = ref 0 in
+      let wildcards = ref 0 in
+      let first_makespan = ref 0.0 in
+      let total_vtime = ref 0.0 in
+      let findings = ref [] in
+      let completed = ref [] in
+      let frontier = ref [] in
+      let int_field name v r =
+        match int_of_string_opt v with
+        | Some n -> r := n
+        | None -> fail "malformed %s %S" name v
+      in
+      let float_field name v r =
+        match float_of_string_opt v with
+        | Some f -> r := f
+        | None -> fail "malformed %s %S" name v
+      in
+      List.iter
+        (fun l ->
+          if !err = None then
+            match String.index_opt l ' ' with
+            | None -> fail "malformed line %S" l
+            | Some i -> (
+                let key = String.sub l 0 i in
+                let rest = String.sub l (i + 1) (String.length l - i - 1) in
+                (* Everything but [version] is ignored until the version is
+                   known and accepted, so a future format only ever produces
+                   the clean version-mismatch error. *)
+                match key with
+                | "version" -> (
+                    match int_of_string_opt rest with
+                    | Some v when v = version -> seen_version := Some v
+                    | Some v ->
+                        fail
+                          "checkpoint version %d not supported (this build \
+                           reads version %d)"
+                          v version
+                    | None -> fail "malformed version %S" rest)
+                | _ when !seen_version = None ->
+                    fail "missing version header"
+                | "label" -> label := dec rest
+                | "np" -> int_field "np" rest np
+                | "complete" -> complete := rest = "1"
+                | "runs" -> int_field "runs" rest runs
+                | "cancelled" -> int_field "cancelled" rest cancelled
+                | "timed-out" -> int_field "timed-out" rest timed_out
+                | "retried" -> int_field "retried" rest retried
+                | "crashed" -> int_field "crashed" rest crashed
+                | "alerts" -> int_field "alerts" rest alerts
+                | "bounded" -> int_field "bounded" rest bounded
+                | "wildcards" -> int_field "wildcards" rest wildcards
+                | "first-makespan" ->
+                    float_field "first-makespan" rest first_makespan
+                | "total-vtime" -> float_field "total-vtime" rest total_vtime
+                | "finding" -> (
+                    match String.split_on_char ' ' rest with
+                    | run_index :: sched :: tag :: payload -> (
+                        match
+                          ( int_of_string_opt run_index,
+                            schedule_of_key sched,
+                            error_of_line tag (String.concat " " payload) )
+                        with
+                        | Some run_index, Some schedule, Some error ->
+                            findings :=
+                              { Report.error; run_index; schedule }
+                              :: !findings
+                        | _ -> fail "malformed finding line %S" l)
+                    | _ -> fail "malformed finding line %S" l)
+                | "done" -> completed := rest :: !completed
+                | "item" -> (
+                    match String.split_on_char ' ' rest with
+                    | [ prefix; choice ] -> (
+                        match
+                          (schedule_of_key prefix, decision_of_key choice)
+                        with
+                        | Some prefix, Some choice ->
+                            frontier := { prefix; choice } :: !frontier
+                        | _ -> fail "malformed item line %S" l)
+                    | _ -> fail "malformed item line %S" l)
+                | _ -> fail "unknown checkpoint field %S" key))
+        rest;
+      (match (!err, !seen_version) with
+      | None, None -> err := Some "missing version header"
+      | _ -> ());
+      match !err with
+      | Some e -> Error e
+      | None ->
+          Ok
+            {
+              label = !label;
+              np = !np;
+              complete = !complete;
+              runs = !runs;
+              runs_cancelled = !cancelled;
+              runs_timed_out = !timed_out;
+              runs_retried = !retried;
+              runs_crashed = !crashed;
+              monitor_alerts = !alerts;
+              bounded_epochs = !bounded;
+              wildcards_analyzed = !wildcards;
+              first_run_makespan = !first_makespan;
+              total_virtual_time = !total_vtime;
+              findings = List.rev !findings;
+              completed = List.rev !completed;
+              frontier = List.rev !frontier;
+            })
+  | _ -> Error "not a DAMPI checkpoint file"
+
+(* ---- atomic file I/O ---- *)
+
+let save t path =
+  (* Temp file in the same directory so the rename is a same-filesystem
+     atomic replace: a reader (or a crash) only ever sees a complete
+     checkpoint — the previous one or this one, never a torn write. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,59 @@
+(** On-disk checkpoint of an interrupted exploration.
+
+    A checkpoint is a consistent cut of the depth-first walk: the canonical
+    counters and findings accumulated over {e completed} replays, the
+    {!schedule_key}s of those replays, and the outstanding frontier (every
+    queued or in-flight fork item at the cut). Resuming replays the frontier
+    under the same configuration; frontier items whose key is already in
+    [completed] are re-run {e expand-only} (their children are regenerated,
+    deterministically identical, but nothing is re-counted), so the resumed
+    exploration provably converges to the same canonical report as an
+    uninterrupted run.
+
+    The format is versioned line-oriented text, written atomically (temp
+    file + rename in the same directory), and self-contained: it is the wire
+    format the distributed mode will ship between workers. *)
+
+val version : int
+(** Current format version; {!load} rejects any other with a clear error. *)
+
+(** One pending guided run, mirroring the explorer's work item. *)
+type item = {
+  prefix : Decisions.decision list;
+  choice : Decisions.decision;
+}
+
+type t = {
+  label : string;  (** workload identity; validated by the CLI on resume *)
+  np : int;
+  complete : bool;  (** exploration finished; resuming just re-reports *)
+  runs : int;
+  runs_cancelled : int;
+  runs_timed_out : int;
+  runs_retried : int;
+  runs_crashed : int;
+  monitor_alerts : int;
+  bounded_epochs : int;
+  wildcards_analyzed : int;
+  first_run_makespan : float;
+  total_virtual_time : float;
+  findings : Report.finding list;
+  completed : string list;  (** {!schedule_key}s of counted replays *)
+  frontier : item list;
+}
+
+val schedule_key : Decisions.decision list -> string
+(** Canonical textual key of a forced schedule (["-"] for the self run).
+    Pure function of the decisions, so keys agree across processes. *)
+
+val item_key : item -> string
+(** [schedule_key (prefix @ [choice])] — the schedule the item would run. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames over [path], so a reader or
+    a crash mid-write only ever observes a complete document. *)
+
+val load : string -> (t, string) result

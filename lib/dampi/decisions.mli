@@ -35,6 +35,9 @@ val decision_of_epoch : Epoch.t -> src:int -> decision
 
 (** {1 Schedule files} *)
 
+val kind_to_string : Epoch.kind -> string
+val kind_of_string : string -> Epoch.kind option
+
 val to_string : plan -> string
 val of_string : string -> (plan, string) result
 val save : plan -> string -> unit

@@ -15,6 +15,33 @@
 module Runtime = Mpi.Runtime
 module Coroutine = Sim.Coroutine
 
+type checkpoint_cfg = {
+  path : string;
+  every : int;  (** completed replays between periodic writes; 0 = only on interrupt/finish *)
+  label : string;  (** workload identity stored in (and validated against) the file *)
+}
+
+type robustness = {
+  replay_timeout : float option;
+  max_replay_steps : int option;
+  max_retries : int;
+  retry_backoff : float;
+  fault : Mpi.Fault.spec option;
+  checkpoint : checkpoint_cfg option;
+  interrupt_after : int option;
+}
+
+let default_robustness =
+  {
+    replay_timeout = None;
+    max_replay_steps = None;
+    max_retries = 0;
+    retry_backoff = 0.0;
+    fault = None;
+    checkpoint = None;
+    interrupt_after = None;
+  }
+
 type config = {
   state_config : State.config;
   cost : Runtime.cost_model;
@@ -23,6 +50,7 @@ type config = {
   stop_on_first_error : bool;
   jobs : int;  (** worker domains; 1 = sequential depth-first walk *)
   trace : bool;  (** collect a span timeline of the exploration *)
+  robustness : robustness;
 }
 
 let default_config =
@@ -34,18 +62,21 @@ let default_config =
     stop_on_first_error = false;
     jobs = 1;
     trace = false;
+    robustness = default_robustness;
   }
 
 (* Per-run observability context threaded into the runner: which worker is
-   executing, the metric shard that worker owns, and the poison closure the
-   interposition layer polls for in-replay cancellation. *)
+   executing, the metric shard that worker owns, the poison closure the
+   interposition layer polls for in-replay cancellation, and the fault salt
+   identifying this (replay, attempt) for deterministic injection. *)
 type run_ctx = {
   worker : int;
   metrics : Obs.Metrics.shard option;
   poison : (unit -> bool) option;
+  salt : int;
 }
 
-let null_ctx = { worker = 0; metrics = None; poison = None }
+let null_ctx = { worker = 0; metrics = None; poison = None; salt = 0 }
 
 type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
 
@@ -119,13 +150,23 @@ let errors_of_run ~check_leaks ~(outcome : Coroutine.outcome) ~leaks
     errors := Report.Replay_divergence { count = st.State.divergences } :: !errors;
   List.rev !errors
 
+(* The fault instance for one (replay, attempt), derived from the configured
+   spec and the context's salt — shared with the ISP runner. *)
+let fault_of_ctx ctx = function
+  | None -> Mpi.Fault.none
+  | Some spec -> Mpi.Fault.make spec ~salt:ctx.salt
+
 let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
  fun ~ctx plan ~fork_index ->
-  let rt = Runtime.create ~cost:config.cost ?metrics:ctx.metrics ~np () in
+  let fault = fault_of_ctx ctx config.robustness.fault in
+  let rt = Runtime.create ~cost:config.cost ?metrics:ctx.metrics ~fault ~np () in
   let st =
     State.create ~config:config.state_config ?metrics:ctx.metrics
       ?poison:ctx.poison ~np ~plan ~fork_index ()
   in
+  (* An injected wedge spins on this hook; the watchdog's poison breaks the
+     spin through the same [State.check_poison] path as [--stop-first]. *)
+  Runtime.set_interrupt_hook rt (fun () -> State.check_poison st);
   let module B = Mpi.Bind.Make (struct
     let rt = rt
   end) in
@@ -169,11 +210,12 @@ let native_makespan ?(cost = Runtime.default_cost) ~np program =
 (* ---- The walk over epoch decisions ---- *)
 
 (* One pending guided run: the observed prefix up to a fork, plus the single
-   alternate match to force there. Expanding a frontier into one item per
-   alternative (rather than one frame per epoch with an [untried] list)
-   keeps the work-queue items immutable, which is what lets a pool of
-   domains consume them without sharing any per-frame mutable state. *)
-type item = {
+   alternate match to force there ({!Checkpoint.item}, so the frontier
+   serializes as-is). Expanding a frontier into one item per alternative
+   (rather than one frame per epoch with an [untried] list) keeps the
+   work-queue items immutable, which is what lets a pool of domains consume
+   them without sharing any per-frame mutable state. *)
+type item = Checkpoint.item = {
   prefix : Decisions.decision list;  (* observed matches before the fork *)
   choice : Decisions.decision;  (* the alternate match this run forces *)
 }
@@ -217,6 +259,14 @@ let items_of_record (record : Report.run_record) ~plan_decisions =
   in
   List.concat (List.rev batches)
 
+(* How one replay (possibly after retries) resolved, as seen by the walk. *)
+type run_status =
+  | Counted of Report.run_record
+      (* completed (or expand-only re-ran): expand its child frontier *)
+  | Stopped  (* poisoned by stop-first cancellation: drop *)
+  | Interrupted  (* poisoned by SIGINT/SIGTERM: requeue for the checkpoint *)
+  | Gave_up  (* every attempt hit the watchdog: record, no frontier *)
+
 (* Sequential and parallel exploration share this one loop: the frontier
    lives in a Scheduler work queue, and each executed item is a complete
    guided replay (fresh Runtime + State inside [runner], so workers share
@@ -227,9 +277,20 @@ let items_of_record (record : Report.run_record) ~plan_decisions =
    count are identical at any worker count (on an exhaustive exploration;
    a binding [max_runs] budget selects a worker-order-dependent subset of
    runs by nature). *)
-let explore ?(config = default_config) ~np (runner : runner) : Report.t =
+let explore ?(config = default_config) ?resume ~np (runner : runner) :
+    Report.t =
   let started = Unix.gettimeofday () in
   let jobs = max 1 config.jobs in
+  let rb = config.robustness in
+  (* A checkpoint recording nothing is indistinguishable from a fresh start;
+     treat it as one so an interrupt during the self run stays resumable. *)
+  let resume =
+    match resume with
+    | Some (c : Checkpoint.t) when c.Checkpoint.runs > 0 || c.Checkpoint.complete
+      ->
+        Some c
+    | _ -> None
+  in
   (* Shard layout: one per worker domain, plus a final shard for the
      scheduler (whose writes happen under its own lock). The merged snapshot
      of a jobs=N exploration equals the jobs=1 one for every series that is
@@ -239,6 +300,18 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   let replays_c =
     Array.init jobs (fun w ->
         Obs.Metrics.counter (worker_shard w) "explorer.replays")
+  in
+  let retries_c =
+    Array.init jobs (fun w ->
+        Obs.Metrics.counter (worker_shard w) "explorer.retries")
+  in
+  let timeouts_c =
+    Array.init jobs (fun w ->
+        Obs.Metrics.counter (worker_shard w) "explorer.timeouts")
+  in
+  let faults_c =
+    Array.init jobs (fun w ->
+        Obs.Metrics.counter (worker_shard w) "explorer.fault_aborts")
   in
   let wall_h =
     Array.init jobs (fun w ->
@@ -259,15 +332,56 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   let findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
   let runs = ref 0 in
   let runs_cancelled = ref 0 in
+  let runs_timed_out = ref 0 in
+  let runs_retried = ref 0 in
+  let runs_crashed = ref 0 in
+  let harness_failures : Report.harness_failure list ref = ref [] in
   let total_vtime = ref 0.0 in
   let monitor_alerts = ref 0 in
   let bounded = ref 0 in
+  let wildcards_analyzed = ref 0 in
+  let first_makespan = ref 0.0 in
   let error_found = Atomic.make false in
   let cancel_at = Atomic.make 0.0 in
-  let poison =
-    if config.stop_on_first_error then
-      Some (fun () -> Atomic.get error_found)
-    else None
+  let interrupt_requested = Atomic.make false in
+  (* Keys of replays already counted. [resume_completed] is immutable during
+     the run (safe to read from any worker without the lock); newly counted
+     keys accumulate separately under [m] for the next checkpoint write. *)
+  let resume_completed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let new_completed : string list ref = ref [] in
+  let completed_since = ref 0 in
+  let sched_ref : item Scheduler.t option ref = ref None in
+  (* The frontier before any scheduler exists (the self run's children, or
+     a resumed checkpoint's items): if the exploration is cut before the
+     pool starts, this is what the checkpoint must carry. *)
+  let frontier_fallback : item list ref = ref [] in
+  (match resume with
+  | None -> ()
+  | Some c ->
+      runs := c.Checkpoint.runs;
+      runs_cancelled := c.Checkpoint.runs_cancelled;
+      runs_timed_out := c.Checkpoint.runs_timed_out;
+      runs_retried := c.Checkpoint.runs_retried;
+      runs_crashed := c.Checkpoint.runs_crashed;
+      monitor_alerts := c.Checkpoint.monitor_alerts;
+      bounded := c.Checkpoint.bounded_epochs;
+      wildcards_analyzed := c.Checkpoint.wildcards_analyzed;
+      first_makespan := c.Checkpoint.first_run_makespan;
+      total_vtime := c.Checkpoint.total_virtual_time;
+      List.iter
+        (fun (f : Report.finding) ->
+          Hashtbl.replace findings (Report.error_signature f.Report.error) f;
+          match f.Report.error with
+          | Report.Deadlock _ | Report.Crash _ -> Atomic.set error_found true
+          | _ -> ())
+        c.Checkpoint.findings;
+      List.iter
+        (fun k -> Hashtbl.replace resume_completed k ())
+        c.Checkpoint.completed);
+  let need_poison =
+    config.stop_on_first_error || rb.checkpoint <> None
+    || rb.replay_timeout <> None || rb.max_replay_steps <> None
+    || rb.fault <> None || rb.interrupt_after <> None
   in
   let root_span =
     Option.map
@@ -299,105 +413,356 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
               Hashtbl.replace findings key candidate)
       record.Report.run_errors
   in
-  let run_one plan ~fork_index ~schedule ~worker ~name =
-    let ctx = { worker; metrics = Some (worker_shard worker); poison } in
-    (* Span args carry only run-set-determined values (fork, depth), never
-       wall times, so jobs=1 span trees reproduce exactly. *)
-    let sp =
-      Option.map
-        (fun tr ->
-          Obs.Trace.begin_span (Obs.Trace.sink tr worker) ~parent:root_id
-            ~args:
-              [
-                ("fork", Obs.Trace.Int fork_index);
-                ("depth", Obs.Trace.Int (List.length schedule));
-              ]
-            name)
-        tracer
+  let sorted_findings () =
+    Hashtbl.fold (fun _ f acc -> f :: acc) findings []
+    |> List.sort Report.compare_finding
+  in
+  (* Serialize the current cut. [m] stays held through the file write: the
+     counters, completed set, and frontier must come from one consistent
+     instant (the scheduler snapshot is itself atomic, and [finish]
+     publishes a replay's children and count moves under [m] too), and
+     checkpoint writes are rare enough that stalling workers briefly is
+     cheaper than a torn cut. *)
+  let write_checkpoint () =
+    match rb.checkpoint with
+    | None -> ()
+    | Some c ->
+        Mutex.lock m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock m)
+          (fun () ->
+            let frontier =
+              match !sched_ref with
+              | Some sched -> Scheduler.snapshot sched
+              | None -> !frontier_fallback
+            in
+            let completed =
+              Hashtbl.fold (fun k () acc -> k :: acc) resume_completed []
+              @ !new_completed
+            in
+            Checkpoint.save
+              {
+                Checkpoint.label = c.label;
+                np;
+                complete =
+                  frontier = [] && not (Atomic.get interrupt_requested);
+                runs = !runs;
+                runs_cancelled = !runs_cancelled;
+                runs_timed_out = !runs_timed_out;
+                runs_retried = !runs_retried;
+                runs_crashed = !runs_crashed;
+                monitor_alerts = !monitor_alerts;
+                bounded_epochs = !bounded;
+                wildcards_analyzed = !wildcards_analyzed;
+                first_run_makespan = !first_makespan;
+                total_virtual_time = !total_vtime;
+                findings = sorted_findings ();
+                completed;
+                frontier;
+              }
+              c.path)
+  in
+  let maybe_periodic_checkpoint () =
+    match rb.checkpoint with
+    | Some c when c.every > 0 ->
+        let due =
+          Mutex.lock m;
+          let d = !completed_since >= c.every in
+          if d then completed_since := 0;
+          Mutex.unlock m;
+          d
+        in
+        if due then write_checkpoint ()
+    | _ -> ()
+  in
+  (* One guided replay, with watchdog and retries. [count] is false for
+     expand-only re-runs during a resume: the replay executes (to regenerate
+     its children deterministically) but contributes nothing to counters or
+     findings — its contribution is already in the checkpoint. *)
+  let run_one plan ~fork_index ~schedule ~worker ~name ~count =
+    let key = Checkpoint.schedule_key schedule in
+    let rec attempt ~n =
+      let timed_out = ref false in
+      let steps = ref 0 in
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) rb.replay_timeout
+      in
+      let poison =
+        if not need_poison then None
+        else
+          Some
+            (fun () ->
+              if
+                Atomic.get interrupt_requested
+                || (config.stop_on_first_error && Atomic.get error_found)
+              then true
+              else begin
+                incr steps;
+                let hit =
+                  (match rb.max_replay_steps with
+                  | Some limit -> !steps > limit
+                  | None -> false)
+                  ||
+                  (* The wall check costs a syscall; poll it every 64
+                     steps. The step budget stays exact (deterministic). *)
+                  match deadline with
+                  | Some d -> !steps land 63 = 0 && Unix.gettimeofday () > d
+                  | None -> false
+                in
+                if hit then timed_out := true;
+                hit
+              end)
+      in
+      let ctx =
+        {
+          worker;
+          metrics = Some (worker_shard worker);
+          poison;
+          salt = Mpi.Fault.salt_of_schedule ~attempt:n key;
+        }
+      in
+      (* Span args carry only run-set-determined values (fork, depth), never
+         wall times, so jobs=1 span trees reproduce exactly. *)
+      let sp =
+        Option.map
+          (fun tr ->
+            Obs.Trace.begin_span (Obs.Trace.sink tr worker) ~parent:root_id
+              ~args:
+                [
+                  ("fork", Obs.Trace.Int fork_index);
+                  ("depth", Obs.Trace.Int (List.length schedule));
+                  ("attempt", Obs.Trace.Int n);
+                ]
+              name)
+          tracer
+      in
+      let t0 = Unix.gettimeofday () in
+      let record = runner ~ctx plan ~fork_index in
+      let wall = Unix.gettimeofday () -. t0 in
+      (match (tracer, sp) with
+      | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr worker) sp
+      | _ -> ());
+      (* Per-worker shard: this domain is the only writer. *)
+      Obs.Metrics.observe wall_h.(worker) wall;
+      Mutex.lock m;
+      worker_wall.(worker) <- worker_wall.(worker) +. wall;
+      Mutex.unlock m;
+      let retry () =
+        Mutex.lock m;
+        incr runs_retried;
+        Mutex.unlock m;
+        Obs.Metrics.incr retries_c.(worker);
+        if rb.retry_backoff > 0.0 then
+          (* Capped exponential backoff; pure wall-clock politeness, no
+             effect on what the retry explores. *)
+          Unix.sleepf
+            (Float.min 1.0 (rb.retry_backoff *. Float.pow 2.0 (float_of_int n)));
+        attempt ~n:(n + 1)
+      in
+      if record.Report.cancelled then begin
+        if !timed_out then begin
+          Mutex.lock m;
+          incr runs_timed_out;
+          Mutex.unlock m;
+          Obs.Metrics.incr timeouts_c.(worker);
+          if n < rb.max_retries && not (Atomic.get interrupt_requested) then
+            retry ()
+          else Gave_up
+        end
+        else begin
+          Mutex.lock m;
+          incr runs_cancelled;
+          Mutex.unlock m;
+          Obs.Metrics.observe cancel_h.(worker)
+            (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at));
+          if Atomic.get interrupt_requested then Interrupted else Stopped
+        end
+      end
+      else begin
+        match record.Report.outcome with
+        | Coroutine.Crashed (_, exn, _)
+          when Mpi.Fault.is_transient exn
+               && n < rb.max_retries
+               && not (Atomic.get interrupt_requested) ->
+            (* An injected environment fault, not a program bug: retry under
+               a fresh salt. Once retries are exhausted the crash is counted
+               and recorded like any other (the message names the fault). *)
+            Mutex.lock m;
+            incr runs_crashed;
+            Mutex.unlock m;
+            Obs.Metrics.incr faults_c.(worker);
+            retry ()
+        | _ ->
+            Obs.Metrics.incr replays_c.(worker);
+            Obs.Metrics.observe vtime_h.(worker) record.Report.makespan;
+            if count then begin
+              Mutex.lock m;
+              let index = !runs in
+              incr runs;
+              total_vtime := !total_vtime +. record.Report.makespan;
+              worker_runs.(worker) <- worker_runs.(worker) + 1;
+              worker_vtime.(worker) <-
+                worker_vtime.(worker) +. record.Report.makespan;
+              List.iter
+                (fun (e : Epoch.t) ->
+                  if not e.Epoch.expandable then incr bounded)
+                record.Report.new_epochs;
+              record_findings record ~run_index:index ~schedule;
+              new_completed := key :: !new_completed;
+              incr completed_since;
+              if
+                List.exists
+                  (function
+                    | Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
+                  record.Report.run_errors
+              then begin
+                if not (Atomic.get error_found) then
+                  Atomic.set cancel_at (Unix.gettimeofday ());
+                Atomic.set error_found true
+              end;
+              (match rb.interrupt_after with
+              | Some limit when !runs >= limit ->
+                  Atomic.set interrupt_requested true
+              | _ -> ());
+              Mutex.unlock m
+            end;
+            Counted record
+      end
     in
-    let t0 = Unix.gettimeofday () in
-    let record = runner ~ctx plan ~fork_index in
-    let wall = Unix.gettimeofday () -. t0 in
-    (match (tracer, sp) with
-    | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr worker) sp
-    | _ -> ());
-    (* Per-worker shard: this domain is the only writer. *)
-    Obs.Metrics.observe wall_h.(worker) wall;
-    if record.Report.cancelled then
-      Obs.Metrics.observe cancel_h.(worker)
-        (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at))
-    else begin
-      Obs.Metrics.incr replays_c.(worker);
-      Obs.Metrics.observe vtime_h.(worker) record.Report.makespan
-    end;
-    Mutex.lock m;
-    if record.Report.cancelled then begin
-      incr runs_cancelled;
-      worker_wall.(worker) <- worker_wall.(worker) +. wall;
-      Mutex.unlock m;
-      record
-    end
-    else begin
-      let index = !runs in
-      incr runs;
-      total_vtime := !total_vtime +. record.Report.makespan;
-      worker_runs.(worker) <- worker_runs.(worker) + 1;
-      worker_wall.(worker) <- worker_wall.(worker) +. wall;
-      worker_vtime.(worker) <- worker_vtime.(worker) +. record.Report.makespan;
+    attempt ~n:0
+  in
+  (* SIGINT/SIGTERM flip the interrupt flag; the poison path then drains the
+     pool cooperatively and the frontier is checkpointed. Installed only
+     when checkpointing was requested, and restored on the way out. *)
+  let old_signals =
+    match rb.checkpoint with
+    | None -> []
+    | Some _ ->
+        List.filter_map
+          (fun signal ->
+            match
+              Sys.signal signal
+                (Sys.Signal_handle
+                   (fun _ -> Atomic.set interrupt_requested true))
+            with
+            | old -> Some (signal, old)
+            | exception (Invalid_argument _ | Sys_error _) -> None)
+          [ Sys.sigint; Sys.sigterm ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
       List.iter
-        (fun (e : Epoch.t) -> if not e.Epoch.expandable then incr bounded)
-        record.Report.new_epochs;
-      record_findings record ~run_index:index ~schedule;
-      if
-        List.exists
-          (function Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
-          record.Report.run_errors
-      then begin
-        if not (Atomic.get error_found) then
-          Atomic.set cancel_at (Unix.gettimeofday ());
-        Atomic.set error_found true
-      end;
-      Mutex.unlock m;
-      record
-    end
+        (fun (signal, old) ->
+          try Sys.set_signal signal old with Invalid_argument _ | Sys_error _ -> ())
+        old_signals)
+  @@ fun () ->
+  (* Initial self run, on the calling domain — unless resuming, in which
+     case the checkpoint already carries its contribution and frontier. *)
+  let initial_items =
+    match resume with
+    | Some c -> c.Checkpoint.frontier
+    | None -> (
+        match
+          run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
+            ~worker:0 ~name:"self-run" ~count:true
+        with
+        | Counted record ->
+            wildcards_analyzed := record.Report.wildcards;
+            first_makespan := record.Report.makespan;
+            items_of_record record ~plan_decisions:[]
+        | Stopped | Interrupted | Gave_up -> [])
   in
-  (* Initial self run, on the calling domain. *)
-  let initial =
-    run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[] ~worker:0
-      ~name:"self-run"
-  in
+  frontier_fallback := initial_items;
   let sched_stats =
     if
-      !runs >= config.max_runs
+      initial_items = []
+      || !runs >= config.max_runs
       || (config.stop_on_first_error && Atomic.get error_found)
+      || Atomic.get interrupt_requested
     then []
     else begin
+      (* Expand-only items don't count against [max_runs] (their runs were
+         already counted before the cut), but they do consume scheduler
+         claims; widen the claim budget accordingly. *)
+      let expand_only =
+        List.length
+          (List.filter
+             (fun it -> Hashtbl.mem resume_completed (Checkpoint.item_key it))
+             initial_items)
+      in
+      let budget =
+        if config.max_runs = max_int then max_int
+        else config.max_runs - !runs + expand_only
+      in
       let sched =
-        Scheduler.create ~order:Scheduler.Lifo ~jobs
-          ~budget:(config.max_runs - !runs)
+        Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget
           ~metrics:(Obs.Metrics.shard registry jobs)
           ()
       in
-      Scheduler.push_batch sched (items_of_record initial ~plan_decisions:[]);
+      sched_ref := Some sched;
+      Scheduler.push_batch sched initial_items;
       Scheduler.run sched (fun ~worker it ->
-          let decisions = it.prefix @ [ it.choice ] in
-          let plan = Decisions.of_decisions ~np decisions in
-          let record =
+          (* A raising replay is a harness failure, not a pool teardown:
+             record it (with the backtrace from the catch site) and keep the
+             sibling workers draining. *)
+          match
+            let decisions = it.prefix @ [ it.choice ] in
+            let plan = Decisions.of_decisions ~np decisions in
+            let count =
+              not
+                (Hashtbl.mem resume_completed
+                   (Checkpoint.schedule_key decisions))
+            in
             run_one plan
               ~fork_index:(List.length decisions - 1)
-              ~schedule:decisions ~worker ~name:"replay"
-          in
-          if
-            record.Report.cancelled
-            || (config.stop_on_first_error && Atomic.get error_found)
-          then begin
-            Scheduler.cancel sched;
-            []
-          end
-          else items_of_record record ~plan_decisions:decisions);
+              ~schedule:decisions ~worker ~name:"replay" ~count
+          with
+          | Counted record ->
+              maybe_periodic_checkpoint ();
+              let children =
+                items_of_record record
+                  ~plan_decisions:(it.prefix @ [ it.choice ])
+              in
+              if
+                Atomic.get interrupt_requested
+                || (config.stop_on_first_error && Atomic.get error_found)
+              then
+                (* Stop claiming, but still publish the children: a
+                   checkpoint taken after the drain must see the completed
+                   replay's subtree. *)
+                Scheduler.cancel sched;
+              children
+          | Stopped ->
+              Scheduler.cancel sched;
+              []
+          | Interrupted ->
+              (* The replay was poisoned before completing: put the item
+                 back so the checkpointed frontier still covers it. *)
+              Scheduler.cancel sched;
+              [ it ]
+          | Gave_up ->
+              maybe_periodic_checkpoint ();
+              []
+          | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.lock m;
+              harness_failures :=
+                {
+                  Report.hf_worker = worker;
+                  hf_message = Printexc.to_string exn;
+                  hf_backtrace = Printexc.raw_backtrace_to_string bt;
+                }
+                :: !harness_failures;
+              Mutex.unlock m;
+              []);
       Scheduler.stats sched
     end
   in
+  let interrupted = Atomic.get interrupt_requested in
+  (* Always leave a final checkpoint behind when one was requested: either
+     the interrupt cut (resumable) or the completed exploration (resuming
+     it is a no-op that just re-reports). *)
+  write_checkpoint ();
   let workers =
     List.init jobs (fun i ->
         let queue_waits =
@@ -423,11 +788,9 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   {
     Report.np;
     interleavings = !runs;
-    findings =
-      Hashtbl.fold (fun _ f acc -> f :: acc) findings []
-      |> List.sort Report.compare_finding;
-    wildcards_analyzed = initial.Report.wildcards;
-    first_run_makespan = initial.Report.makespan;
+    findings = sorted_findings ();
+    wildcards_analyzed = !wildcards_analyzed;
+    first_run_makespan = !first_makespan;
     total_virtual_time = !total_vtime;
     monitor_alerts = !monitor_alerts;
     bounded_epochs = !bounded;
@@ -435,6 +798,11 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
     jobs;
     workers;
     runs_cancelled = !runs_cancelled;
+    runs_timed_out = !runs_timed_out;
+    runs_retried = !runs_retried;
+    runs_crashed = !runs_crashed;
+    harness_failures = List.rev !harness_failures;
+    interrupted;
     metrics = Obs.Metrics.snapshot registry;
     worker_metrics =
       List.init (jobs + 1) (fun i -> (i, Obs.Metrics.shard_snapshot registry i))
@@ -443,8 +811,8 @@ let explore ?(config = default_config) ~np (runner : runner) : Report.t =
   }
 
 (** Verify [program] on [np] simulated ranks under DAMPI. *)
-let verify ?(config = default_config) ~np program =
-  explore ~config ~np (dampi_runner config ~np program)
+let verify ?(config = default_config) ?resume ~np program =
+  explore ~config ?resume ~np (dampi_runner config ~np program)
 
 (** Execute exactly one guided run under [plan] (e.g. a schedule loaded from
     an Epoch-Decisions file) and report what it produced. *)

@@ -5,6 +5,39 @@
     first — re-executing the target program under each Epoch-Decisions plan
     until the space (as bounded by the heuristics) is exhausted. *)
 
+(** Where and how often to checkpoint the exploration frontier. *)
+type checkpoint_cfg = {
+  path : string;
+  every : int;
+      (** completed replays between periodic writes; 0 writes only on
+          interrupt and on completion *)
+  label : string;
+      (** workload identity stored in the file and validated on resume *)
+}
+
+(** Fault-tolerance knobs: replay watchdog, retry policy, fault injection,
+    and checkpointing. All off by default. *)
+type robustness = {
+  replay_timeout : float option;
+      (** wall-clock budget per replay attempt; a wedged replay is poisoned
+          through the same path as [--stop-first] cancellation *)
+  max_replay_steps : int option;
+      (** deterministic simulated-step budget per replay attempt *)
+  max_retries : int;
+      (** retries per replay after a timeout or an injected transient fault,
+          each under a fresh fault salt, with capped exponential backoff *)
+  retry_backoff : float;  (** base backoff in seconds; 0 retries immediately *)
+  fault : Mpi.Fault.spec option;
+      (** deterministic fault injection for every replay's runtime *)
+  checkpoint : checkpoint_cfg option;
+      (** serialize the frontier periodically and on SIGINT/SIGTERM *)
+  interrupt_after : int option;
+      (** request an interrupt once this many replays completed — a
+          deterministic stand-in for a signal, used by tests *)
+}
+
+val default_robustness : robustness
+
 type config = {
   state_config : State.config;  (** clocks, piggyback mode, bounding *)
   cost : Mpi.Runtime.cost_model;
@@ -22,27 +55,36 @@ type config = {
   trace : bool;
       (** collect a span timeline ([explore] root, one [self-run]/[replay]
           span per execution) into {!Report.t}[.events] *)
+  robustness : robustness;
 }
 
 val default_config : config
 
 (** Per-run observability context the explorer threads into its runner: the
     executing worker's id, the metric shard that worker owns (single
-    writer), and the poison closure the interposition layer polls for
-    in-replay cancellation. *)
+    writer), the poison closure the interposition layer polls for in-replay
+    cancellation, and the fault salt identifying this (replay, attempt) for
+    deterministic injection. *)
 type run_ctx = {
   worker : int;
   metrics : Obs.Metrics.shard option;
   poison : (unit -> bool) option;
+  salt : int;
 }
 
 val null_ctx : run_ctx
-(** Worker 0, no metrics, no poison — for driving a runner standalone. *)
+(** Worker 0, no metrics, no poison, salt 0 — for driving a runner
+    standalone. *)
 
 type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
 (** Executes one interleaving under a given plan. [fork_index] is the global
     decision index this run re-forces (-1 for the initial self run); bounded
     mixing measures its window from it. *)
+
+val fault_of_ctx : run_ctx -> Mpi.Fault.spec option -> Mpi.Fault.t
+(** The fault instance for one (replay, attempt): the configured spec
+    instantiated with the context's salt ({!Mpi.Fault.none} when no spec).
+    Shared with the ISP engine so both runners inject identically. *)
 
 val dampi_runner : config -> np:int -> Mpi.Mpi_intf.program -> runner
 (** One DAMPI-interposed execution per call: fresh runtime, fresh verifier
@@ -52,14 +94,26 @@ val native_makespan :
   ?cost:Mpi.Runtime.cost_model -> np:int -> Mpi.Mpi_intf.program -> float
 (** Virtual makespan of an uninstrumented run — the overhead baseline. *)
 
-val explore : ?config:config -> np:int -> runner -> Report.t
+val explore :
+  ?config:config -> ?resume:Checkpoint.t -> np:int -> runner -> Report.t
 (** Walk over epoch decisions, generic in the runner (the ISP baseline
     reuses it with its own cost model). With [config.jobs = 1] this is the
     depth-first walk of the paper; with more jobs the frontier is served to
     a pool of domains (see {!Scheduler}), each executing complete guided
-    replays. *)
+    replays.
 
-val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Report.t
+    [resume] restores a checkpointed cut instead of starting from the self
+    run: counters and findings are seeded from the checkpoint, its frontier
+    becomes the initial work queue, and frontier items already counted
+    before the cut re-run expand-only. A resumed exhaustive exploration
+    reaches the same canonical report as an uninterrupted one. *)
+
+val verify :
+  ?config:config ->
+  ?resume:Checkpoint.t ->
+  np:int ->
+  Mpi.Mpi_intf.program ->
+  Report.t
 (** [verify ~np program] — the main entry point: DAMPI verification of
     [program] on [np] simulated ranks. *)
 

@@ -83,6 +83,16 @@ let compare_finding a b =
   let c = compare_schedule a.schedule b.schedule in
   if c <> 0 then c else compare (error_signature a.error) (error_signature b.error)
 
+(** A failure of the exploration harness itself (a raising replay runner,
+    not a finding about the target program): recorded so one broken replay
+    never tears down the worker pool, and surfaced with the backtrace
+    captured at the catch site. *)
+type harness_failure = {
+  hf_worker : int;  (** worker that hit it; -1 = the pool as a whole *)
+  hf_message : string;
+  hf_backtrace : string;
+}
+
 (** Per-worker exploration counters (parallel mode, §IV scaling). *)
 type worker_stat = {
   worker_id : int;
@@ -110,6 +120,16 @@ type t = {
   runs_cancelled : int;
       (** replays poisoned mid-flight by [--stop-first]; not counted in
           [interleavings] *)
+  runs_timed_out : int;
+      (** replay attempts killed by the watchdog (wall or step budget) *)
+  runs_retried : int;  (** retry attempts launched after transient failures *)
+  runs_crashed : int;
+      (** replay attempts aborted by an injected transient fault *)
+  harness_failures : harness_failure list;
+      (** replays whose runner raised; the pool kept draining *)
+  interrupted : bool;
+      (** exploration stopped early by SIGINT/SIGTERM with the outstanding
+          frontier checkpointed; counters cover the completed portion only *)
   metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
   worker_metrics : (int * Obs.Metrics.snapshot) list;
       (** per-worker-shard views (present when jobs > 1) *)
@@ -153,6 +173,20 @@ let pp ppf t =
     t.findings t.first_run_makespan t.total_virtual_time t.host_seconds;
   if t.runs_cancelled > 0 then
     Format.fprintf ppf "@ runs cancelled mid-replay: %d" t.runs_cancelled;
+  if t.runs_timed_out > 0 then
+    Format.fprintf ppf "@ replay attempts timed out: %d" t.runs_timed_out;
+  if t.runs_retried > 0 then
+    Format.fprintf ppf "@ replay attempts retried: %d" t.runs_retried;
+  if t.runs_crashed > 0 then
+    Format.fprintf ppf "@ replay attempts lost to injected faults: %d"
+      t.runs_crashed;
+  List.iter
+    (fun hf ->
+      Format.fprintf ppf "@ harness failure (worker %d): %s" hf.hf_worker
+        hf.hf_message)
+    t.harness_failures;
+  if t.interrupted then
+    Format.fprintf ppf "@ exploration interrupted; frontier checkpointed";
   if t.jobs > 1 then
     Format.fprintf ppf "@ parallel exploration on %d domains:@ %a" t.jobs
       (Format.pp_print_list pp_worker_stat)

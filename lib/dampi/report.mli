@@ -50,6 +50,14 @@ val compare_schedule :
 val compare_finding : finding -> finding -> int
 (** Orders by {!compare_schedule}, then by {!error_signature}. *)
 
+(** A failure of the exploration harness itself (a raising replay runner,
+    not a finding about the target program). *)
+type harness_failure = {
+  hf_worker : int;  (** worker that hit it; -1 = the pool as a whole *)
+  hf_message : string;
+  hf_backtrace : string;  (** captured at the catch site *)
+}
+
 (** Per-worker exploration counters (parallel mode). *)
 type worker_stat = {
   worker_id : int;
@@ -74,6 +82,16 @@ type t = {
   jobs : int;  (** worker domains the exploration ran on *)
   workers : worker_stat list;  (** per-worker counters, worker-id order *)
   runs_cancelled : int;  (** replays poisoned mid-flight by [--stop-first] *)
+  runs_timed_out : int;
+      (** replay attempts killed by the watchdog (wall or step budget) *)
+  runs_retried : int;  (** retry attempts launched after transient failures *)
+  runs_crashed : int;
+      (** replay attempts aborted by an injected transient fault *)
+  harness_failures : harness_failure list;
+      (** replays whose runner raised; sibling workers kept draining *)
+  interrupted : bool;
+      (** stopped early by SIGINT/SIGTERM; the outstanding frontier was
+          checkpointed and the counters cover the completed portion only *)
   metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
   worker_metrics : (int * Obs.Metrics.snapshot) list;
   events : Obs.Trace.event list;  (** span stream; empty unless traced *)

@@ -31,6 +31,7 @@ type 'a t = {
   mutable back : 'a list;  (* Fifo push side, reversed *)
   mutable size : int;
   mutable in_flight : int;
+  in_flight_items : 'a option array;  (* per worker, the item being executed *)
   mutable claimed : int;
   mutable is_cancelled : bool;
   mutable ran : bool;
@@ -50,6 +51,7 @@ let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics () =
     back = [];
     size = 0;
     in_flight = 0;
+    in_flight_items = Array.make jobs None;
     claimed = 0;
     is_cancelled = false;
     ran = false;
@@ -117,6 +119,19 @@ let pending t = locked t (fun () -> t.size)
 let executed t = locked t (fun () -> t.claimed)
 let stats t = Array.to_list t.stats
 
+(* A consistent cut of the outstanding work: everything queued plus
+   everything a worker is currently executing, in one lock acquisition. An
+   in-flight item re-appears here because its execution has not published
+   children yet — a checkpoint holding this cut can re-run it on resume
+   without losing or duplicating any subtree ([finish] publishes children
+   and clears the in-flight slot atomically under the same lock). *)
+let snapshot t =
+  locked t (fun () ->
+      let queued = t.front @ List.rev t.back in
+      Array.fold_left
+        (fun acc it -> match it with Some x -> x :: acc | None -> acc)
+        queued t.in_flight_items)
+
 (* ---- worker loop ---- *)
 
 (* Claim the next item, or block while other workers might still produce
@@ -130,6 +145,7 @@ let next t (ws : worker_stats) =
           | Some item ->
               t.claimed <- t.claimed + 1;
               t.in_flight <- t.in_flight + 1;
+              t.in_flight_items.(ws.worker_id) <- Some item;
               Some item
           | None ->
               if t.in_flight = 0 then None
@@ -147,9 +163,14 @@ let next t (ws : worker_stats) =
       in
       await ())
 
-let finish t children =
+let finish t (ws : worker_stats) children =
   locked t (fun () ->
-      if not t.is_cancelled then push_batch_locked t children;
+      (* Children are pushed even after cancellation: nothing will claim
+         them ([next] checks the flag first), but a checkpoint taken after
+         [run] returns must see the child frontier of every completed
+         replay, or resuming would silently drop those subtrees. *)
+      push_batch_locked t children;
+      t.in_flight_items.(ws.worker_id) <- None;
       t.in_flight <- t.in_flight - 1;
       (* Wake idle workers even when no children arrived: [in_flight] hitting
          zero is the quiescence signal they are waiting for. *)
@@ -164,13 +185,16 @@ let worker_loop t ws f =
           match f ~worker:ws.worker_id item with
           | children -> children
           | exception exn ->
-              (* Keep [in_flight] honest so peers terminate instead of
-                 waiting forever on a worker that died. *)
-              finish t [];
-              raise exn
+              (* Capture the backtrace before [finish] runs any code that
+                 would overwrite it, and keep [in_flight] honest so peers
+                 terminate instead of waiting forever on a worker that
+                 died. *)
+              let bt = Printexc.get_raw_backtrace () in
+              finish t ws [];
+              Printexc.raise_with_backtrace exn bt
         in
         ws.items_run <- ws.items_run + 1;
-        finish t children;
+        finish t ws children;
         go ()
   in
   go ()
@@ -187,13 +211,17 @@ let run t f =
           let ws = t.stats.(i + 1) in
           Domain.spawn (fun () -> worker_loop t ws f))
     in
+    (* Worker exceptions propagate with the backtrace captured at the catch
+       site ([Domain.join] already re-raises with the spawned domain's
+       backtrace; the main worker's is captured here). *)
     let main_exn =
       match worker_loop t t.stats.(0) f with
       | () -> None
       | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
           (* Unblock the pool before joining, or the join deadlocks. *)
           cancel t;
-          Some exn
+          Some (exn, bt)
     in
     let join_exn =
       Array.fold_left
@@ -201,11 +229,13 @@ let run t f =
           match Domain.join d with
           | () -> acc
           | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
               cancel t;
-              (match acc with None -> Some exn | Some _ -> acc))
+              (match acc with None -> Some (exn, bt) | Some _ -> acc))
         None others
     in
     match (main_exn, join_exn) with
-    | Some exn, _ | None, Some exn -> raise exn
+    | Some (exn, bt), _ | None, Some (exn, bt) ->
+        Printexc.raise_with_backtrace exn bt
     | None, None -> ()
   end

@@ -63,7 +63,17 @@ val cancel : 'a t -> unit
 val cancelled : 'a t -> bool
 
 val pending : 'a t -> int
-(** Items still queued (dropped work, after a cancellation). *)
+(** Items still queued (dropped work, after a cancellation). Children
+    returned by items that complete after a cancellation are still pushed
+    (though never claimed), so after {!run} returns from a cancelled
+    exploration the queue is the exact outstanding frontier — what
+    checkpointing serializes. *)
+
+val snapshot : 'a t -> 'a list
+(** A consistent cut of the outstanding work: every queued item plus every
+    item currently executing on a worker, read in one lock acquisition.
+    In-flight items are included because their children are not published
+    yet; a resume that re-runs them regenerates exactly their subtrees. *)
 
 val executed : 'a t -> int
 (** Items claimed and handed to a worker. *)

@@ -19,6 +19,7 @@ type config = {
   max_runs : int;
   jobs : int;
   trace : bool;
+  robustness : Dampi.Explorer.robustness;
 }
 
 let default_config =
@@ -29,20 +30,23 @@ let default_config =
     max_runs = max_int;
     jobs = 1;
     trace = false;
+    robustness = Dampi.Explorer.default_robustness;
   }
 
 let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
     =
  fun ~ctx plan ~fork_index ->
+  let fault = Dampi.Explorer.fault_of_ctx ctx config.robustness.fault in
   let rt =
     Runtime.create ~cost:config.cost
-      ?metrics:ctx.Dampi.Explorer.metrics ~np ()
+      ?metrics:ctx.Dampi.Explorer.metrics ~fault ~np ()
   in
   let st =
     Dampi.State.create ~config:config.state_config
       ?metrics:ctx.Dampi.Explorer.metrics ?poison:ctx.Dampi.Explorer.poison
       ~np ~plan ~fork_index ()
   in
+  Runtime.set_interrupt_hook rt (fun () -> Dampi.State.check_poison st);
   let server =
     Sim.Vtime.Server.create ~service:(Model.service config.model ~np)
   in
@@ -86,7 +90,7 @@ let runner config ~np (program : Mpi.Mpi_intf.program) : Dampi.Explorer.runner
 
 (** Verify under the ISP baseline; the report's virtual times reflect the
     centralized architecture. *)
-let verify ?(config = default_config) ~np program =
+let verify ?(config = default_config) ?resume ~np program =
   let explorer_config =
     {
       Dampi.Explorer.default_config with
@@ -95,9 +99,10 @@ let verify ?(config = default_config) ~np program =
       max_runs = config.max_runs;
       jobs = config.jobs;
       trace = config.trace;
+      robustness = config.robustness;
     }
   in
-  Dampi.Explorer.explore ~config:explorer_config ~np
+  Dampi.Explorer.explore ~config:explorer_config ?resume ~np
     (runner config ~np program)
 
 (** One uninstrumented-coverage run (overhead measurement): the program

@@ -10,6 +10,9 @@ type config = {
   max_runs : int;
   jobs : int;  (** worker domains for the exploration; 1 = sequential *)
   trace : bool;  (** collect a span timeline into the report *)
+  robustness : Dampi.Explorer.robustness;
+      (** watchdog / retry / fault-injection / checkpoint knobs, forwarded to
+          the shared explorer and to this engine's runtimes *)
 }
 
 val default_config : config
@@ -19,7 +22,13 @@ val runner :
 (** One ISP-interposed execution per call (layered as
     [Program -> Isp.Interpose -> Dampi.Interpose -> Bind -> Runtime]). *)
 
-val verify : ?config:config -> np:int -> Mpi.Mpi_intf.program -> Dampi.Report.t
+val verify :
+  ?config:config ->
+  ?resume:Dampi.Checkpoint.t ->
+  np:int ->
+  Mpi.Mpi_intf.program ->
+  Dampi.Report.t
+(** [resume] restores a checkpointed cut, as in {!Dampi.Explorer.explore}. *)
 
 val single_run_makespan :
   ?config:config -> np:int -> Mpi.Mpi_intf.program -> float

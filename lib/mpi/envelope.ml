@@ -15,6 +15,9 @@ type t = {
   seq : int;  (** per (src, dst, ctx) channel sequence number *)
   payload : Payload.t;
   send_time : float;
+  delay : float;
+      (** extra delivery latency (normally 0; fault injection adds virtual
+          delay here without perturbing matching order) *)
   sync : bool;  (** true for synchronous-mode sends (Ssend/Issend) *)
   send_req : int;  (** uid of the sender's request, to complete Ssends *)
 }

@@ -1,0 +1,224 @@
+(* Deterministic, seed-driven fault injection. See fault.mli for the model.
+
+   Determinism contract: a [t] built from the same (spec, salt) pair injects
+   at the same consultation indices with the same parameters, regardless of
+   which OS thread or domain drives the run. All randomness flows through a
+   private Splitmix stream derived from (spec.seed, salt); the per-run
+   injection points are drawn once at [make] so that the decision "this run
+   fails its Nth send" does not depend on how many delay coins were flipped
+   before it. *)
+
+exception Transient_send_failure of string
+exception Rank_killed of int
+exception Wedged of int
+
+let () =
+  Printexc.register_printer (function
+    | Transient_send_failure site ->
+        Some (Printf.sprintf "Mpi.Fault.Transient_send_failure(%S)" site)
+    | Rank_killed pid -> Some (Printf.sprintf "Mpi.Fault.Rank_killed(%d)" pid)
+    | Wedged pid -> Some (Printf.sprintf "Mpi.Fault.Wedged(%d)" pid)
+    | _ -> None)
+
+let is_transient = function
+  | Transient_send_failure _ | Rank_killed _ | Wedged _ -> true
+  | _ -> false
+
+type spec = {
+  seed : int;
+  delay_prob : float;
+  max_delay : float;
+  sendfail_prob : float;
+  crash_prob : float;
+  wedge_prob : float;
+  target_rank : int option;
+}
+
+let inert =
+  {
+    seed = 0;
+    delay_prob = 0.0;
+    max_delay = 1e-5;
+    sendfail_prob = 0.0;
+    crash_prob = 0.0;
+    wedge_prob = 0.0;
+    target_rank = None;
+  }
+
+let default_spec ~seed =
+  { inert with seed; delay_prob = 0.05; sendfail_prob = 0.02 }
+
+let is_inert spec =
+  spec.delay_prob = 0.0 && spec.sendfail_prob = 0.0 && spec.crash_prob = 0.0
+  && spec.wedge_prob = 0.0
+
+let to_string spec =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "seed=%d" spec.seed);
+  let fld name v = if v > 0.0 then Buffer.add_string b (Printf.sprintf ",%s=%g" name v) in
+  fld "delay" spec.delay_prob;
+  if spec.delay_prob > 0.0 then
+    Buffer.add_string b (Printf.sprintf ",max-delay=%g" spec.max_delay);
+  fld "sendfail" spec.sendfail_prob;
+  fld "crash" spec.crash_prob;
+  fld "wedge" spec.wedge_prob;
+  (match spec.target_rank with
+  | Some r -> Buffer.add_string b (Printf.sprintf ",rank=%d" r)
+  | None -> ());
+  Buffer.contents b
+
+let of_string ?seed text =
+  let text = String.trim text in
+  let base =
+    match seed with Some s -> default_spec ~seed:s | None -> inert
+  in
+  if text = "" then
+    if seed = None then Error "empty fault spec (and no fault seed given)"
+    else Ok base
+  else begin
+    (* An explicit spec starts from all-zero probabilities; --fault-seed then
+       only provides the seed, not the default mild injection mix. *)
+    let spec = ref { inert with seed = base.seed } in
+    let err = ref None in
+    let prob name v =
+      match float_of_string_opt v with
+      | Some p when p >= 0.0 && p <= 1.0 -> Some p
+      | _ ->
+          err := Some (Printf.sprintf "%s must be a probability in [0,1], got %S" name v);
+          None
+    in
+    List.iter
+      (fun pair ->
+        if !err = None then
+          match String.split_on_char '=' (String.trim pair) with
+          | [ "seed"; v ] -> (
+              match int_of_string_opt v with
+              | Some s when seed = None -> spec := { !spec with seed = s }
+              | Some _ -> () (* --fault-seed wins over seed= in the spec *)
+              | None -> err := Some (Printf.sprintf "bad seed %S" v))
+          | [ "delay"; v ] -> (
+              match prob "delay" v with
+              | Some p -> spec := { !spec with delay_prob = p }
+              | None -> ())
+          | [ "max-delay"; v ] -> (
+              match float_of_string_opt v with
+              | Some d when d >= 0.0 -> spec := { !spec with max_delay = d }
+              | _ -> err := Some (Printf.sprintf "bad max-delay %S" v))
+          | [ "sendfail"; v ] -> (
+              match prob "sendfail" v with
+              | Some p -> spec := { !spec with sendfail_prob = p }
+              | None -> ())
+          | [ "crash"; v ] -> (
+              match prob "crash" v with
+              | Some p -> spec := { !spec with crash_prob = p }
+              | None -> ())
+          | [ "wedge"; v ] -> (
+              match prob "wedge" v with
+              | Some p -> spec := { !spec with wedge_prob = p }
+              | None -> ())
+          | [ "rank"; v ] -> (
+              match int_of_string_opt v with
+              | Some r -> spec := { !spec with target_rank = Some r }
+              | None -> err := Some (Printf.sprintf "bad rank %S" v))
+          | _ ->
+              err :=
+                Some
+                  (Printf.sprintf
+                     "bad fault spec entry %S (expected key=value with key in \
+                      seed|delay|max-delay|sendfail|crash|wedge|rank)"
+                     pair))
+      (String.split_on_char ',' text);
+    match !err with Some e -> Error e | None -> Ok !spec
+  end
+
+(* ---- per-run instances ---- *)
+
+(* At most one abortive injection per kind per run, at a pre-drawn
+   consultation index. [horizon] bounds how deep into the run an injection
+   can land; runs shorter than the drawn index simply see no injection, runs
+   longer see exactly one. The bounded count is what makes retries converge:
+   a retry re-draws under a fresh salt, so each attempt fails independently
+   with the spec's probability rather than once per call site. *)
+let horizon = 256
+
+type call_kind = No_call_fault | Kill_at of int | Wedge_at of int
+
+type t = {
+  spec : spec;
+  rng : Sim.Splitmix.t;  (* delay coin flips, in consultation order *)
+  mutable send_countdown : int;  (* consultations until a send failure; -1 = never *)
+  mutable call_fault : call_kind;
+  mutable call_count : int;
+}
+
+let none =
+  {
+    spec = inert;
+    rng = Sim.Splitmix.create 0;
+    send_countdown = -1;
+    call_fault = No_call_fault;
+    call_count = 0;
+  }
+
+let make spec ~salt =
+  if is_inert spec then none
+  else begin
+    let rng = Sim.Splitmix.derive spec.seed ~salt in
+    let send_countdown =
+      if spec.sendfail_prob > 0.0 && Sim.Splitmix.float rng 1.0 < spec.sendfail_prob
+      then Sim.Splitmix.int rng horizon
+      else -1
+    in
+    let call_fault =
+      if spec.crash_prob +. spec.wedge_prob <= 0.0 then No_call_fault
+      else begin
+        let r = Sim.Splitmix.float rng 1.0 in
+        if r < spec.crash_prob then Kill_at (Sim.Splitmix.int rng horizon)
+        else if r < spec.crash_prob +. spec.wedge_prob then
+          Wedge_at (Sim.Splitmix.int rng horizon)
+        else No_call_fault
+      end
+    in
+    { spec; rng; send_countdown; call_fault; call_count = 0 }
+  end
+
+let active t = not (is_inert t.spec)
+
+let targets t pid =
+  match t.spec.target_rank with None -> true | Some r -> r = pid
+
+type send_action = Send_ok of float | Send_fail
+type call_action = Call_ok | Call_kill | Call_wedge
+
+let on_send t ~src =
+  if not (active t && targets t src) then Send_ok 0.0
+  else begin
+    let fail = t.send_countdown = 0 in
+    if t.send_countdown >= 0 then t.send_countdown <- t.send_countdown - 1;
+    if fail then Send_fail
+    else if
+      t.spec.delay_prob > 0.0
+      && Sim.Splitmix.float t.rng 1.0 < t.spec.delay_prob
+    then Send_ok (Sim.Splitmix.float t.rng t.spec.max_delay)
+    else Send_ok 0.0
+  end
+
+let on_call t ~pid =
+  if not (active t && targets t pid) then Call_ok
+  else begin
+    let n = t.call_count in
+    t.call_count <- n + 1;
+    match t.call_fault with
+    | Kill_at i when i = n -> Call_kill
+    | Wedge_at i when i = n -> Call_wedge
+    | _ -> Call_ok
+  end
+
+(* Per-replay salt: a pure function of the forced schedule and the attempt
+   number, so the fault stream a replay sees is independent of worker count
+   and execution order, while retries draw fresh faults. [Hashtbl.hash] is
+   deterministic on immutable structural values across runs of the same
+   binary, which is all checkpoint resume needs (the schedule itself, not the
+   salt, is what goes on disk). *)
+let salt_of_schedule ~attempt schedule =
+  Hashtbl.hash (attempt, schedule)

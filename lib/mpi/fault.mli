@@ -1,0 +1,98 @@
+(** Deterministic, seed-driven fault injection for the simulated runtime.
+
+    The runtime consults a per-run fault instance at its call sites to
+    inject, within the simulation:
+
+    - {e message delivery delays}: extra virtual latency on a sent envelope.
+      Delivery stays eager in scheduler order, so delays reorder {e timing}
+      (and therefore which candidates a later wildcard sees as "arrived")
+      without ever violating per-channel non-overtaking;
+    - {e transient send failures}: a send raises
+      {!Transient_send_failure} — the verifier is expected to classify this
+      as retryable and re-run the replay;
+    - {e rank crashes}: a rank raises {!Rank_killed} at a chosen call site;
+    - {e wedges}: a rank spins forever (cooperatively yielding) at a chosen
+      call site, to exercise watchdog timeouts upstream.
+
+    Everything is a deterministic function of [(spec, salt)]: same pair,
+    same fault schedule, on any worker and at any parallelism. At most one
+    abortive fault (send failure, crash, or wedge) is injected per run, at a
+    pre-drawn call-site index, so retrying under fresh salts converges. *)
+
+exception Transient_send_failure of string
+(** Raised by an injected send failure; retryable by the explorer. *)
+
+exception Rank_killed of int
+(** Raised by an injected rank crash; retryable by the explorer. *)
+
+exception Wedged of int
+(** Raised in place of a wedge when the runtime has no interrupt hook
+    installed (a native run with nothing polling for cancellation would
+    otherwise spin forever). *)
+
+val is_transient : exn -> bool
+(** Is this exception an injected environment fault (as opposed to a genuine
+    program failure)? Injected faults are transient: a retry under a fresh
+    salt re-draws them. *)
+
+(** What to inject and how often. Probabilities are per run for the abortive
+    kinds (sendfail/crash/wedge — at most one injection per run each) and
+    per message for [delay_prob]. *)
+type spec = {
+  seed : int;
+  delay_prob : float;  (** P(extra virtual latency on a message) *)
+  max_delay : float;  (** delay magnitude bound, virtual seconds *)
+  sendfail_prob : float;  (** P(the run suffers one transient send failure) *)
+  crash_prob : float;  (** P(the run suffers one injected rank crash) *)
+  wedge_prob : float;  (** P(the run wedges at one call site) *)
+  target_rank : int option;  (** restrict injection to one rank; [None] = all *)
+}
+
+val inert : spec
+(** All probabilities zero (injects nothing). *)
+
+val default_spec : seed:int -> spec
+(** The mild default mix behind [--fault-seed] alone: occasional message
+    delays plus rare transient send failures — faults a retrying explorer
+    fully absorbs. *)
+
+val is_inert : spec -> bool
+
+val of_string : ?seed:int -> string -> (spec, string) result
+(** Parse a comma-separated [key=value] spec:
+    [seed|delay|max-delay|sendfail|crash|wedge|rank]. An explicit [?seed]
+    (the CLI's [--fault-seed]) overrides [seed=] in the text; an empty
+    string with a seed yields {!default_spec}. *)
+
+val to_string : spec -> string
+
+(** {1 Per-run instances} *)
+
+type t
+
+val none : t
+(** Never injects. *)
+
+val make : spec -> salt:int -> t
+(** Instantiate the per-run fault schedule. [salt] must identify the replay
+    (schedule + attempt, see {!salt_of_schedule}) so the schedule is
+    worker-independent. *)
+
+val active : t -> bool
+
+type send_action =
+  | Send_ok of float  (** proceed; add this much virtual delivery delay *)
+  | Send_fail  (** raise {!Transient_send_failure} *)
+
+type call_action = Call_ok | Call_kill | Call_wedge
+
+val on_send : t -> src:int -> send_action
+(** Consulted once per posted send, in program order. *)
+
+val on_call : t -> pid:int -> call_action
+(** Consulted once per blocking call site (waits, probes, collectives), in
+    program order. *)
+
+val salt_of_schedule : attempt:int -> 'a -> int
+(** Deterministic salt for {!make} from a replay's forced schedule (any
+    immutable structural value) and retry attempt number. *)

@@ -115,6 +115,8 @@ type t = {
   req_released : int array;
   wildcard_recvs : int array;
   mutable pcontrol_hook : (pid:int -> int -> unit) option;
+  fault : Fault.t;
+  mutable interrupt_hook : (unit -> unit) option;
   mutable spawned : bool;
   trace_on : bool;
   mutable trace_events : event list;  (* reversed; only filled if trace_on *)
@@ -131,7 +133,7 @@ let register_comm rt comm =
   record
 
 let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
-    ?metrics ~np () =
+    ?metrics ?(fault = Fault.none) ~np () =
   if np <= 0 then invalid_arg "Runtime.create: np must be positive";
   let comm_world =
     Comm.make ~ctx:0 ~ranks:(Array.init np Fun.id) ~internal:false
@@ -158,6 +160,8 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
       req_released = Array.make np 0;
       wildcard_recvs = Array.make np 0;
       pcontrol_hook = None;
+      fault;
+      interrupt_hook = None;
       spawned = false;
       trace_on = trace;
       trace_events = [];
@@ -188,6 +192,33 @@ let clock rt pid = Vtime.now rt.vt pid
 let advance_clock rt pid dt = Vtime.advance rt.vt pid dt
 let makespan rt = Vtime.makespan rt.vt
 let set_pcontrol_hook rt f = rt.pcontrol_hook <- Some f
+let set_interrupt_hook rt f = rt.interrupt_hook <- Some f
+
+(* An injected wedge: spin forever, cooperatively. Each turn polls the
+   interrupt hook (the verifier's poison path) so a watchdog upstream can
+   break the loop by raising; yielding keeps sibling ranks runnable, so the
+   scheduler never quiesces into a (false) deadlock verdict. Without a hook
+   nothing could ever interrupt the spin, so degrade to a kill. *)
+let wedge rt pid =
+  match rt.interrupt_hook with
+  | None -> raise (Fault.Wedged pid)
+  | Some hook ->
+      let rec spin () =
+        hook ();
+        Coroutine.yield ();
+        spin ()
+      in
+      spin ()
+
+(* Fault consultation at a blocking call site (waits, probes, collectives). *)
+let fault_call_site rt =
+  if Fault.active rt.fault then begin
+    let me = Coroutine.self () in
+    match Fault.on_call rt.fault ~pid:me with
+    | Fault.Call_ok -> ()
+    | Fault.Call_kill -> raise (Fault.Rank_killed me)
+    | Fault.Call_wedge -> wedge rt me
+  end
 
 (* Call sites guard on [rt.trace_on] BEFORE building the event, so a
    trace-off runtime never allocates an event record at all. *)
@@ -263,7 +294,7 @@ let release rt (req : Request.t) =
 
 (* Transfer-complete timestamp of an envelope at the receiver. *)
 let arrival_stamp rt (env : Envelope.t) =
-  env.send_time +. rt.cost.latency
+  env.send_time +. rt.cost.latency +. env.delay
   +. (rt.cost.per_byte *. float_of_int (Payload.size_bytes env.payload))
 
 (* Fill in a matched receive request from the envelope it consumed. *)
@@ -331,6 +362,16 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
   let dst = Comm.world_of_rank comm dest in
   Stats.record rt.stats me Stats.Send_recv (if sync then "ssend" else "send");
   Vtime.advance rt.vt me rt.cost.local_op;
+  let delay =
+    if not (Fault.active rt.fault) then 0.0
+    else
+      match Fault.on_send rt.fault ~src:me with
+      | Fault.Send_ok d -> d
+      | Fault.Send_fail ->
+          raise
+            (Fault.Transient_send_failure
+               (Printf.sprintf "send %d -> %d" me dst))
+  in
   let ctx = Comm.ctx comm in
   let req =
     fresh_req rt ~owner:me ~kind:(Request.Send { dest = dst; tag; ctx; sync })
@@ -347,6 +388,7 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
       seq = next_chan_seq rt ~src:me ~dst ~ctx;
       payload;
       send_time = Vtime.now rt.vt me;
+      delay;
       sync;
       send_req = req.uid;
     }
@@ -427,6 +469,7 @@ let wait rt (req : Request.t) =
     Types.mpi_errorf "process %d waits on a request owned by %d" me req.owner;
   Stats.record rt.stats me Stats.Wait "wait";
   Vtime.advance rt.vt me rt.cost.local_op;
+  fault_call_site rt;
   wait_until rt
     ~reason:(Format.asprintf "wait(%a)" Request.pp req)
     (fun () -> req.complete);
@@ -447,6 +490,7 @@ let waitall rt reqs =
   let me = current rt in
   Stats.record rt.stats me Stats.Wait "waitall";
   Vtime.advance rt.vt me rt.cost.local_op;
+  fault_call_site rt;
   wait_until rt ~reason:"waitall" (fun () ->
       List.for_all (fun (r : Request.t) -> r.complete) reqs);
   List.map (observe_completion rt) reqs
@@ -456,6 +500,7 @@ let waitany rt reqs =
   let me = current rt in
   Stats.record rt.stats me Stats.Wait "waitany";
   Vtime.advance rt.vt me rt.cost.local_op;
+  fault_call_site rt;
   wait_until rt ~reason:"waitany" (fun () ->
       List.exists (fun (r : Request.t) -> r.complete && not r.released) reqs);
   let rec find i = function
@@ -529,6 +574,7 @@ let probe rt ?src ?tag comm =
   let me = current rt in
   Stats.record rt.stats me Stats.Send_recv "probe";
   Vtime.advance rt.vt me rt.cost.local_op;
+  fault_call_site rt;
   let result = ref None in
   wait_until rt ~reason:"probe" (fun () ->
       match probe_candidates rt ?src ?tag comm with
@@ -584,6 +630,7 @@ let collective rt comm ~name ~contrib ~compute ~timing =
   check_live comm me;
   Stats.record rt.stats me Stats.Collective name;
   Vtime.advance rt.vt me rt.cost.local_op;
+  fault_call_site rt;
   let record = record_of_comm rt comm in
   let slot = record.coll in
   let my_rank = Comm.rank_of_world comm me in

@@ -34,12 +34,16 @@ type t
     log (default off — a trace-off runtime allocates no event records at
     all). [metrics] attaches an observability shard: the runtime then counts
     match attempts and deadlock re-checks and observes wildcard-candidate
-    widths and destination queue depths ([mpi.*] series). *)
+    widths and destination queue depths ([mpi.*] series). [fault] installs a
+    per-run fault-injection instance ({!Fault.make}); the runtime consults it
+    on every posted send (delivery delay / transient failure) and at every
+    blocking call site (injected crash / wedge). *)
 val create :
   ?cost:cost_model ->
   ?oracle:oracle ->
   ?trace:bool ->
   ?metrics:Obs.Metrics.shard ->
+  ?fault:Fault.t ->
   np:int ->
   unit ->
   t
@@ -55,6 +59,13 @@ val advance_clock : t -> int -> float -> unit
 val makespan : t -> float
 
 val set_pcontrol_hook : t -> (pid:int -> int -> unit) -> unit
+
+val set_interrupt_hook : t -> (unit -> unit) -> unit
+(** Install a closure polled from inside injected wedge loops (and free to
+    raise to break them). The verifier installs its poison check here, so a
+    wedged replay is interruptible through the same path as [--stop-first]
+    cancellation. Without a hook, a wedge degrades to {!Fault.Wedged}. *)
+
 val comm_of_ctx : t -> int -> Comm.t
 
 (** {1 Point-to-point} *)

@@ -23,6 +23,13 @@ let mix_gamma z =
 
 let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
 
+(* Seed + salt, order-sensitive: derive s a <> derive a s in general. Used to
+   key per-replay fault streams off (fault seed, schedule hash, attempt). *)
+let derive seed ~salt =
+  let s = mix64 (Int64.of_int seed) in
+  let z = mix64 (Int64.add s (Int64.mul golden_gamma (Int64.of_int salt))) in
+  { state = z; gamma = mix_gamma (mix64 z) }
+
 let next_int64 t =
   t.state <- Int64.add t.state t.gamma;
   mix64 t.state

@@ -12,6 +12,13 @@ val create : int -> t
 (** [create seed] builds a generator from an integer seed. Equal seeds yield
     equal streams. *)
 
+val derive : int -> salt:int -> t
+(** [derive seed ~salt] builds a generator from a (seed, salt) pair: equal
+    pairs yield equal streams, and distinct salts under one seed yield
+    independent streams. This is how per-replay fault schedules are keyed off
+    a global fault seed plus a per-replay identity, so they do not depend on
+    which worker runs the replay. *)
+
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. Use one
     generator per simulated process so that adding draws in one process does

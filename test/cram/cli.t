@@ -110,3 +110,68 @@ Replay writes the same documents for a single guided run:
 
   $ grep -q '"mpi.match_attempts"' replay.metrics.json && echo found
   found
+
+Fault injection is seed-deterministic: the same seed gives the same
+summary, and transient faults absorbed by retries leave the canonical
+result identical to the fault-free run:
+
+  $ dampi verify adlb --np 6 -k 0 -q
+  adlb np=6: 81 interleavings, 0 findings
+
+  $ dampi verify adlb --np 6 -k 0 -q --fault-seed 7
+  adlb np=6: 81 interleavings, 0 findings
+
+  $ dampi verify adlb --np 6 -k 0 -q --fault-spec seed=7,sendfail=0.05,crash=0.02 --max-retries 4
+  adlb np=6: 81 interleavings, 0 findings
+
+A malformed fault spec is rejected (exit 2):
+
+  $ dampi verify fig3 -q --fault-spec delay=2.0
+  bad fault spec: delay must be a probability in [0,1], got "2.0"
+  [2]
+
+  $ dampi verify fig3 -q --fault-spec frobnicate=1
+  bad fault spec: bad fault spec entry "frobnicate=1" (expected key=value with key in seed|delay|max-delay|sendfail|crash|wedge|rank)
+  [2]
+
+A watchdog budget cuts wedged replays without wedging the verifier; the
+exhausted attempts are reported:
+
+  $ dampi verify adlb --np 6 -k 0 --fault-spec seed=5,wedge=1.0 --max-replay-steps 20000 --max-retries 1 2>&1 | grep -E 'interleavings|timed out|retried'
+  interleavings explored: 51
+  replay attempts timed out: 84
+  replay attempts retried: 54
+
+--checkpoint writes a frontier checkpoint; a completed one resumes as a
+pure re-report:
+
+  $ dampi verify matmult -q -k 0 --checkpoint mm.ck
+  matmult np=5: 7 interleavings, 0 findings
+
+  $ grep -c '^# DAMPI checkpoint' mm.ck
+  1
+
+  $ grep '^complete' mm.ck
+  complete 1
+
+  $ dampi verify matmult -q -k 0 --checkpoint mm.ck
+  resuming from mm.ck: 7 interleavings already explored, 0 frontier item(s)
+  matmult np=5: 7 interleavings, 0 findings
+
+A checkpoint only resumes under the configuration that wrote it:
+
+  $ dampi verify matmult -q -k 1 --checkpoint mm.ck
+  cannot resume from mm.ck: it belongs to a different configuration (dampi matmult np=5 clock=lamport k=0 dual=false, this run is dampi matmult np=5 clock=lamport k=1 dual=false)
+  [2]
+
+Corrupt or version-mismatched checkpoints are rejected with a clear error:
+
+  $ echo garbage > bad.ck
+  $ dampi verify matmult -q -k 0 --checkpoint bad.ck
+  cannot resume from bad.ck: not a DAMPI checkpoint file
+  [2]
+
+  $ printf '# DAMPI checkpoint\nversion 99\n' > v99.ck
+  $ dampi verify matmult -q -k 0 --checkpoint v99.ck
+  cannot resume from v99.ck: checkpoint version 99 not supported (this build reads version 1)
+  [2]

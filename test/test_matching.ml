@@ -18,6 +18,7 @@ let env ~uid ~src ~tag ~seq =
     seq;
     payload = Payload.Int uid;
     send_time = 0.0;
+    delay = 0.0;
     sync = false;
     send_req = -1;
   }

@@ -18,6 +18,37 @@ module Report = Dampi.Report
 module State = Dampi.State
 module Payload = Mpi.Payload
 
+(* DAMPI_FAULT_SEED=<nonzero> re-runs the whole soak under deterministic
+   fault injection (transient send failures and rank kills, absorbed by
+   retries). Every property must still hold: transients that retries
+   recover leave no trace in the canonical report. Delay injection is left
+   out here because it perturbs virtual time, which the determinism
+   property compares exactly. *)
+let fault_seed =
+  match Sys.getenv_opt "DAMPI_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n <> 0 -> Some n
+      | _ -> None)
+  | None -> None
+
+let soak_robustness =
+  match fault_seed with
+  | None -> Explorer.default_robustness
+  | Some seed ->
+      {
+        Explorer.default_robustness with
+        fault =
+          Some
+            {
+              Mpi.Fault.inert with
+              Mpi.Fault.seed;
+              sendfail_prob = 0.02;
+              crash_prob = 0.01;
+            };
+        max_retries = 6;
+      }
+
 type event = Send of { src : int; dst : int } | Recv of { dst : int } | Barrier
 
 (* A random deadlock-free script over [np] ranks: maintain a per-rank count
@@ -83,6 +114,7 @@ let verify_with ~clock ~np program =
         Explorer.default_config with
         state_config = State.make_config ~clock ();
         max_runs = 400;
+        robustness = soak_robustness;
       }
     ~np program
 
@@ -140,6 +172,7 @@ let prop_dual_clock_clean_too =
               Explorer.default_config with
               state_config = State.make_config ~dual_clock:true ();
               max_runs = 400;
+              robustness = soak_robustness;
             }
           ~np (build case)
       in
@@ -159,6 +192,7 @@ let prop_parallel_agrees_with_sequential =
           state_config = State.make_config ~clock:lamport ();
           max_runs = 400;
           jobs;
+          robustness = soak_robustness;
         }
       in
       let seq = Explorer.verify ~config:(conf 1) ~np (build case) in
@@ -180,6 +214,7 @@ let parallel_adlb_soak () =
       Explorer.default_config with
       state_config = State.make_config ~mixing_bound:0 ();
       jobs = 4;
+      robustness = soak_robustness;
     }
   in
   let counts =

@@ -482,6 +482,164 @@ let parallel_explore () =
   close_out oc;
   pf "\nresults written to %s\n" path
 
+(* ---- Distributed exploration (SS IV): the coordinator/worker socket
+   transport vs the in-process pool on the same workloads. Workers are
+   in-process domains speaking the real wire protocol over socketpairs, so
+   the measured overhead is the transport itself (framing, leasing,
+   heartbeats, result ingestion) and not process start-up. Emits
+   BENCH_distributed_explore.json. ---- *)
+
+let distributed_explore () =
+  heading
+    "Distributed exploration -- coordinator + socket workers vs in-process \
+     pool (matmult exhaustive, adlb k=1)";
+  let scenarios =
+    [
+      ( "matmult",
+        6,
+        None,
+        max_int,
+        fun () ->
+          Workloads.Matmult.program
+            ~params:
+              { Workloads.Matmult.default_params with n = 8; rows_per_task = 1 }
+            () );
+      ("adlb", 8, Some 1, 2_000, fun () -> Workloads.Adlb.program ());
+    ]
+  in
+  let resolve (job : Dampi.Wire.job) =
+    match
+      List.find_opt (fun (n, _, _, _, _) -> n = job.Dampi.Wire.workload)
+        scenarios
+    with
+    | None -> Error (Printf.sprintf "unknown workload %S" job.Dampi.Wire.workload)
+    | Some (_, np, k, _, build) ->
+        Ok
+          {
+            Dampi.Remote_worker.np;
+            runner =
+              Explorer.dampi_runner
+                {
+                  Explorer.default_config with
+                  state_config = State.make_config ?mixing_bound:k ();
+                }
+                ~np (build ());
+            rb = Explorer.default_robustness;
+          }
+  in
+  (* jobs=1 pool is the baseline; the distributed rows attach 2 and 4
+     socket workers to the same exploration. *)
+  let modes = [ `Pool 1; `Pool 4; `Dist 2; `Dist 4 ] in
+  let all_results =
+    List.map
+      (fun (name, np, k, max_runs, build) ->
+        pf "\n%-10s np=%d %s\n" name np
+          (match k with
+          | None -> "(unbounded, exhaustive)"
+          | Some k ->
+              Printf.sprintf "(mixing bound k=%d, max-runs %d)" k max_runs);
+        pf "%-10s %14s %10s %12s %9s %8s %10s %8s\n" "mode" "interleavings"
+          "findings" "wall-s" "speedup" "leases" "re-leases" "steals";
+        let state_config = State.make_config ?mixing_bound:k () in
+        let config =
+          { Explorer.default_config with state_config; max_runs }
+        in
+        let rows =
+          List.map
+            (fun mode ->
+              match mode with
+              | `Pool jobs ->
+                  let r =
+                    Explorer.verify ~config:{ config with jobs } ~np (build ())
+                  in
+                  (Printf.sprintf "pool-%d" jobs, jobs, r)
+              | `Dist n ->
+                  let workers =
+                    List.init n (fun _ ->
+                        let c, w =
+                          Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+                        in
+                        ( c,
+                          Domain.spawn (fun () ->
+                              Dampi.Remote_worker.serve ~resolve w) ))
+                  in
+                  let setup =
+                    {
+                      Dampi.Coordinator.attach =
+                        Dampi.Coordinator.Fds (List.map fst workers);
+                      job = { Dampi.Wire.workload = name; np; params = [] };
+                      lease_size = Dampi.Coordinator.default_lease_size;
+                      heartbeat_timeout =
+                        Dampi.Coordinator.default_heartbeat_timeout;
+                    }
+                  in
+                  let r =
+                    Explorer.verify ~config ~distribute:setup ~np (build ())
+                  in
+                  List.iter (fun (_, d) -> Domain.join d) workers;
+                  (Printf.sprintf "dist-%d" n, n, r))
+            modes
+        in
+        let base_wall =
+          match rows with (_, _, r) :: _ -> r.Report.host_seconds | [] -> 0.0
+        in
+        let counters (r : Report.t) =
+          ( Obs.Metrics.counter_value r.Report.metrics "coordinator.leases",
+            Obs.Metrics.counter_value r.Report.metrics "coordinator.releases",
+            Obs.Metrics.counter_value r.Report.metrics "sched.steals" )
+        in
+        List.iter
+          (fun (label, _, (r : Report.t)) ->
+            let leases, releases, steals = counters r in
+            pf "%-10s %14d %10d %12.3f %8.2fx %8d %10d %8d\n%!" label
+              r.Report.interleavings
+              (List.length r.Report.findings)
+              r.Report.host_seconds
+              (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+              leases releases steals)
+          rows;
+        (name, np, max_runs, base_wall, rows))
+      scenarios
+  in
+  let path = "BENCH_distributed_explore.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"distributed_explore\",\n  \"scenarios\": [\n";
+  let ns = List.length all_results in
+  List.iteri
+    (fun si (name, np, max_runs, base_wall, rows) ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"np\": %d, \"max_runs\": %d, \"results\": [\n"
+        name np max_runs;
+      let nr = List.length rows in
+      List.iteri
+        (fun ri (label, workers, (r : Report.t)) ->
+          let leases =
+            Obs.Metrics.counter_value r.Report.metrics "coordinator.leases"
+          in
+          let releases =
+            Obs.Metrics.counter_value r.Report.metrics "coordinator.releases"
+          in
+          let steals =
+            Obs.Metrics.counter_value r.Report.metrics "sched.steals"
+          in
+          Printf.fprintf oc
+            "      {\"mode\": %S, \"workers\": %d, \"interleavings\": %d, \
+             \"findings\": %d, \"wall_seconds\": %.6f, \"speedup\": %.4f, \
+             \"leases\": %d, \"releases\": %d, \"steals\": %d}%s\n"
+            label workers r.Report.interleavings
+            (List.length r.Report.findings)
+            r.Report.host_seconds
+            (base_wall /. Float.max 1e-9 r.Report.host_seconds)
+            leases releases steals
+            (if ri = nr - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    ]}%s\n" (if si = ns - 1 then "" else ","))
+    all_results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  pf "\nresults written to %s\n" path
+
 (* ---- Fault soak: exploration under injected faults (SS robustness).
    Transient send failures and rank kills abort individual replay attempts;
    the watchdog + retry machinery must absorb them, and whenever every
@@ -699,7 +857,7 @@ let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
     \                 ablation-piggyback|ablation-mixing|parallel|\
-     fault-soak|trace-overhead|micro] [--np N]\n"
+     distributed|fault-soak|trace-overhead|micro] [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -730,6 +888,7 @@ let () =
     | "ablation-random" -> ablation_random ()
     | "ablation-mixing" -> ablation_mixing ()
     | "parallel" -> parallel_explore ()
+    | "distributed" -> distributed_explore ()
     | "fault-soak" -> fault_soak ()
     | "trace-overhead" -> trace_overhead ()
     | "micro" -> micro ()
@@ -745,6 +904,7 @@ let () =
         ablation_random ();
         ablation_mixing ();
         parallel_explore ();
+        distributed_explore ();
         fault_soak ();
         trace_overhead ()
     | other ->

@@ -106,6 +106,131 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* ---- distributed mode: job parameters and the worker's resolve ----
+
+   A distributed verify ships its configuration to the workers as free-form
+   job parameters; each worker rebuilds the identical runner from its own
+   copy of the registry. Encoding and decoding live side by side so they
+   cannot drift. *)
+
+let job_params ~clock_name ~mixing_bound ~dual ~replay_timeout
+    ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed ~fault_spec =
+  [
+    ("clock", clock_name);
+    ("dual", string_of_bool dual);
+    ("max-retries", string_of_int max_retries);
+    ("retry-backoff", string_of_float retry_backoff);
+  ]
+  @ (match mixing_bound with Some k -> [ ("k", string_of_int k) ] | None -> [])
+  @ (match replay_timeout with
+    | Some t -> [ ("replay-timeout", string_of_float t) ]
+    | None -> [])
+  @ (match max_replay_steps with
+    | Some n -> [ ("max-replay-steps", string_of_int n) ]
+    | None -> [])
+  @ (match fault_seed with
+    | Some s -> [ ("fault-seed", string_of_int s) ]
+    | None -> [])
+  @ match fault_spec with Some s -> [ ("fault-spec", s) ] | None -> []
+
+exception Bad_job of string
+
+let cli_resolve (job : Dampi.Wire.job) =
+  match find_entry job.Dampi.Wire.workload with
+  | None ->
+      Error (Printf.sprintf "unknown workload %S" job.Dampi.Wire.workload)
+  | Some entry -> (
+      try
+        let p key = List.assoc_opt key job.Dampi.Wire.params in
+        let int_p key =
+          Option.map
+            (fun v ->
+              try int_of_string v
+              with Failure _ ->
+                raise (Bad_job (Printf.sprintf "bad %s=%S" key v)))
+            (p key)
+        in
+        let float_p key =
+          Option.map
+            (fun v ->
+              try float_of_string v
+              with Failure _ ->
+                raise (Bad_job (Printf.sprintf "bad %s=%S" key v)))
+            (p key)
+        in
+        let clock =
+          match p "clock" with
+          | Some "vector" -> (module Clocks.Vector : Clocks.Clock_intf.S)
+          | Some "lamport" | None -> (module Clocks.Lamport)
+          | Some other ->
+              raise (Bad_job (Printf.sprintf "unknown clock %S" other))
+        in
+        let dual = p "dual" = Some "true" in
+        let state_config =
+          State.make_config ~clock ?mixing_bound:(int_p "k") ~dual_clock:dual
+            ()
+        in
+        let fault =
+          match (int_p "fault-seed", p "fault-spec") with
+          | None, None -> None
+          | seed, text -> (
+              match
+                Mpi.Fault.of_string ?seed (Option.value text ~default:"")
+              with
+              | Ok spec -> Some spec
+              | Error msg -> raise (Bad_job ("bad fault spec: " ^ msg)))
+        in
+        let d = Explorer.default_robustness in
+        let rb =
+          {
+            Explorer.replay_timeout = float_p "replay-timeout";
+            max_replay_steps = int_p "max-replay-steps";
+            max_retries =
+              Option.value (int_p "max-retries") ~default:d.Explorer.max_retries;
+            retry_backoff =
+              Option.value (float_p "retry-backoff")
+                ~default:d.Explorer.retry_backoff;
+            fault;
+            checkpoint = None;
+            interrupt_after = None;
+          }
+        in
+        let config =
+          { Explorer.default_config with state_config; robustness = rb }
+        in
+        Ok
+          {
+            Dampi.Remote_worker.np = job.Dampi.Wire.np;
+            runner =
+              Explorer.dampi_runner config ~np:job.Dampi.Wire.np
+                (entry.build ());
+            rb;
+          }
+      with Bad_job msg -> Error msg)
+
+(* Children spawned by [verify --distribute] exit on the coordinator's
+   shutdown; reap them, escalating to SIGKILL only if one wedges. *)
+let reap_children pids =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  List.iter
+    (fun pid ->
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+            end
+            else begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
+        | _, _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      wait ())
+    pids
+
 let hist_count snap name =
   match Obs.Metrics.find snap name with
   | Some (Obs.Metrics.Histogram h) -> h.Obs.Metrics.count
@@ -124,9 +249,54 @@ let list_cmd =
 (* ---- verify command ---- *)
 
 let verify_run workload np clock_name mixing_bound max_runs engine dual
-    stop_first quiet dump_schedule jobs trace_out metrics_out
+    stop_first quiet dump_schedule jobs distribute workers trace_out
+    metrics_out
     (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
      max_retries, retry_backoff, fault_seed, fault_spec) =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be at least 1\n";
+    exit 2
+  end;
+  (match distribute with
+  | Some n when n < 1 ->
+      Printf.eprintf "--distribute needs at least 1 worker\n";
+      exit 2
+  | _ -> ());
+  (match (distribute, workers) with
+  | Some _, Some _ ->
+      Printf.eprintf
+        "--distribute and --workers cannot be combined (spawn workers or \
+         dial already-running ones, not both)\n";
+      exit 2
+  | _ -> ());
+  let distributed = distribute <> None || workers <> None in
+  if distributed && jobs > 1 then begin
+    Printf.eprintf
+      "--jobs does not combine with a distributed run (worker processes \
+       replace the in-process pool)\n";
+    exit 2
+  end;
+  if distributed && stop_first then begin
+    Printf.eprintf "--stop-first is not supported in distributed mode\n";
+    exit 2
+  end;
+  if distributed && engine <> "dampi" then begin
+    Printf.eprintf "distributed mode supports only the dampi engine\n";
+    exit 2
+  end;
+  let worker_addrs =
+    match workers with
+    | None -> []
+    | Some addrs ->
+        List.map
+          (fun a ->
+            match Dampi.Wire.addr_of_string a with
+            | Ok addr -> addr
+            | Error msg ->
+                Printf.eprintf "bad worker address %S: %s\n" a msg;
+                exit 2)
+          addrs
+  in
   match find_entry workload with
   | None ->
       Printf.eprintf
@@ -213,21 +383,69 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       in
       let program = entry.build () in
       let trace = trace_out <> None in
+      let children = ref [] in
+      let distribute_setup =
+        if not distributed then None
+        else begin
+          let job =
+            {
+              Dampi.Wire.workload = entry.key;
+              np;
+              params =
+                job_params ~clock_name ~mixing_bound ~dual ~replay_timeout
+                  ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed
+                  ~fault_spec;
+            }
+          in
+          let attach =
+            match distribute with
+            | Some n ->
+                (* Coordinator binds an ephemeral unix socket; [ready]
+                   fires once it is listening, so the spawned children
+                   never race the bind. *)
+                let path = Filename.temp_file "dampi-coord" ".sock" in
+                let ready addr =
+                  let connect = Dampi.Wire.addr_to_string addr in
+                  for _ = 1 to n do
+                    children :=
+                      Unix.create_process Sys.executable_name
+                        [| "dampi"; "worker"; "--connect"; connect |]
+                        Unix.stdin Unix.stdout Unix.stderr
+                      :: !children
+                  done
+                in
+                Dampi.Coordinator.Listen
+                  { addr = Dampi.Wire.Unix_sock path; ready }
+            | None -> Dampi.Coordinator.Dial worker_addrs
+          in
+          Some
+            {
+              Dampi.Coordinator.attach;
+              job;
+              lease_size = Dampi.Coordinator.default_lease_size;
+              heartbeat_timeout = Dampi.Coordinator.default_heartbeat_timeout;
+            }
+        end
+      in
       let report =
         match engine with
         | "dampi" ->
-            Explorer.verify
-              ~config:
-                {
-                  Explorer.default_config with
-                  state_config;
-                  max_runs;
-                  stop_on_first_error = stop_first;
-                  jobs;
-                  trace;
-                  robustness;
-                }
-              ?resume ~np program
+            let r =
+              Explorer.verify
+                ~config:
+                  {
+                    Explorer.default_config with
+                    state_config;
+                    max_runs;
+                    stop_on_first_error = stop_first;
+                    jobs;
+                    trace;
+                    robustness;
+                  }
+                ?resume ?distribute:distribute_setup ~np program
+            in
+            reap_children !children;
+            r
         | "isp" ->
             Isp.Engine.verify
               ~config:
@@ -353,6 +571,28 @@ let verify_cmd =
              replays are independent re-executions, so any $(docv) finds \
              the same interleavings and findings on an exhaustive search).")
   in
+  let distribute =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "distribute" ] ~docv:"N"
+          ~doc:
+            "Distributed exploration: spawn $(docv) local worker processes \
+             ($(b,dampi worker --connect)) over an ephemeral unix socket \
+             and lease them the frontier. The canonical report of an \
+             exhaustive run is identical to a single-process one.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "workers" ] ~docv:"ADDR,..."
+          ~doc:
+            "Distributed exploration against already-running workers \
+             ($(b,dampi worker --listen ADDR)): comma-separated \
+             $(b,unix:PATH) or $(b,tcp:HOST:PORT) addresses the \
+             coordinator dials.")
+  in
   let trace_out =
     Arg.(
       value
@@ -460,8 +700,61 @@ let verify_cmd =
           checkpointing the frontier when $(b,--checkpoint) is set).")
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
-      $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ trace_out
-      $ metrics_out $ robustness_opts)
+      $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ distribute
+      $ workers $ trace_out $ metrics_out $ robustness_opts)
+
+(* ---- worker command ---- *)
+
+let worker_run connect listen =
+  let parse s =
+    match Dampi.Wire.addr_of_string s with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "bad address %S: %s\n" s msg;
+        exit 2
+  in
+  let mode =
+    match (connect, listen) with
+    | Some c, None -> `Connect (parse c)
+    | None, Some l -> `Listen (parse l)
+    | Some _, Some _ | None, None ->
+        Printf.eprintf "worker needs exactly one of --connect or --listen\n";
+        exit 2
+  in
+  match Dampi.Remote_worker.serve_addr ~resolve:cli_resolve mode with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let worker_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Dial a coordinator listening at $(docv) ($(b,unix:PATH) or \
+             $(b,tcp:HOST:PORT)); this is what $(b,verify --distribute) \
+             spawns.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Bind $(docv) and wait for a coordinator to dial in (pair with \
+             $(b,verify --workers)). Serves one coordinator session, then \
+             exits.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve guided replays to a distributed $(b,verify) run: receive \
+          the job description, replay leased frontier items, stream result \
+          deltas back.")
+    Term.(const worker_run $ connect $ listen)
 
 (* ---- replay command ---- *)
 
@@ -822,6 +1115,7 @@ let main =
        ~doc:
          "Distributed Analyzer for MPI programs — dynamic formal verification \
           over a simulated MPI runtime (SC'10 reproduction).")
-    [ list_cmd; verify_cmd; replay_cmd; trace_cmd; stats_cmd; bench_cmd ]
+    [ list_cmd; verify_cmd; replay_cmd; trace_cmd; stats_cmd; bench_cmd;
+      worker_cmd ]
 
 let () = exit (Cmd.eval main)

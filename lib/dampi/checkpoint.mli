@@ -46,8 +46,33 @@ val schedule_key : Decisions.decision list -> string
 (** Canonical textual key of a forced schedule (["-"] for the self run).
     Pure function of the decisions, so keys agree across processes. *)
 
+val schedule_of_key : string -> Decisions.decision list option
+(** Inverse of {!schedule_key}. *)
+
 val item_key : item -> string
 (** [schedule_key (prefix @ [choice])] — the schedule the item would run. *)
+
+(** {2 Serialization primitives}
+
+    Exposed for the distributed wire protocol ({!Wire}), which frames the
+    same encodings over sockets instead of a checkpoint file. *)
+
+val enc : string -> string
+(** Percent-encode (RFC 3986 unreserved set): the result contains no
+    whitespace, newlines, or delimiter characters, whatever the input. *)
+
+val dec : string -> string
+(** Inverse of {!enc}. *)
+
+val decision_to_key : Decisions.decision -> string
+val decision_of_key : string -> Decisions.decision option
+
+val error_to_line : Report.error -> string
+(** [tag payload] form, whitespace-safe; parsed back by {!error_of_line}. *)
+
+val error_of_line : string -> string -> Report.error option
+(** [error_of_line tag payload] inverts {!error_to_line} (the line split at
+    its first space). *)
 
 val to_string : t -> string
 val of_string : string -> (t, string) result

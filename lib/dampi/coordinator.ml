@@ -1,0 +1,389 @@
+(* Frontier coordinator for the distributed mode: leases item batches to
+   remote workers over the Wire protocol, ingests result deltas, re-leases
+   on worker loss. Single-threaded select loop; see coordinator.mli. *)
+
+let src = Logs.Src.create "dampi.coordinator" ~doc:"distributed coordinator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type attach =
+  | Fds of Unix.file_descr list
+  | Listen of { addr : Wire.addr; ready : Wire.addr -> unit }
+  | Dial of Wire.addr list
+
+type setup = {
+  attach : attach;
+  job : Wire.job;
+  lease_size : int;
+  heartbeat_timeout : float;
+}
+
+let default_lease_size = 4
+let default_heartbeat_timeout = 30.0
+
+type stats = {
+  leases : int;
+  releases : int;
+  workers_seen : int;
+  workers_lost : int;
+  results : int;
+}
+
+type lease = {
+  lease_id : int;
+  lease_items : Checkpoint.item list;
+  sent_at : float;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  asm : Wire.assembler;
+  mutable name : string;
+  mutable state : [ `Greeting | `Jobbed | `Idle | `Leased of lease ];
+  mutable last_seen : float;
+  mutable alive : bool;
+}
+
+type cmetrics = {
+  m_leases : Obs.Metrics.counter;
+  m_releases : Obs.Metrics.counter;
+  m_rtt : Obs.Metrics.histogram;
+}
+
+type t = {
+  setup : setup;
+  budget : int;
+  mutable claimed : int;  (* items ever leased, net of re-leases *)
+  mutable frontier : Checkpoint.item list;  (* stack *)
+  mutable conns : conn list;
+  listen_fd : Unix.file_descr option;
+  listen_path : string option;  (* unix socket to unlink on close *)
+  started : float;
+  mutable next_lease : int;
+  mutable st : stats;
+  mutable ran : bool;
+  metrics : cmetrics option;
+}
+
+let mkdirs_socket_fd addr =
+  let sa = Wire.sockaddr_of_addr addr in
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Wire.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
+  (fd, sa)
+
+let create ?metrics ~budget setup =
+  let listen_fd, listen_path =
+    match setup.attach with
+    | Listen { addr; ready } ->
+        let fd, sa = mkdirs_socket_fd addr in
+        Unix.bind fd sa;
+        Unix.listen fd 16;
+        ready addr;
+        ( Some fd,
+          match addr with Wire.Unix_sock p -> Some p | Wire.Tcp _ -> None )
+    | Fds _ | Dial _ -> (None, None)
+  in
+  {
+    setup;
+    budget = max 0 budget;
+    claimed = 0;
+    frontier = [];
+    conns = [];
+    listen_fd;
+    listen_path;
+    started = Unix.gettimeofday ();
+    next_lease = 0;
+    st =
+      { leases = 0; releases = 0; workers_seen = 0; workers_lost = 0;
+        results = 0 };
+    ran = false;
+    metrics =
+      Option.map
+        (fun sh ->
+          {
+            m_leases = Obs.Metrics.counter sh "coordinator.leases";
+            m_releases = Obs.Metrics.counter sh "coordinator.releases";
+            m_rtt = Obs.Metrics.histogram sh "coordinator.worker_rtt_s";
+          })
+        metrics;
+  }
+
+let push t items = t.frontier <- items @ t.frontier
+
+let outstanding t =
+  List.concat_map
+    (fun c ->
+      match c.state with `Leased l when c.alive -> l.lease_items | _ -> [])
+    t.conns
+
+let snapshot t = t.frontier @ outstanding t
+let pending t = List.length t.frontier
+let stats t = t.st
+
+(* ---- connection lifecycle ---- *)
+
+(* Connections stay blocking: reads happen only after select reports the fd
+   readable (so they return whatever is buffered without blocking), and
+   writes are small frames a socket buffer absorbs. *)
+let add_conn t fd =
+  let c =
+    {
+      fd;
+      oc = Unix.out_channel_of_descr fd;
+      asm = Wire.assembler ();
+      name = "?";
+      state = `Greeting;
+      last_seen = Unix.gettimeofday ();
+      alive = true;
+    }
+  in
+  t.conns <- t.conns @ [ c ];
+  c
+
+(* Drop a worker; its outstanding lease items go back to the front of the
+   frontier for another worker. *)
+let lose t c ~reason =
+  if c.alive then begin
+    c.alive <- false;
+    (match c.state with
+    | `Leased l ->
+        let n = List.length l.lease_items in
+        Log.warn (fun m ->
+            m "worker %s lost (%s): re-leasing %d item(s)" c.name reason n);
+        t.frontier <- l.lease_items @ t.frontier;
+        t.claimed <- t.claimed - n;
+        t.st <- { t.st with releases = t.st.releases + n };
+        (match t.metrics with
+        | Some ms ->
+            for _ = 1 to n do Obs.Metrics.incr ms.m_releases done
+        | None -> ())
+    | _ ->
+        Log.warn (fun m -> m "worker %s lost (%s)" c.name reason));
+    t.st <- { t.st with workers_lost = t.st.workers_lost + 1 };
+    c.state <- `Idle;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end
+
+let send t c msg =
+  try Wire.write_to_worker c.oc msg
+  with Sys_error _ | Unix.Unix_error _ -> lose t c ~reason:"write failed"
+
+(* ---- leasing ---- *)
+
+let rec take_front n acc = function
+  | rest when n = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | x :: tl -> take_front (n - 1) (x :: acc) tl
+
+let maybe_lease t c =
+  if c.alive && c.state = `Idle && t.frontier <> [] && t.claimed < t.budget
+  then begin
+    let n = min t.setup.lease_size (t.budget - t.claimed) in
+    let items, rest = take_front n [] t.frontier in
+    t.frontier <- rest;
+    t.claimed <- t.claimed + List.length items;
+    let lease_id = t.next_lease in
+    t.next_lease <- t.next_lease + 1;
+    c.state <-
+      `Leased { lease_id; lease_items = items; sent_at = Unix.gettimeofday () };
+    t.st <- { t.st with leases = t.st.leases + 1 };
+    (match t.metrics with
+    | Some ms -> Obs.Metrics.incr ms.m_leases
+    | None -> ());
+    send t c (Wire.Lease { lease_id; items })
+  end
+
+(* ---- message handling ---- *)
+
+let handle_msg t c ~on_run msg =
+  c.last_seen <- Unix.gettimeofday ();
+  match msg with
+  | Error e -> lose t c ~reason:("protocol error: " ^ e)
+  | Ok (Wire.Hello { proto; id }) ->
+      if proto <> Wire.proto_version then
+        lose t c
+          ~reason:
+            (Printf.sprintf "protocol version %d (this build speaks %d)" proto
+               Wire.proto_version)
+      else begin
+        c.name <- id;
+        c.state <- `Jobbed;
+        send t c (Wire.Job t.setup.job)
+      end
+  | Ok Wire.Ready -> (
+      match c.state with
+      | `Jobbed ->
+          c.state <- `Idle;
+          t.st <- { t.st with workers_seen = t.st.workers_seen + 1 };
+          Log.info (fun m -> m "worker %s ready" c.name)
+      | _ -> lose t c ~reason:"ready out of sequence")
+  | Ok Wire.Heartbeat -> ()
+  | Ok (Wire.Failed reason) -> lose t c ~reason:("worker failed: " ^ reason)
+  | Ok (Wire.Results { lease_id; runs }) -> (
+      match c.state with
+      | `Leased l when l.lease_id = lease_id ->
+          (* Validate the frame covers exactly the leased items before
+             ingesting anything: all-or-nothing is what makes re-leases
+             duplicate-free. *)
+          let by_key =
+            List.map (fun it -> (Checkpoint.item_key it, it)) l.lease_items
+          in
+          let matched =
+            List.map
+              (fun (r : Wire.run_result) ->
+                (List.assoc_opt r.Wire.key by_key, r))
+              runs
+          in
+          if
+            List.length runs <> List.length l.lease_items
+            || List.exists (fun (it, _) -> it = None) matched
+          then lose t c ~reason:"results do not match the lease"
+          else begin
+            (match t.metrics with
+            | Some ms ->
+                Obs.Metrics.observe ms.m_rtt
+                  (Unix.gettimeofday () -. l.sent_at)
+            | None -> ());
+            c.state <- `Idle;
+            t.st <- { t.st with results = t.st.results + 1 };
+            List.iter
+              (fun (it, r) ->
+                let item = Option.get it in
+                (match (r : Wire.run_result).Wire.payload with
+                | Some p -> push t p.Wire.children
+                | None -> ());
+                on_run ~item r)
+              matched
+          end
+      | _ -> lose t c ~reason:"results for an unknown lease")
+
+(* ---- the event loop ---- *)
+
+let work_remains t =
+  (t.frontier <> [] && t.claimed < t.budget)
+  || List.exists
+       (fun c -> c.alive && match c.state with `Leased _ -> true | _ -> false)
+       t.conns
+
+let live_workers t = List.filter (fun c -> c.alive) t.conns
+
+let close_all t =
+  List.iter
+    (fun c ->
+      if c.alive then begin
+        send t c Wire.Shutdown;
+        c.alive <- false;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      end)
+    t.conns;
+  (match t.listen_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  match t.listen_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ()
+
+let drive t ~on_run ~should_stop ~tick =
+  if t.ran then invalid_arg "Coordinator.drive: already ran";
+  t.ran <- true;
+  (* EPIPE must surface as an exception on write, not kill the process. *)
+  let old_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match old_pipe with
+      | Some h -> (
+          try Sys.set_signal Sys.sigpipe h
+          with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      close_all t)
+  @@ fun () ->
+  (match t.setup.attach with
+  | Fds fds -> List.iter (fun fd -> ignore (add_conn t fd)) fds
+  | Listen _ -> ()
+  | Dial addrs ->
+      List.iter
+        (fun addr ->
+          let sa = Wire.sockaddr_of_addr addr in
+          let fd =
+            Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0
+          in
+          match Unix.connect fd sa with
+          | () -> ignore (add_conn t fd)
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Log.warn (fun m ->
+                  m "cannot dial %s: %s" (Wire.addr_to_string addr)
+                    (Unix.error_message e)))
+        addrs);
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    if should_stop () then Ok ()
+    else if not (work_remains t) then Ok ()
+    else begin
+      let live = live_workers t in
+      (* Lost everyone (or nobody ever arrived): the frontier still holds
+         the unfinished work, so the caller can checkpoint and resume. *)
+      if
+        live = []
+        && (t.st.workers_seen > 0 || t.listen_fd = None
+           || Unix.gettimeofday () -. t.started
+              > t.setup.heartbeat_timeout)
+      then
+        Error
+          (if t.st.workers_seen = 0 then "no workers connected"
+           else
+             Printf.sprintf "all %d worker(s) lost with work remaining"
+               t.st.workers_seen)
+      else begin
+        List.iter (fun c -> maybe_lease t c) live;
+        let fds =
+          (match t.listen_fd with Some fd -> [ fd ] | None -> [])
+          @ List.map (fun c -> c.fd) (live_workers t)
+        in
+        let readable, _, _ =
+          try Unix.select fds [] [] 0.2
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if Some fd = t.listen_fd then begin
+              match Unix.accept fd with
+              | afd, _ -> ignore (add_conn t afd)
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd && c.alive) t.conns with
+              | None -> ()
+              | Some c -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> lose t c ~reason:"connection closed"
+                  | n ->
+                      List.iter (handle_msg t c ~on_run) (Wire.feed c.asm buf n)
+                  | exception
+                      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                    ->
+                      ()
+                  | exception Unix.Unix_error (e, _, _) ->
+                      lose t c ~reason:(Unix.error_message e)))
+          readable;
+        (* Heartbeat scan: a worker silent past the timeout is dead even if
+           its socket is technically open (wedged process, dead host). *)
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun c ->
+            if c.alive && now -. c.last_seen > t.setup.heartbeat_timeout then
+              lose t c ~reason:"missed heartbeat")
+          (live_workers t);
+        tick ();
+        loop ()
+      end
+    end
+  in
+  loop ()

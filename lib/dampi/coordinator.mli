@@ -1,0 +1,86 @@
+(** The distributed mode's frontier coordinator.
+
+    Owns the global frontier of fork items and serves it to worker
+    processes over the {!Wire} protocol: batches of items are {e leased} to
+    a worker, the worker replays each and ships back a result delta
+    (counters, findings, child frontier), and the coordinator ingests the
+    delta, folds the children back into the frontier, and leases again. A
+    worker that disconnects, reports failure, or goes silent past the
+    heartbeat timeout forfeits its outstanding lease: those items return to
+    the frontier and are re-leased to a surviving worker. Results are
+    ingested only as complete frames, so a replay is counted exactly once
+    no matter how many times its item was leased — and since replays are
+    deterministic, the canonical report is identical to a single-process
+    run.
+
+    The event loop is single-threaded ([Unix.select]); every callback runs
+    on the calling thread, which is what makes periodic checkpointing from
+    [tick] race-free. *)
+
+(** How worker connections come to exist. *)
+type attach =
+  | Fds of Unix.file_descr list
+      (** pre-connected sockets (tests and bench use socketpairs) *)
+  | Listen of { addr : Wire.addr; ready : Wire.addr -> unit }
+      (** bind + listen, then call [ready] (the CLI spawns
+          [dampi worker --connect] children there); workers may also join
+          later, any time before the frontier drains *)
+  | Dial of Wire.addr list
+      (** connect to workers already listening ([dampi worker --listen]) *)
+
+type setup = {
+  attach : attach;
+  job : Wire.job;  (** sent to every worker before its first lease *)
+  lease_size : int;  (** max items per lease (≥ 1) *)
+  heartbeat_timeout : float;
+      (** seconds of silence before a worker is declared dead *)
+}
+
+val default_lease_size : int
+val default_heartbeat_timeout : float
+
+type stats = {
+  leases : int;  (** lease frames sent *)
+  releases : int;  (** items re-leased after a worker was lost *)
+  workers_seen : int;  (** workers that completed the hello/ready handshake *)
+  workers_lost : int;  (** workers lost to EOF, failure, or missed heartbeat *)
+  results : int;  (** result frames ingested *)
+}
+
+type t
+
+val create : ?metrics:Obs.Metrics.shard -> budget:int -> setup -> t
+(** Binds/listens or dials according to [setup.attach] (deferring accepts
+    and handshakes to {!drive}). [budget] caps the total number of items
+    ever leased; items beyond it stay in the frontier (mirroring
+    {!Scheduler}'s claim budget). [metrics] gains [coordinator.leases],
+    [coordinator.releases], [coordinator.worker_rtt_s] — written only from
+    the driving thread. *)
+
+val push : t -> Checkpoint.item list -> unit
+(** Seed the frontier (before or during {!drive}). *)
+
+val snapshot : t -> Checkpoint.item list
+(** Frontier plus every item on an outstanding lease — the same consistent
+    cut {!Scheduler.snapshot} gives, safe to call from {!drive}'s
+    callbacks. *)
+
+val pending : t -> int
+
+val stats : t -> stats
+
+val drive :
+  t ->
+  on_run:(item:Checkpoint.item -> Wire.run_result -> unit) ->
+  should_stop:(unit -> bool) ->
+  tick:(unit -> unit) ->
+  (unit, string) result
+(** Run the event loop until the frontier drains (and no lease is
+    outstanding), the budget is exhausted, or [should_stop] answers [true];
+    workers are then sent [shutdown] and the connections closed. [on_run]
+    fires once per leased item as its result frame is ingested, with the
+    original item; [tick] fires about once per select timeout (for periodic
+    checkpoints). [Error] is returned when every worker is gone (or none
+    ever appeared within the heartbeat timeout) while work remains — the
+    frontier still holds that work, so a checkpoint taken afterwards can
+    resume it. May be called only once. *)

@@ -10,18 +10,24 @@
     The explorer is parametric in the [runner] that executes one
     interleaving; the ISP baseline reuses the same walk with its own
     centralized-cost runner, which is exactly the comparison of Figs. 5/6
-    (same coverage, different per-run cost). *)
+    (same coverage, different per-run cost).
+
+    Execution is delegated to an {!Executor.t} backend: the in-process
+    domain pool ({!Scheduler}) by default, or — the paper's distributed
+    mode — a {!Coordinator} leasing the frontier to worker processes over
+    sockets. Both drain the same frontier and feed the same counting path,
+    so the canonical report is identical whichever executes the replays. *)
 
 module Runtime = Mpi.Runtime
 module Coroutine = Sim.Coroutine
 
-type checkpoint_cfg = {
+type checkpoint_cfg = Executor.checkpoint_cfg = {
   path : string;
   every : int;  (** completed replays between periodic writes; 0 = only on interrupt/finish *)
   label : string;  (** workload identity stored in (and validated against) the file *)
 }
 
-type robustness = {
+type robustness = Executor.robustness = {
   replay_timeout : float option;
   max_replay_steps : int option;
   max_retries : int;
@@ -31,16 +37,7 @@ type robustness = {
   interrupt_after : int option;
 }
 
-let default_robustness =
-  {
-    replay_timeout = None;
-    max_replay_steps = None;
-    max_retries = 0;
-    retry_backoff = 0.0;
-    fault = None;
-    checkpoint = None;
-    interrupt_after = None;
-  }
+let default_robustness = Executor.default_robustness
 
 type config = {
   state_config : State.config;
@@ -65,20 +62,16 @@ let default_config =
     robustness = default_robustness;
   }
 
-(* Per-run observability context threaded into the runner: which worker is
-   executing, the metric shard that worker owns, the poison closure the
-   interposition layer polls for in-replay cancellation, and the fault salt
-   identifying this (replay, attempt) for deterministic injection. *)
-type run_ctx = {
+type run_ctx = Executor.run_ctx = {
   worker : int;
   metrics : Obs.Metrics.shard option;
   poison : (unit -> bool) option;
   salt : int;
 }
 
-let null_ctx = { worker = 0; metrics = None; poison = None; salt = 0 }
+let null_ctx = Executor.null_ctx
 
-type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
+type runner = Executor.runner
 
 (* ---- The DAMPI runner: one interposed execution ---- *)
 
@@ -152,7 +145,7 @@ let errors_of_run ~check_leaks ~(outcome : Coroutine.outcome) ~leaks
 
 (* The fault instance for one (replay, attempt), derived from the configured
    spec and the context's salt — shared with the ISP runner. *)
-let fault_of_ctx ctx = function
+let fault_of_ctx (ctx : run_ctx) = function
   | None -> Mpi.Fault.none
   | Some spec -> Mpi.Fault.make spec ~salt:ctx.salt
 
@@ -211,53 +204,13 @@ let native_makespan ?(cost = Runtime.default_cost) ~np program =
 
 (* One pending guided run: the observed prefix up to a fork, plus the single
    alternate match to force there ({!Checkpoint.item}, so the frontier
-   serializes as-is). Expanding a frontier into one item per alternative
-   (rather than one frame per epoch with an [untried] list) keeps the
-   work-queue items immutable, which is what lets a pool of domains consume
-   them without sharing any per-frame mutable state. *)
+   serializes as-is — to a checkpoint file or onto the distributed wire). *)
 type item = Checkpoint.item = {
   prefix : Decisions.decision list;  (* observed matches before the fork *)
   choice : Decisions.decision;  (* the alternate match this run forces *)
 }
 
-let rec take n = function
-  | [] -> []
-  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
-
-(* The child frontier of [record]: one item per unexplored alternative of
-   each expandable epoch, deepest epoch first and alternatives in ascending
-   order. Under a LIFO queue with one worker this visits exactly the same
-   depth-first order as the original recursive walk: the deepest fork's
-   first alternative runs next, and its whole subtree is exhausted before
-   the second alternative starts. *)
-let items_of_record (record : Report.run_record) ~plan_decisions =
-  let observed =
-    List.map
-      (fun (e : Epoch.t) ->
-        Decisions.decision_of_epoch e ~src:e.Epoch.matched_src)
-      record.Report.new_epochs
-  in
-  let batches =
-    List.mapi
-      (fun i (e : Epoch.t) ->
-        if not e.Epoch.expandable then []
-        else
-          List.map
-            (fun alt ->
-              {
-                prefix = plan_decisions @ take i observed;
-                choice =
-                  {
-                    Decisions.owner = e.Epoch.owner;
-                    epoch_id = e.Epoch.id;
-                    src = alt;
-                    kind = e.Epoch.kind;
-                  };
-              })
-            (Epoch.alternatives e))
-      record.Report.new_epochs
-  in
-  List.concat (List.rev batches)
+let items_of_record = Executor.items_of_record
 
 (* How one replay (possibly after retries) resolved, as seen by the walk. *)
 type run_status =
@@ -267,18 +220,18 @@ type run_status =
   | Interrupted  (* poisoned by SIGINT/SIGTERM: requeue for the checkpoint *)
   | Gave_up  (* every attempt hit the watchdog: record, no frontier *)
 
-(* Sequential and parallel exploration share this one loop: the frontier
-   lives in a Scheduler work queue, and each executed item is a complete
-   guided replay (fresh Runtime + State inside [runner], so workers share
-   no mutable state beyond the queue and the findings table). Findings
-   merge under [m] keyed by error signature, keeping the canonically
-   smallest reproduction schedule, and the report sorts findings by
-   schedule — so the finding set, interleaving count, and bounded-epoch
-   count are identical at any worker count (on an exhaustive exploration;
-   a binding [max_runs] budget selects a worker-order-dependent subset of
-   runs by nature). *)
-let explore ?(config = default_config) ?resume ~np (runner : runner) :
-    Report.t =
+(* Sequential, parallel, and distributed exploration share this one walk:
+   the frontier is drained by an executor backend, and each executed item
+   is a complete guided replay (fresh Runtime + State inside [runner], so
+   workers share no mutable state beyond the queue and the findings
+   table). Findings merge under [m] keyed by error signature, keeping the
+   canonically smallest reproduction schedule, and the report sorts
+   findings by schedule — so the finding set, interleaving count, and
+   bounded-epoch count are identical at any worker count and over any
+   transport (on an exhaustive exploration; a binding [max_runs] budget
+   selects a worker-order-dependent subset of runs by nature). *)
+let explore ?(config = default_config) ?resume ?distribute ~np
+    (runner : runner) : Report.t =
   let started = Unix.gettimeofday () in
   let jobs = max 1 config.jobs in
   let rb = config.robustness in
@@ -292,9 +245,10 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
     | _ -> None
   in
   (* Shard layout: one per worker domain, plus a final shard for the
-     scheduler (whose writes happen under its own lock). The merged snapshot
-     of a jobs=N exploration equals the jobs=1 one for every series that is
-     a property of the run set. *)
+     scheduler or coordinator (whose writes happen under its own lock, or
+     on the single driving thread). The merged snapshot of a jobs=N
+     exploration equals the jobs=1 one for every series that is a property
+     of the run set. *)
   let registry = Obs.Metrics.create ~shards:(jobs + 1) () in
   let worker_shard w = Obs.Metrics.shard registry w in
   let replays_c =
@@ -350,10 +304,10 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
   let resume_completed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let new_completed : string list ref = ref [] in
   let completed_since = ref 0 in
-  let sched_ref : item Scheduler.t option ref = ref None in
-  (* The frontier before any scheduler exists (the self run's children, or
-     a resumed checkpoint's items): if the exploration is cut before the
-     pool starts, this is what the checkpoint must carry. *)
+  let exec_ref : Executor.t option ref = ref None in
+  (* The frontier before any backend exists (the self run's children, or a
+     resumed checkpoint's items): if the exploration is cut before the
+     backend starts, this is what the checkpoint must carry. *)
   let frontier_fallback : item list ref = ref [] in
   (match resume with
   | None -> ()
@@ -398,7 +352,7 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
   let worker_wall = Array.make jobs 0.0 in
   let worker_vtime = Array.make jobs 0.0 in
   (* Caller holds [m]. *)
-  let record_findings (record : Report.run_record) ~run_index ~schedule =
+  let record_findings errors ~run_index ~schedule =
     List.iter
       (fun error ->
         (match error with
@@ -411,18 +365,47 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
         | Some kept ->
             if Report.compare_schedule schedule kept.Report.schedule < 0 then
               Hashtbl.replace findings key candidate)
-      record.Report.run_errors
+      errors
   in
   let sorted_findings () =
     Hashtbl.fold (fun _ f acc -> f :: acc) findings []
     |> List.sort Report.compare_finding
   in
+  (* Fold one counted replay into the canonical totals, wherever it ran —
+     on a pool domain (from a full run record) or on a remote worker (from
+     a wire delta). Everything here is a pure function of the run set, so
+     the report is transport-independent. *)
+  let count_completed ~worker ~key ~schedule ~makespan ~bounded_delta ~errors =
+    Mutex.lock m;
+    let index = !runs in
+    incr runs;
+    total_vtime := !total_vtime +. makespan;
+    worker_runs.(worker) <- worker_runs.(worker) + 1;
+    worker_vtime.(worker) <- worker_vtime.(worker) +. makespan;
+    bounded := !bounded + bounded_delta;
+    record_findings errors ~run_index:index ~schedule;
+    new_completed := key :: !new_completed;
+    incr completed_since;
+    if
+      List.exists
+        (function Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
+        errors
+    then begin
+      if not (Atomic.get error_found) then
+        Atomic.set cancel_at (Unix.gettimeofday ());
+      Atomic.set error_found true
+    end;
+    (match rb.interrupt_after with
+    | Some limit when !runs >= limit -> Atomic.set interrupt_requested true
+    | _ -> ());
+    Mutex.unlock m
+  in
   (* Serialize the current cut. [m] stays held through the file write: the
      counters, completed set, and frontier must come from one consistent
-     instant (the scheduler snapshot is itself atomic, and [finish]
-     publishes a replay's children and count moves under [m] too), and
-     checkpoint writes are rare enough that stalling workers briefly is
-     cheaper than a torn cut. *)
+     instant (the backend snapshot is itself atomic, and the pool publishes
+     a replay's children and count moves under [m] too), and checkpoint
+     writes are rare enough that stalling workers briefly is cheaper than a
+     torn cut. *)
   let write_checkpoint () =
     match rb.checkpoint with
     | None -> ()
@@ -432,8 +415,8 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
           ~finally:(fun () -> Mutex.unlock m)
           (fun () ->
             let frontier =
-              match !sched_ref with
-              | Some sched -> Scheduler.snapshot sched
+              match !exec_ref with
+              | Some e -> e.Executor.snapshot ()
               | None -> !frontier_fallback
             in
             let completed =
@@ -475,54 +458,17 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
         if due then write_checkpoint ()
     | _ -> ()
   in
-  (* One guided replay, with watchdog and retries. [count] is false for
-     expand-only re-runs during a resume: the replay executes (to regenerate
-     its children deterministically) but contributes nothing to counters or
-     findings — its contribution is already in the checkpoint. *)
+  (* One guided replay on this process, with watchdog and retries (the
+     shared {!Executor.run_attempts} loop). [count] is false for
+     expand-only re-runs during a resume: the replay executes (to
+     regenerate its children deterministically) but contributes nothing to
+     counters or findings — its contribution is already in the
+     checkpoint. *)
   let run_one plan ~fork_index ~schedule ~worker ~name ~count =
     let key = Checkpoint.schedule_key schedule in
-    let rec attempt ~n =
-      let timed_out = ref false in
-      let steps = ref 0 in
-      let deadline =
-        Option.map (fun s -> Unix.gettimeofday () +. s) rb.replay_timeout
-      in
-      let poison =
-        if not need_poison then None
-        else
-          Some
-            (fun () ->
-              if
-                Atomic.get interrupt_requested
-                || (config.stop_on_first_error && Atomic.get error_found)
-              then true
-              else begin
-                incr steps;
-                let hit =
-                  (match rb.max_replay_steps with
-                  | Some limit -> !steps > limit
-                  | None -> false)
-                  ||
-                  (* The wall check costs a syscall; poll it every 64
-                     steps. The step budget stays exact (deterministic). *)
-                  match deadline with
-                  | Some d -> !steps land 63 = 0 && Unix.gettimeofday () > d
-                  | None -> false
-                in
-                if hit then timed_out := true;
-                hit
-              end)
-      in
-      let ctx =
-        {
-          worker;
-          metrics = Some (worker_shard worker);
-          poison;
-          salt = Mpi.Fault.salt_of_schedule ~attempt:n key;
-        }
-      in
-      (* Span args carry only run-set-determined values (fork, depth), never
-         wall times, so jobs=1 span trees reproduce exactly. *)
+    (* Span args carry only run-set-determined values (fork, depth), never
+       wall times, so jobs=1 span trees reproduce exactly. *)
+    let wrap ~attempt f =
       let sp =
         Option.map
           (fun tr ->
@@ -531,176 +477,81 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
                 [
                   ("fork", Obs.Trace.Int fork_index);
                   ("depth", Obs.Trace.Int (List.length schedule));
-                  ("attempt", Obs.Trace.Int n);
+                  ("attempt", Obs.Trace.Int attempt);
                 ]
               name)
           tracer
       in
-      let t0 = Unix.gettimeofday () in
-      let record = runner ~ctx plan ~fork_index in
-      let wall = Unix.gettimeofday () -. t0 in
+      let record = f () in
       (match (tracer, sp) with
       | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr worker) sp
       | _ -> ());
-      (* Per-worker shard: this domain is the only writer. *)
-      Obs.Metrics.observe wall_h.(worker) wall;
-      Mutex.lock m;
-      worker_wall.(worker) <- worker_wall.(worker) +. wall;
-      Mutex.unlock m;
-      let retry () =
-        Mutex.lock m;
-        incr runs_retried;
-        Mutex.unlock m;
-        Obs.Metrics.incr retries_c.(worker);
-        if rb.retry_backoff > 0.0 then
-          (* Capped exponential backoff; pure wall-clock politeness, no
-             effect on what the retry explores. *)
-          Unix.sleepf
-            (Float.min 1.0 (rb.retry_backoff *. Float.pow 2.0 (float_of_int n)));
-        attempt ~n:(n + 1)
-      in
-      if record.Report.cancelled then begin
-        if !timed_out then begin
+      record
+    in
+    let on_event = function
+      | Executor.Attempt_wall wall ->
+          (* Per-worker shard: this domain is the only writer. *)
+          Obs.Metrics.observe wall_h.(worker) wall;
+          Mutex.lock m;
+          worker_wall.(worker) <- worker_wall.(worker) +. wall;
+          Mutex.unlock m
+      | Executor.Timed_out ->
           Mutex.lock m;
           incr runs_timed_out;
           Mutex.unlock m;
-          Obs.Metrics.incr timeouts_c.(worker);
-          if n < rb.max_retries && not (Atomic.get interrupt_requested) then
-            retry ()
-          else Gave_up
-        end
-        else begin
+          Obs.Metrics.incr timeouts_c.(worker)
+      | Executor.Retried ->
+          Mutex.lock m;
+          incr runs_retried;
+          Mutex.unlock m;
+          Obs.Metrics.incr retries_c.(worker)
+      | Executor.Transient_fault ->
+          Mutex.lock m;
+          incr runs_crashed;
+          Mutex.unlock m;
+          Obs.Metrics.incr faults_c.(worker)
+      | Executor.Cancelled ->
           Mutex.lock m;
           incr runs_cancelled;
           Mutex.unlock m;
           Obs.Metrics.observe cancel_h.(worker)
-            (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at));
-          if Atomic.get interrupt_requested then Interrupted else Stopped
-        end
-      end
-      else begin
-        match record.Report.outcome with
-        | Coroutine.Crashed (_, exn, _)
-          when Mpi.Fault.is_transient exn
-               && n < rb.max_retries
-               && not (Atomic.get interrupt_requested) ->
-            (* An injected environment fault, not a program bug: retry under
-               a fresh salt. Once retries are exhausted the crash is counted
-               and recorded like any other (the message names the fault). *)
-            Mutex.lock m;
-            incr runs_crashed;
-            Mutex.unlock m;
-            Obs.Metrics.incr faults_c.(worker);
-            retry ()
-        | _ ->
-            Obs.Metrics.incr replays_c.(worker);
-            Obs.Metrics.observe vtime_h.(worker) record.Report.makespan;
-            if count then begin
-              Mutex.lock m;
-              let index = !runs in
-              incr runs;
-              total_vtime := !total_vtime +. record.Report.makespan;
-              worker_runs.(worker) <- worker_runs.(worker) + 1;
-              worker_vtime.(worker) <-
-                worker_vtime.(worker) +. record.Report.makespan;
-              List.iter
-                (fun (e : Epoch.t) ->
-                  if not e.Epoch.expandable then incr bounded)
-                record.Report.new_epochs;
-              record_findings record ~run_index:index ~schedule;
-              new_completed := key :: !new_completed;
-              incr completed_since;
-              if
-                List.exists
-                  (function
-                    | Report.Deadlock _ | Report.Crash _ -> true | _ -> false)
-                  record.Report.run_errors
-              then begin
-                if not (Atomic.get error_found) then
-                  Atomic.set cancel_at (Unix.gettimeofday ());
-                Atomic.set error_found true
-              end;
-              (match rb.interrupt_after with
-              | Some limit when !runs >= limit ->
-                  Atomic.set interrupt_requested true
-              | _ -> ());
-              Mutex.unlock m
-            end;
-            Counted record
-      end
+            (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at))
     in
-    attempt ~n:0
+    match
+      Executor.run_attempts ~rb ~runner ~worker
+        ~metrics:(Some (worker_shard worker)) ~need_poison
+        ~external_poison:(fun () ->
+          Atomic.get interrupt_requested
+          || (config.stop_on_first_error && Atomic.get error_found))
+        ~abort_retries:(fun () -> Atomic.get interrupt_requested)
+        ~wrap ~on_event ~key plan ~fork_index
+    with
+    | Executor.Gave_up -> Gave_up
+    | Executor.Poisoned ->
+        if Atomic.get interrupt_requested then Interrupted else Stopped
+    | Executor.Completed record ->
+        Obs.Metrics.incr replays_c.(worker);
+        Obs.Metrics.observe vtime_h.(worker) record.Report.makespan;
+        if count then
+          count_completed ~worker ~key ~schedule
+            ~makespan:record.Report.makespan
+            ~bounded_delta:
+              (List.length
+                 (List.filter
+                    (fun (e : Epoch.t) -> not e.Epoch.expandable)
+                    record.Report.new_epochs))
+            ~errors:record.Report.run_errors;
+        Counted record
   in
-  (* SIGINT/SIGTERM flip the interrupt flag; the poison path then drains the
-     pool cooperatively and the frontier is checkpointed. Installed only
-     when checkpointing was requested, and restored on the way out. *)
-  let old_signals =
-    match rb.checkpoint with
-    | None -> []
-    | Some _ ->
-        List.filter_map
-          (fun signal ->
-            match
-              Sys.signal signal
-                (Sys.Signal_handle
-                   (fun _ -> Atomic.set interrupt_requested true))
-            with
-            | old -> Some (signal, old)
-            | exception (Invalid_argument _ | Sys_error _) -> None)
-          [ Sys.sigint; Sys.sigterm ]
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun (signal, old) ->
-          try Sys.set_signal signal old with Invalid_argument _ | Sys_error _ -> ())
-        old_signals)
-  @@ fun () ->
-  (* Initial self run, on the calling domain — unless resuming, in which
-     case the checkpoint already carries its contribution and frontier. *)
-  let initial_items =
-    match resume with
-    | Some c -> c.Checkpoint.frontier
-    | None -> (
-        match
-          run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
-            ~worker:0 ~name:"self-run" ~count:true
-        with
-        | Counted record ->
-            wildcards_analyzed := record.Report.wildcards;
-            first_makespan := record.Report.makespan;
-            items_of_record record ~plan_decisions:[]
-        | Stopped | Interrupted | Gave_up -> [])
-  in
-  frontier_fallback := initial_items;
-  let sched_stats =
-    if
-      initial_items = []
-      || !runs >= config.max_runs
-      || (config.stop_on_first_error && Atomic.get error_found)
-      || Atomic.get interrupt_requested
-    then []
-    else begin
-      (* Expand-only items don't count against [max_runs] (their runs were
-         already counted before the cut), but they do consume scheduler
-         claims; widen the claim budget accordingly. *)
-      let expand_only =
-        List.length
-          (List.filter
-             (fun it -> Hashtbl.mem resume_completed (Checkpoint.item_key it))
-             initial_items)
-      in
-      let budget =
-        if config.max_runs = max_int then max_int
-        else config.max_runs - !runs + expand_only
-      in
-      let sched =
-        Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget
-          ~metrics:(Obs.Metrics.shard registry jobs)
-          ()
-      in
-      sched_ref := Some sched;
-      Scheduler.push_batch sched initial_items;
+  (* ---- the in-process backend: per-worker stealing deques ---- *)
+  let pool_backend initial_items ~budget =
+    let sched =
+      Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget
+        ~metrics:(Obs.Metrics.shard registry jobs)
+        ()
+    in
+    Scheduler.push_batch sched initial_items;
+    let drive () =
       Scheduler.run sched (fun ~worker it ->
           (* A raising replay is a harness failure, not a pool teardown:
              record it (with the backtrace from the catch site) and keep the
@@ -754,33 +605,195 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
                 }
                 :: !harness_failures;
               Mutex.unlock m;
-              []);
-      Scheduler.stats sched
-    end
+              [])
+    in
+    let stats () =
+      let sched_stats = Scheduler.stats sched in
+      List.init jobs (fun i ->
+          let queue_waits =
+            match
+              List.find_opt
+                (fun (ws : Scheduler.worker_stats) ->
+                  ws.Scheduler.worker_id = i)
+                sched_stats
+            with
+            | Some ws -> ws.Scheduler.queue_waits
+            | None -> 0
+          in
+          {
+            Report.worker_id = i;
+            runs_executed = worker_runs.(i);
+            queue_waits;
+            wall_seconds = worker_wall.(i);
+            virtual_seconds = worker_vtime.(i);
+          })
+    in
+    {
+      Executor.label = "pool";
+      drive;
+      snapshot = (fun () -> Scheduler.snapshot sched);
+      stats;
+    }
   in
+  (* ---- the distributed backend: coordinator + remote workers ---- *)
+  let coordinator_backend initial_items ~budget setup =
+    let co =
+      Coordinator.create ~metrics:(Obs.Metrics.shard registry jobs) ~budget
+        setup
+    in
+    Coordinator.push co initial_items;
+    let on_run ~(item : Checkpoint.item) (r : Wire.run_result) =
+      (* Children were already folded into the coordinator's frontier; this
+         ingests the delta into the canonical totals. The worker's attempt
+         counters fold in even for expand-only re-runs (they are host-side
+         events, like the pool's). *)
+      Mutex.lock m;
+      runs_timed_out := !runs_timed_out + r.Wire.timeouts;
+      runs_retried := !runs_retried + r.Wire.retries;
+      runs_crashed := !runs_crashed + r.Wire.transients;
+      Mutex.unlock m;
+      for _ = 1 to r.Wire.timeouts do Obs.Metrics.incr timeouts_c.(0) done;
+      for _ = 1 to r.Wire.retries do Obs.Metrics.incr retries_c.(0) done;
+      for _ = 1 to r.Wire.transients do Obs.Metrics.incr faults_c.(0) done;
+      match r.Wire.payload with
+      | None -> maybe_periodic_checkpoint ()
+      | Some p ->
+          Obs.Metrics.incr replays_c.(0);
+          Obs.Metrics.observe vtime_h.(0) p.Wire.vtime;
+          if not (Hashtbl.mem resume_completed r.Wire.key) then
+            count_completed ~worker:0 ~key:r.Wire.key
+              ~schedule:(item.prefix @ [ item.choice ])
+              ~makespan:p.Wire.vtime ~bounded_delta:p.Wire.bounded
+              ~errors:p.Wire.errors;
+          maybe_periodic_checkpoint ()
+    in
+    let drive () =
+      match
+        Coordinator.drive co ~on_run
+          ~should_stop:(fun () -> Atomic.get interrupt_requested)
+          ~tick:(fun () -> ())
+      with
+      | Ok () -> ()
+      | Error msg ->
+          (* The frontier still holds the unfinished work; flag the run
+             interrupted so it exits through the checkpoint path and can be
+             resumed. *)
+          Mutex.lock m;
+          harness_failures :=
+            { Report.hf_worker = -1; hf_message = msg; hf_backtrace = "" }
+            :: !harness_failures;
+          Mutex.unlock m;
+          Atomic.set interrupt_requested true
+    in
+    let stats () =
+      List.init jobs (fun i ->
+          {
+            Report.worker_id = i;
+            runs_executed = worker_runs.(i);
+            queue_waits = 0;
+            wall_seconds = worker_wall.(i);
+            virtual_seconds = worker_vtime.(i);
+          })
+    in
+    {
+      Executor.label = "coordinator";
+      drive;
+      snapshot = (fun () -> Coordinator.snapshot co);
+      stats;
+    }
+  in
+  (* SIGINT/SIGTERM flip the interrupt flag; the poison path then drains the
+     pool cooperatively and the frontier is checkpointed. Installed only
+     when checkpointing was requested, and restored on the way out. *)
+  let old_signals =
+    match rb.checkpoint with
+    | None -> []
+    | Some _ ->
+        List.filter_map
+          (fun signal ->
+            match
+              Sys.signal signal
+                (Sys.Signal_handle
+                   (fun _ -> Atomic.set interrupt_requested true))
+            with
+            | old -> Some (signal, old)
+            | exception (Invalid_argument _ | Sys_error _) -> None)
+          [ Sys.sigint; Sys.sigterm ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (signal, old) ->
+          try Sys.set_signal signal old with Invalid_argument _ | Sys_error _ -> ())
+        old_signals)
+  @@ fun () ->
+  (* Initial self run, on the calling domain — unless resuming, in which
+     case the checkpoint already carries its contribution and frontier. *)
+  let initial_items =
+    match resume with
+    | Some c -> c.Checkpoint.frontier
+    | None -> (
+        match
+          run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
+            ~worker:0 ~name:"self-run" ~count:true
+        with
+        | Counted record ->
+            wildcards_analyzed := record.Report.wildcards;
+            first_makespan := record.Report.makespan;
+            items_of_record record ~plan_decisions:[]
+        | Stopped | Interrupted | Gave_up -> [])
+  in
+  frontier_fallback := initial_items;
+  let skip =
+    initial_items = []
+    || !runs >= config.max_runs
+    || (config.stop_on_first_error && Atomic.get error_found)
+    || Atomic.get interrupt_requested
+  in
+  (* Even with nothing to distribute, attached workers are owed the
+     job/shutdown handshake — a skipped run must not leave them blocked on
+     their sockets — so the coordinator backend always drives (with a zero
+     claim budget when skipping, which shuts workers down immediately). *)
+  if (not skip) || distribute <> None then begin
+    (* Expand-only items don't count against [max_runs] (their runs were
+       already counted before the cut), but they do consume execution
+       claims; widen the claim budget accordingly. *)
+    let expand_only =
+      List.length
+        (List.filter
+           (fun it -> Hashtbl.mem resume_completed (Checkpoint.item_key it))
+           initial_items)
+    in
+    let budget =
+      if skip then 0
+      else if config.max_runs = max_int then max_int
+      else config.max_runs - !runs + expand_only
+    in
+    let exec =
+      match distribute with
+      | None -> pool_backend initial_items ~budget
+      | Some setup -> coordinator_backend initial_items ~budget setup
+    in
+    exec_ref := Some exec;
+    exec.Executor.drive ()
+  end;
   let interrupted = Atomic.get interrupt_requested in
   (* Always leave a final checkpoint behind when one was requested: either
      the interrupt cut (resumable) or the completed exploration (resuming
      it is a no-op that just re-reports). *)
   write_checkpoint ();
   let workers =
-    List.init jobs (fun i ->
-        let queue_waits =
-          match
-            List.find_opt
-              (fun (ws : Scheduler.worker_stats) -> ws.Scheduler.worker_id = i)
-              sched_stats
-          with
-          | Some ws -> ws.Scheduler.queue_waits
-          | None -> 0
-        in
-        {
-          Report.worker_id = i;
-          runs_executed = worker_runs.(i);
-          queue_waits;
-          wall_seconds = worker_wall.(i);
-          virtual_seconds = worker_vtime.(i);
-        })
+    match !exec_ref with
+    | Some e -> e.Executor.stats ()
+    | None ->
+        List.init jobs (fun i ->
+            {
+              Report.worker_id = i;
+              runs_executed = worker_runs.(i);
+              queue_waits = 0;
+              wall_seconds = worker_wall.(i);
+              virtual_seconds = worker_vtime.(i);
+            })
   in
   (match (tracer, root_span) with
   | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr 0) sp
@@ -811,8 +824,8 @@ let explore ?(config = default_config) ?resume ~np (runner : runner) :
   }
 
 (** Verify [program] on [np] simulated ranks under DAMPI. *)
-let verify ?(config = default_config) ?resume ~np program =
-  explore ~config ?resume ~np (dampi_runner config ~np program)
+let verify ?(config = default_config) ?resume ?distribute ~np program =
+  explore ~config ?resume ?distribute ~np (dampi_runner config ~np program)
 
 (** Execute exactly one guided run under [plan] (e.g. a schedule loaded from
     an Epoch-Decisions file) and report what it produced. *)

@@ -6,7 +6,7 @@
     until the space (as bounded by the heuristics) is exhausted. *)
 
 (** Where and how often to checkpoint the exploration frontier. *)
-type checkpoint_cfg = {
+type checkpoint_cfg = Executor.checkpoint_cfg = {
   path : string;
   every : int;
       (** completed replays between periodic writes; 0 writes only on
@@ -17,7 +17,7 @@ type checkpoint_cfg = {
 
 (** Fault-tolerance knobs: replay watchdog, retry policy, fault injection,
     and checkpointing. All off by default. *)
-type robustness = {
+type robustness = Executor.robustness = {
   replay_timeout : float option;
       (** wall-clock budget per replay attempt; a wedged replay is poisoned
           through the same path as [--stop-first] cancellation *)
@@ -65,7 +65,7 @@ val default_config : config
     writer), the poison closure the interposition layer polls for in-replay
     cancellation, and the fault salt identifying this (replay, attempt) for
     deterministic injection. *)
-type run_ctx = {
+type run_ctx = Executor.run_ctx = {
   worker : int;
   metrics : Obs.Metrics.shard option;
   poison : (unit -> bool) option;
@@ -76,10 +76,11 @@ val null_ctx : run_ctx
 (** Worker 0, no metrics, no poison, salt 0 — for driving a runner
     standalone. *)
 
-type runner = ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record
-(** Executes one interleaving under a given plan. [fork_index] is the global
-    decision index this run re-forces (-1 for the initial self run); bounded
-    mixing measures its window from it. *)
+type runner = Executor.runner
+(** Executes one interleaving under a given plan
+    ([ctx:run_ctx -> Decisions.plan -> fork_index:int -> Report.run_record]).
+    [fork_index] is the global decision index this run re-forces (-1 for
+    the initial self run); bounded mixing measures its window from it. *)
 
 val fault_of_ctx : run_ctx -> Mpi.Fault.spec option -> Mpi.Fault.t
 (** The fault instance for one (replay, attempt): the configured spec
@@ -95,12 +96,25 @@ val native_makespan :
 (** Virtual makespan of an uninstrumented run — the overhead baseline. *)
 
 val explore :
-  ?config:config -> ?resume:Checkpoint.t -> np:int -> runner -> Report.t
+  ?config:config ->
+  ?resume:Checkpoint.t ->
+  ?distribute:Coordinator.setup ->
+  np:int ->
+  runner ->
+  Report.t
 (** Walk over epoch decisions, generic in the runner (the ISP baseline
     reuses it with its own cost model). With [config.jobs = 1] this is the
     depth-first walk of the paper; with more jobs the frontier is served to
     a pool of domains (see {!Scheduler}), each executing complete guided
     replays.
+
+    [distribute] replaces the in-process pool with a {!Coordinator} that
+    leases the frontier to worker processes over sockets; the self run
+    still executes locally, counters and findings ingest from wire deltas,
+    and — the paper's acceptance bar — an exhaustive distributed
+    exploration produces a canonical report identical to [jobs = 1]. Losing
+    every worker flags the run interrupted (the frontier is preserved for
+    the checkpoint) and surfaces as a harness failure.
 
     [resume] restores a checkpointed cut instead of starting from the self
     run: counters and findings are seeded from the checkpoint, its frontier
@@ -111,6 +125,7 @@ val explore :
 val verify :
   ?config:config ->
   ?resume:Checkpoint.t ->
+  ?distribute:Coordinator.setup ->
   np:int ->
   Mpi.Mpi_intf.program ->
   Report.t

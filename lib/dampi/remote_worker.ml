@@ -1,0 +1,180 @@
+(* Worker side of the distributed mode. See remote_worker.mli. *)
+
+let src = Logs.Src.create "dampi.worker" ~doc:"distributed worker"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type resolved = {
+  np : int;
+  runner : Executor.runner;
+  rb : Executor.robustness;
+}
+
+(* Heartbeats ride the replay's poison hook: every [hb_poll_steps]
+   interposed calls, if [hb_interval] elapsed, send one [hb] line. The hook
+   answers false — a worker is never externally poisoned; cancellation is
+   the coordinator closing the connection, which the next write notices. *)
+let hb_poll_steps = 4096
+let hb_interval = 0.25
+
+type hb = { oc : out_channel; mutable polls : int; mutable last : float }
+
+let heartbeat hb () =
+  hb.polls <- hb.polls + 1;
+  if hb.polls land (hb_poll_steps - 1) = 0 then begin
+    let now = Unix.gettimeofday () in
+    if now -. hb.last > hb_interval then begin
+      hb.last <- now;
+      try Wire.write_to_coord hb.oc Wire.Heartbeat
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    end
+  end;
+  false
+
+let run_item ~(r : resolved) ~hb ~metrics (it : Checkpoint.item) : Wire.run_result
+    =
+  let decisions = it.Checkpoint.prefix @ [ it.Checkpoint.choice ] in
+  let key = Checkpoint.schedule_key decisions in
+  let plan = Decisions.of_decisions ~np:r.np decisions in
+  let timeouts = ref 0 in
+  let retries = ref 0 in
+  let transients = ref 0 in
+  let outcome =
+    Executor.run_attempts ~rb:r.rb ~runner:r.runner ~worker:0 ~metrics
+      ~need_poison:true ~external_poison:(heartbeat hb)
+      ~abort_retries:(fun () -> false)
+      ~wrap:(fun ~attempt:_ f -> f ())
+      ~on_event:(function
+        | Executor.Timed_out -> incr timeouts
+        | Executor.Retried -> incr retries
+        | Executor.Transient_fault -> incr transients
+        | Executor.Attempt_wall _ | Executor.Cancelled -> ())
+      ~key plan
+      ~fork_index:(List.length decisions - 1)
+  in
+  let payload =
+    match outcome with
+    | Executor.Completed record ->
+        Some
+          {
+            Wire.vtime = record.Report.makespan;
+            bounded =
+              List.length
+                (List.filter
+                   (fun (e : Epoch.t) -> not e.Epoch.expandable)
+                   record.Report.new_epochs);
+            errors = record.Report.run_errors;
+            children = Executor.items_of_record record ~plan_decisions:decisions;
+          }
+    | Executor.Gave_up | Executor.Poisoned ->
+        (* Poisoned is unreachable (the external poison always answers
+           false); treat it like an exhausted watchdog defensively. *)
+        None
+  in
+  { Wire.key; payload; timeouts = !timeouts; retries = !retries;
+    transients = !transients }
+
+let serve ~resolve fd =
+  let old_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect ~finally:(fun () ->
+      (match old_pipe with
+      | Some h -> (
+          try Sys.set_signal Sys.sigpipe h
+          with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let hb = { oc; polls = 0; last = Unix.gettimeofday () } in
+  (* The worker's metric shard is process-local (registry of one shard);
+     canonical counters travel in result deltas, not metrics. *)
+  let registry = Obs.Metrics.create ~shards:1 () in
+  let metrics = Some (Obs.Metrics.shard registry 0) in
+  let id = Printf.sprintf "pid%d" (Unix.getpid ()) in
+  match
+    Wire.write_to_coord oc (Wire.Hello { proto = Wire.proto_version; id })
+  with
+  | exception (Sys_error _ | Unix.Unix_error _) -> ()
+  | () ->
+      let rec loop (r : resolved option) =
+        match Wire.read_to_worker ic with
+        | Error e -> Log.debug (fun m -> m "session over: %s" e)
+        | Ok Wire.Shutdown -> ()
+        | Ok (Wire.Job job) -> (
+            match resolve job with
+            | Ok r ->
+                (match Wire.write_to_coord oc Wire.Ready with
+                | () -> loop (Some r)
+                | exception (Sys_error _ | Unix.Unix_error _) -> ())
+            | Error reason -> (
+                Log.err (fun m -> m "cannot resolve job: %s" reason);
+                try Wire.write_to_coord oc (Wire.Failed reason)
+                with Sys_error _ | Unix.Unix_error _ -> ()))
+        | Ok (Wire.Lease { lease_id; items }) -> (
+            match r with
+            | None -> (
+                try
+                  Wire.write_to_coord oc (Wire.Failed "lease before job")
+                with Sys_error _ | Unix.Unix_error _ -> ())
+            | Some rr -> (
+                let runs = List.map (run_item ~r:rr ~hb ~metrics) items in
+                match
+                  Wire.write_to_coord oc (Wire.Results { lease_id; runs })
+                with
+                | () -> loop r
+                | exception (Sys_error _ | Unix.Unix_error _) -> ()))
+      in
+      loop None
+
+let serve_addr ~resolve mode =
+  match mode with
+  | `Connect addr -> (
+      let sa = Wire.sockaddr_of_addr addr in
+      let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sa with
+      | () ->
+          serve ~resolve fd;
+          Ok ()
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as e, _, _)
+        ->
+          (* A coordinator that already drained its frontier closes and
+             unlinks its socket before late workers arrive; joining a
+             finished run is a no-op, not an error. *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Log.info (fun m ->
+              m "coordinator at %s already gone (%s); nothing to do"
+                (Wire.addr_to_string addr) (Unix.error_message e));
+          Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s"
+               (Wire.addr_to_string addr) (Unix.error_message e)))
+  | `Listen addr -> (
+      let sa = Wire.sockaddr_of_addr addr in
+      let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+      (match addr with
+      | Wire.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+      | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
+      match
+        Unix.bind fd sa;
+        Unix.listen fd 1;
+        Unix.accept fd
+      with
+      | afd, _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (match addr with
+          | Wire.Unix_sock p -> (
+              try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+          | Wire.Tcp _ -> ());
+          serve ~resolve afd;
+          Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s: %s"
+               (Wire.addr_to_string addr) (Unix.error_message e)))

@@ -1,0 +1,38 @@
+(** A worker process of the distributed mode.
+
+    Serves one coordinator connection: sends [hello], receives the job
+    description, resolves it into a runner (the CLI supplies the registry
+    lookup; tests supply their own), then loops executing leased fork items
+    through the shared {!Executor.run_attempts} watchdog/retry machinery
+    and shipping result deltas back. Heartbeats are emitted from inside
+    long replays via the poison hook, so a wedged-but-alive worker is
+    distinguishable from a dead one. *)
+
+(** What a resolved job gives the worker: how to run one replay. *)
+type resolved = {
+  np : int;
+  runner : Executor.runner;
+  rb : Executor.robustness;
+      (** watchdog/retry envelope applied to every leased replay; the
+          checkpoint/interrupt fields are coordinator business and ignored
+          here *)
+}
+
+val serve :
+  resolve:(Wire.job -> (resolved, string) result) ->
+  Unix.file_descr ->
+  unit
+(** Speak the worker side of the protocol on a connected socket until
+    [shutdown] or disconnect. Never raises on connection loss (the
+    coordinator's re-lease handles it); a [resolve] error is reported as a
+    [fail] message. *)
+
+val serve_addr :
+  resolve:(Wire.job -> (resolved, string) result) ->
+  [ `Connect of Wire.addr | `Listen of Wire.addr ] ->
+  (unit, string) result
+(** [`Connect] dials a listening coordinator ([dampi worker --connect]);
+    [`Listen] binds and waits for the coordinator to dial in
+    ([dampi worker --listen]), serving exactly one session. A [`Connect]
+    that finds the coordinator already gone (socket unlinked or refusing)
+    is [Ok]: the run finished before this worker joined. *)

@@ -8,6 +8,13 @@
     of work items served to a pool of OCaml 5 [Domain]s, with a cooperative
     run budget and cooperative cancellation.
 
+    The queue is sharded: each worker owns a deque and pushes/pops at its
+    near end (LIFO under {!Lifo}, giving depth-first locality), while idle
+    workers steal from the far end of a victim's deque — the shallowest
+    item, whose subtree is the largest. The hot path therefore touches only
+    the owner's lock; cross-worker traffic happens only on steals,
+    snapshots, and the idle path.
+
     Executing one item may discover follow-on items (the child frontier of
     the replay); the scheduler terminates when the queue is empty {e and} no
     worker is still executing — an empty queue alone is not quiescence.
@@ -24,6 +31,8 @@ type order =
 type worker_stats = {
   worker_id : int;
   mutable items_run : int;  (** work items this worker executed *)
+  mutable steals : int;
+      (** items this worker claimed from another worker's deque *)
   mutable queue_waits : int;
       (** times this worker blocked on an empty (but live) queue *)
   mutable wait_seconds : float;
@@ -43,8 +52,9 @@ val create :
     at least 1). [budget] caps the total number of items ever claimed for
     execution (default: unlimited); items beyond the budget stay queued and
     are reported by {!pending}. [metrics] attaches an observability shard
-    ([sched.queue_wait_s], [sched.frontier_size]); every write to it happens
-    with the scheduler's own lock held, so pass a shard no worker owns. *)
+    ([sched.queue_wait_s], [sched.frontier_size], [sched.steals]); every
+    write to it happens under a scheduler-owned mutex, so pass a shard no
+    worker owns. *)
 
 val push : 'a t -> 'a -> unit
 (** Add one item. Under {!Lifo} it becomes the next item to pop. *)
@@ -71,9 +81,10 @@ val pending : 'a t -> int
 
 val snapshot : 'a t -> 'a list
 (** A consistent cut of the outstanding work: every queued item plus every
-    item currently executing on a worker, read in one lock acquisition.
-    In-flight items are included because their children are not published
-    yet; a resume that re-runs them regenerates exactly their subtrees. *)
+    item currently executing on a worker, read with every deque lock held
+    at once. In-flight items are included because their children are not
+    published yet; a resume that re-runs them regenerates exactly their
+    subtrees. *)
 
 val executed : 'a t -> int
 (** Items claimed and handed to a worker. *)

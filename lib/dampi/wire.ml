@@ -1,0 +1,439 @@
+(* Line-oriented wire protocol between the exploration coordinator and
+   remote workers. See wire.mli for the conversation; the encodings for
+   items, schedules, and errors are Checkpoint's, verbatim. *)
+
+let proto_version = 1
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None ->
+      Error
+        (Printf.sprintf "bad address %S (expected unix:PATH or tcp:HOST:PORT)" s)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error (Printf.sprintf "bad address %S: empty path" s)
+          else Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None ->
+              Error (Printf.sprintf "bad address %S (expected tcp:HOST:PORT)" s)
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 && host <> "" ->
+                  Ok (Tcp (host, p))
+              | _ ->
+                  Error
+                    (Printf.sprintf "bad address %S (expected tcp:HOST:PORT)" s)))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad address %S (unknown scheme %S; expected unix: or tcp:)" s
+               scheme))
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr_of_addr = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      Unix.ADDR_INET (ip, port)
+
+type job = { workload : string; np : int; params : (string * string) list }
+
+type run_result = {
+  key : string;
+  payload : run_payload option;
+  timeouts : int;
+  retries : int;
+  transients : int;
+}
+
+and run_payload = {
+  vtime : float;
+  bounded : int;
+  errors : Report.error list;
+  children : Checkpoint.item list;
+}
+
+type to_worker =
+  | Job of job
+  | Lease of { lease_id : int; items : Checkpoint.item list }
+  | Shutdown
+
+type to_coord =
+  | Hello of { proto : int; id : string }
+  | Ready
+  | Heartbeat
+  | Results of { lease_id : int; runs : run_result list }
+  | Failed of string
+
+(* ---- line building ---- *)
+
+let item_line (it : Checkpoint.item) =
+  Printf.sprintf "item %s %s"
+    (Checkpoint.schedule_key it.Checkpoint.prefix)
+    (Checkpoint.decision_to_key it.Checkpoint.choice)
+
+let item_of_fields prefix choice =
+  match (Checkpoint.schedule_of_key prefix, Checkpoint.decision_of_key choice) with
+  | Some prefix, Some choice -> Some { Checkpoint.prefix; choice }
+  | _ -> None
+
+let write_to_worker oc msg =
+  (match msg with
+  | Job j ->
+      let params =
+        String.concat " "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%s" k (Checkpoint.enc v))
+             j.params)
+      in
+      Printf.fprintf oc "job workload=%s np=%d%s\n"
+        (Checkpoint.enc j.workload) j.np
+        (if params = "" then "" else " " ^ params)
+  | Lease { lease_id; items } ->
+      Printf.fprintf oc "lease %d %d\n" lease_id (List.length items);
+      List.iter (fun it -> output_string oc (item_line it ^ "\n")) items;
+      output_string oc "end\n"
+  | Shutdown -> output_string oc "shutdown\n");
+  flush oc
+
+let write_to_coord oc msg =
+  (match msg with
+  | Hello { proto; id } ->
+      Printf.fprintf oc "hello proto=%d id=%s\n" proto (Checkpoint.enc id)
+  | Ready -> output_string oc "ready\n"
+  | Heartbeat -> output_string oc "hb\n"
+  | Failed reason -> Printf.fprintf oc "fail %s\n" (Checkpoint.enc reason)
+  | Results { lease_id; runs } ->
+      Printf.fprintf oc "results %d %d\n" lease_id (List.length runs);
+      List.iter
+        (fun r ->
+          (match r.payload with
+          | Some p ->
+              (* %h hex-floats round-trip virtual time exactly; canonical
+                 equality with the in-process pool depends on it. *)
+              Printf.fprintf oc "run %s counted %h %d %d %d %d %d %d\n" r.key
+                p.vtime p.bounded r.timeouts r.retries r.transients
+                (List.length p.errors) (List.length p.children);
+              List.iter
+                (fun e ->
+                  Printf.fprintf oc "err %s\n" (Checkpoint.error_to_line e))
+                p.errors;
+              List.iter
+                (fun it -> output_string oc (item_line it ^ "\n"))
+                p.children
+          | None ->
+              Printf.fprintf oc "run %s gaveup %d %d %d\n" r.key r.timeouts
+                r.retries r.transients))
+        runs;
+      output_string oc "end\n");
+  flush oc
+
+(* ---- parsing helpers ---- *)
+
+let fields = String.split_on_char ' '
+
+let kv_fields parts =
+  List.filter_map
+    (fun p ->
+      match String.index_opt p '=' with
+      | Some i ->
+          Some
+            ( String.sub p 0 i,
+              Checkpoint.dec (String.sub p (i + 1) (String.length p - i - 1)) )
+      | None -> None)
+    parts
+
+let parse_job rest =
+  let kvs = kv_fields (fields rest) in
+  match (List.assoc_opt "workload" kvs, List.assoc_opt "np" kvs) with
+  | Some workload, Some np_s -> (
+      match int_of_string_opt np_s with
+      | Some np when np > 0 ->
+          Ok
+            {
+              workload;
+              np;
+              params =
+                List.filter (fun (k, _) -> k <> "workload" && k <> "np") kvs;
+            }
+      | _ -> Error (Printf.sprintf "bad job np %S" np_s))
+  | _ -> Error "job line missing workload/np"
+
+let parse_item_line line =
+  match fields line with
+  | [ "item"; prefix; choice ] -> (
+      match item_of_fields prefix choice with
+      | Some it -> Ok it
+      | None -> Error (Printf.sprintf "malformed item line %S" line))
+  | _ -> Error (Printf.sprintf "malformed item line %S" line)
+
+(* "err <tag> <payload>" | "err <tag>" (empty payload) *)
+let parse_err_line line =
+  let body = String.sub line 4 (String.length line - 4) in
+  let tag, payload =
+    match String.index_opt body ' ' with
+    | Some i ->
+        ( String.sub body 0 i,
+          String.sub body (i + 1) (String.length body - i - 1) )
+    | None -> (body, "")
+  in
+  match Checkpoint.error_of_line tag payload with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "malformed err line %S" line)
+
+(* First line of a run group; returns the header plus how many err/child
+   lines follow it. *)
+type run_header = { hdr : run_result; nerr : int; nchild : int }
+
+let parse_run_line line =
+  match fields line with
+  | [ "run"; key; "counted"; vtime; bounded; timeouts; retries; transients;
+      nerr; nchild ] -> (
+      match
+        ( float_of_string_opt vtime,
+          int_of_string_opt bounded,
+          int_of_string_opt timeouts,
+          int_of_string_opt retries,
+          int_of_string_opt transients,
+          int_of_string_opt nerr,
+          int_of_string_opt nchild )
+      with
+      | Some vtime, Some bounded, Some timeouts, Some retries, Some transients,
+        Some nerr, Some nchild
+        when nerr >= 0 && nchild >= 0 ->
+          Ok
+            {
+              hdr =
+                {
+                  key;
+                  payload =
+                    Some { vtime; bounded; errors = []; children = [] };
+                  timeouts;
+                  retries;
+                  transients;
+                };
+              nerr;
+              nchild;
+            }
+      | _ -> Error (Printf.sprintf "malformed run line %S" line))
+  | [ "run"; key; "gaveup"; timeouts; retries; transients ] -> (
+      match
+        ( int_of_string_opt timeouts,
+          int_of_string_opt retries,
+          int_of_string_opt transients )
+      with
+      | Some timeouts, Some retries, Some transients ->
+          Ok
+            {
+              hdr = { key; payload = None; timeouts; retries; transients };
+              nerr = 0;
+              nchild = 0;
+            }
+      | _ -> Error (Printf.sprintf "malformed run line %S" line))
+  | _ -> Error (Printf.sprintf "malformed run line %S" line)
+
+(* ---- worker side: blocking frame reads ---- *)
+
+let read_line_opt ic = try Some (input_line ic) with End_of_file -> None
+
+let read_to_worker ic =
+  match read_line_opt ic with
+  | None -> Error "connection closed"
+  | Some line -> (
+      match fields line with
+      | "job" :: _ ->
+          parse_job (String.sub line 4 (String.length line - 4))
+          |> Result.map (fun j -> Job j)
+      | [ "lease"; id; n ] -> (
+          match (int_of_string_opt id, int_of_string_opt n) with
+          | Some lease_id, Some n when n >= 0 -> (
+              let rec items acc k =
+                if k = 0 then
+                  match read_line_opt ic with
+                  | Some "end" -> Ok (List.rev acc)
+                  | _ -> Error "lease frame not closed by end"
+                else
+                  match read_line_opt ic with
+                  | None -> Error "connection closed mid-lease"
+                  | Some l -> (
+                      match parse_item_line l with
+                      | Ok it -> items (it :: acc) (k - 1)
+                      | Error e -> Error e)
+              in
+              match items [] n with
+              | Ok items -> Ok (Lease { lease_id; items })
+              | Error e -> Error e)
+          | _ -> Error (Printf.sprintf "malformed lease line %S" line))
+      | [ "shutdown" ] -> Ok Shutdown
+      | _ -> Error (Printf.sprintf "unexpected coordinator line %S" line))
+
+(* ---- coordinator side: incremental assembly ---- *)
+
+(* Mid-frame state of a results frame being assembled. *)
+type partial = {
+  p_lease_id : int;
+  mutable p_want : int;  (* run groups still expected *)
+  mutable p_runs : run_result list;  (* completed groups, reversed *)
+  mutable p_cur : run_header option;  (* group whose err/child lines follow *)
+  mutable p_errs : Report.error list;
+  mutable p_children : Checkpoint.item list;
+}
+
+type assembler = {
+  buf : Buffer.t;
+  mutable frame : partial option;
+}
+
+let assembler () = { buf = Buffer.create 256; frame = None }
+
+let close_group p (h : run_header) =
+  let hdr = h.hdr in
+  let payload =
+    Option.map
+      (fun pl ->
+        {
+          pl with
+          errors = List.rev p.p_errs;
+          children = List.rev p.p_children;
+        })
+      hdr.payload
+  in
+  p.p_runs <- { hdr with payload } :: p.p_runs;
+  p.p_cur <- None;
+  p.p_errs <- [];
+  p.p_children <- [];
+  p.p_want <- p.p_want - 1
+
+(* One complete line, inside or outside a frame. *)
+let line_msg a line =
+  match a.frame with
+  | Some p -> (
+      (* Inside a results frame: run headers, their err/child lines, end. *)
+      let fill_cur () =
+        match p.p_cur with
+        | Some h
+          when List.length p.p_errs >= h.nerr
+               && List.length p.p_children >= h.nchild ->
+            close_group p h
+        | _ -> ()
+      in
+      match fields line with
+      | "run" :: _ -> (
+          match p.p_cur with
+          | Some _ -> Some (Error "run group not completed before next run")
+          | None -> (
+              match parse_run_line line with
+              | Error e -> Some (Error e)
+              | Ok h ->
+                  if h.nerr = 0 && h.nchild = 0 then begin
+                    p.p_runs <- h.hdr :: p.p_runs;
+                    p.p_want <- p.p_want - 1;
+                    None
+                  end
+                  else begin
+                    p.p_cur <- Some h;
+                    None
+                  end))
+      | "err" :: _ -> (
+          match p.p_cur with
+          | None -> Some (Error "err line outside a run group")
+          | Some _ -> (
+              match parse_err_line line with
+              | Error e -> Some (Error e)
+              | Ok e ->
+                  p.p_errs <- e :: p.p_errs;
+                  fill_cur ();
+                  None))
+      | "item" :: _ -> (
+          match p.p_cur with
+          | None -> Some (Error "item line outside a run group")
+          | Some _ -> (
+              match parse_item_line line with
+              | Error e -> Some (Error e)
+              | Ok it ->
+                  p.p_children <- it :: p.p_children;
+                  fill_cur ();
+                  None))
+      | [ "end" ] ->
+          a.frame <- None;
+          if p.p_want = 0 && p.p_cur = None then
+            Some
+              (Ok
+                 (Results
+                    { lease_id = p.p_lease_id; runs = List.rev p.p_runs }))
+          else Some (Error "results frame closed with groups missing")
+      | _ -> Some (Error (Printf.sprintf "unexpected line in results %S" line))
+      )
+  | None -> (
+      match fields line with
+      | "hello" :: rest -> (
+          let kvs = kv_fields rest in
+          match
+            (Option.bind (List.assoc_opt "proto" kvs) int_of_string_opt,
+             List.assoc_opt "id" kvs)
+          with
+          | Some proto, Some id -> Some (Ok (Hello { proto; id }))
+          | _ -> Some (Error (Printf.sprintf "malformed hello %S" line)))
+      | [ "ready" ] -> Some (Ok Ready)
+      | [ "hb" ] -> Some (Ok Heartbeat)
+      | [ "fail"; reason ] -> Some (Ok (Failed (Checkpoint.dec reason)))
+      | [ "results"; id; n ] -> (
+          match (int_of_string_opt id, int_of_string_opt n) with
+          | Some lease_id, Some n when n >= 0 ->
+              if n = 0 then Some (Ok (Results { lease_id; runs = [] }))
+              else begin
+                a.frame <-
+                  Some
+                    {
+                      p_lease_id = lease_id;
+                      p_want = n;
+                      p_runs = [];
+                      p_cur = None;
+                      p_errs = [];
+                      p_children = [];
+                    };
+                None
+              end
+          | _ -> Some (Error (Printf.sprintf "malformed results line %S" line)))
+      | _ -> Some (Error (Printf.sprintf "unexpected worker line %S" line)))
+
+let line_msg a line =
+  match line_msg a line with
+  | Some (Error _ as e) ->
+      (* A protocol error poisons the connection; stop assembling. *)
+      a.frame <- None;
+      Some e
+  | r -> r
+
+let feed a buf n =
+  Buffer.add_subbytes a.buf buf 0 n;
+  let s = Buffer.contents a.buf in
+  let msgs = ref [] in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       let line = String.sub s !start (i - !start) in
+       start := i + 1;
+       match line_msg a line with
+       | Some m -> msgs := m :: !msgs
+       | None -> ()
+     done
+   with Not_found -> ());
+  Buffer.clear a.buf;
+  Buffer.add_string a.buf (String.sub s !start (String.length s - !start));
+  List.rev !msgs

@@ -1,0 +1,104 @@
+(** The distributed mode's line-oriented wire protocol.
+
+    A coordinator (the process running {!Explorer.explore}) speaks to
+    worker processes ({!Remote_worker}) over Unix-domain or TCP sockets.
+    Every message is one line of whitespace-delimited fields — free-form
+    text travels percent-encoded via {!Checkpoint.enc} — except leases and
+    result deltas, which are multi-line frames with a declared element
+    count and a closing [end] line, reusing {!Checkpoint}'s item, schedule,
+    and error encodings verbatim.
+
+    Conversation, worker-initiated after connect:
+    {v
+      worker: hello proto=1 id=<enc>
+      coord:  job <key>=<enc-value> ...
+      worker: ready                      (or: fail <enc reason>)
+      coord:  lease <id> <n> / n x item ... / end
+      worker: hb                         (heartbeats, during long replays)
+      worker: results <id> <n> / n x run-groups / end
+      ...                                (more leases)
+      coord:  shutdown
+    v}
+
+    A worker that disconnects, fails, or goes silent past the heartbeat
+    timeout forfeits its outstanding lease; the coordinator re-leases those
+    items to another worker. Results are ingested only as complete frames,
+    so a re-leased item is never double-counted. *)
+
+val proto_version : int
+
+(** {2 Addresses} *)
+
+type addr =
+  | Unix_sock of string  (** [unix:/path/to.sock] *)
+  | Tcp of string * int  (** [tcp:host:port] *)
+
+val addr_of_string : string -> (addr, string) result
+val addr_to_string : addr -> string
+val sockaddr_of_addr : addr -> Unix.sockaddr
+
+(** {2 Job description}
+
+    What a worker needs to reconstruct the runner: an opaque workload name
+    plus free-form parameters, both sides interpreted by the CLI's (or the
+    test harness's) resolve function — the protocol does not constrain
+    them. *)
+
+type job = { workload : string; np : int; params : (string * string) list }
+
+(** {2 Messages} *)
+
+(** One leased item's outcome, as shipped back by a worker. *)
+type run_result = {
+  key : string;  (** {!Checkpoint.item_key} of the leased item *)
+  payload : run_payload option;  (** [None]: every attempt hit the watchdog *)
+  timeouts : int;  (** attempts the watchdog cut *)
+  retries : int;  (** re-attempts after timeouts or transient faults *)
+  transients : int;  (** injected-fault crashes absorbed by retries *)
+}
+
+and run_payload = {
+  vtime : float;  (** virtual makespan (exact: hex-float on the wire) *)
+  bounded : int;  (** non-expandable epochs this replay produced *)
+  errors : Report.error list;
+  children : Checkpoint.item list;
+}
+
+type to_worker =
+  | Job of job
+  | Lease of { lease_id : int; items : Checkpoint.item list }
+  | Shutdown
+
+type to_coord =
+  | Hello of { proto : int; id : string }
+  | Ready
+  | Heartbeat
+  | Results of { lease_id : int; runs : run_result list }
+  | Failed of string
+
+(** {2 Writing} *)
+
+val write_to_worker : out_channel -> to_worker -> unit
+(** Writes the full frame and flushes. *)
+
+val write_to_coord : out_channel -> to_coord -> unit
+
+(** {2 Reading}
+
+    The worker side blocks on a single coordinator connection and reads
+    whole frames. The coordinator side is select-driven, so it feeds raw
+    bytes into a per-connection assembler that yields complete messages as
+    they close. *)
+
+val read_to_worker : in_channel -> (to_worker, string) result
+(** Blocking read of one coordinator frame. [Error] on malformed input or
+    EOF. *)
+
+type assembler
+
+val assembler : unit -> assembler
+
+val feed : assembler -> bytes -> int -> (to_coord, string) result list
+(** [feed a buf n] consumes [n] bytes read from a worker's socket and
+    returns every message completed by them, in order. A malformed line or
+    frame yields [Error] (the coordinator drops the worker). *)

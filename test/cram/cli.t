@@ -175,3 +175,55 @@ Corrupt or version-mismatched checkpoints are rejected with a clear error:
   $ dampi verify matmult -q -k 0 --checkpoint v99.ck
   cannot resume from v99.ck: checkpoint version 99 not supported (this build reads version 1)
   [2]
+
+Distributed mode: --distribute spawns worker processes that speak the wire
+protocol back to an in-process coordinator, and the summary (and exit
+code) is identical to the in-process run:
+
+  $ dampi verify fig3 --distribute 2 -q
+  fig3 np=3: 2 interleavings, 1 findings
+  [1]
+
+  $ dampi verify fig4 --clock vector --distribute 2 -q
+  fig4 np=4: 2 interleavings, 1 findings
+  [1]
+
+Conflicting or nonsensical job/worker combinations are rejected up front
+(exit 2):
+
+  $ dampi verify fig3 -q --jobs 0
+  --jobs must be at least 1
+  [2]
+
+  $ dampi verify fig3 -q --distribute 0
+  --distribute needs at least 1 worker
+  [2]
+
+  $ dampi verify fig3 -q --distribute 1 --workers unix:w.sock
+  --distribute and --workers cannot be combined (spawn workers or dial already-running ones, not both)
+  [2]
+
+  $ dampi verify fig3 -q --distribute 2 --jobs 2
+  --jobs does not combine with a distributed run (worker processes replace the in-process pool)
+  [2]
+
+  $ dampi verify fig3 -q --distribute 1 --stop-first
+  --stop-first is not supported in distributed mode
+  [2]
+
+  $ dampi verify fig3 -q --workers bogus
+  bad worker address "bogus": bad address "bogus" (expected unix:PATH or tcp:HOST:PORT)
+  [2]
+
+  $ dampi verify fig3 -q --engine isp --distribute 2
+  distributed mode supports only the dampi engine
+  [2]
+
+A worker needs exactly one attachment mode; dialing a coordinator that
+already finished (socket gone) is a clean no-op, not an error:
+
+  $ dampi worker
+  worker needs exactly one of --connect or --listen
+  [2]
+
+  $ dampi worker --connect unix:definitely-gone.sock

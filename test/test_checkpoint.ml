@@ -96,6 +96,58 @@ let test_roundtrip () =
         && c.Checkpoint.total_virtual_time
            = sample_checkpoint.Checkpoint.total_virtual_time)
 
+(* The line-oriented format's worst enemies: findings whose free text
+   carries newlines, tabs, pipes, the field separators themselves, raw
+   percent signs, CRLF, and non-ASCII. Percent-encoding must keep every
+   serialized line a single line and round-trip the text byte-exactly —
+   this is also the distributed wire's framing safety, which reuses these
+   encodings verbatim. *)
+let test_hostile_text_roundtrip () =
+  let d = sample_decision in
+  let hostile =
+    [
+      "line one\nline two";
+      "tab\there and trailing\t";
+      "pipe | in | the middle";
+      "percent%25 raw% and %0A";
+      "crlf\r\nand a ; semicolon";
+      "unicode \xe2\x80\x94 d\xc3\xa9j\xc3\xa0 vu";
+      "";
+    ]
+  in
+  let findings =
+    List.mapi
+      (fun i text ->
+        let error =
+          match i mod 4 with
+          | 0 -> Report.Crash { pid = i; message = text }
+          | 1 -> Report.Deadlock { blocked = [ (i, text); (i + 1, "plain") ] }
+          | 2 -> Report.Comm_leak { pid = i; labels = [ text; "ctx=1" ] }
+          | _ -> Report.Monitor_alert { pid = i; epoch_id = i; op = text }
+        in
+        { Report.error; run_index = i; schedule = [ d i ] })
+      hostile
+  in
+  let ck =
+    {
+      sample_checkpoint with
+      Checkpoint.findings;
+      label = "hostile\nlabel | with\ttabs and %";
+    }
+  in
+  let text = Checkpoint.to_string ck in
+  (* Framing safety first: no payload may smuggle a raw control character
+     into the line structure. *)
+  String.iter
+    (fun c ->
+      if c = '\r' then Alcotest.fail "raw CR leaked into the serialized form")
+    text;
+  match Checkpoint.of_string text with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok c ->
+      Alcotest.(check bool)
+        "hostile text survives byte-exactly" true (c = ck)
+
 let test_save_load () =
   let path = Filename.temp_file "dampi_ck" ".dampi" in
   Checkpoint.save sample_checkpoint path;
@@ -318,6 +370,8 @@ let () =
       ( "format",
         [
           Alcotest.test_case "round trip" `Quick test_roundtrip;
+          Alcotest.test_case "hostile text round trip" `Quick
+            test_hostile_text_roundtrip;
           Alcotest.test_case "atomic save/load" `Quick test_save_load;
           Alcotest.test_case "load errors" `Quick test_load_errors;
         ] );

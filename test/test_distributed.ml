@@ -1,0 +1,534 @@
+(* The distributed mode's acceptance bar: a coordinator leasing the
+   frontier to worker processes over sockets must produce the same
+   canonical report as the sequential depth-first walk — for every
+   workload of the registry, and even when a worker is killed mid-run and
+   its lease re-leased to a survivor. Workers here are in-process domains
+   speaking the real wire protocol over socketpairs (plus one genuinely
+   forked process for the kill test), so the whole
+   Wire/Coordinator/Remote_worker stack is exercised without shelling
+   out. *)
+
+module Explorer = Dampi.Explorer
+module Report = Dampi.Report
+module State = Dampi.State
+module Checkpoint = Dampi.Checkpoint
+module Coordinator = Dampi.Coordinator
+module Remote_worker = Dampi.Remote_worker
+module Wire = Dampi.Wire
+module Decisions = Dampi.Decisions
+
+(* The CLI registry, sized down so exhaustive exploration stays small
+   (mirrors test_explorer_parallel). *)
+let registry : (string * int * State.config * (unit -> Mpi.Mpi_intf.program)) list
+    =
+  let default = State.default_config in
+  let vector = State.make_config ~clock:(module Clocks.Vector) () in
+  let dual = State.make_config ~dual_clock:true () in
+  let k0 = State.make_config ~mixing_bound:0 () in
+  [
+    ("fig3", 3, default, fun () -> Workloads.Patterns.fig3);
+    ("fig4", 4, default, fun () -> Workloads.Patterns.fig4);
+    ("fig4/vector", 4, vector, fun () -> Workloads.Patterns.fig4);
+    ("fig10", 3, default, fun () -> Workloads.Patterns.fig10);
+    ("fig10/dual", 3, dual, fun () -> Workloads.Patterns.fig10);
+    ("deadlock", 2, default, fun () -> Workloads.Patterns.head_to_head);
+    ( "matmult",
+      5,
+      default,
+      fun () ->
+        Workloads.Matmult.program
+          ~params:
+            { Workloads.Matmult.default_params with n = 8; rows_per_task = 2 }
+          () );
+    ("samplesort", 6, default, fun () -> Workloads.Samplesort.program ());
+    ("adlb/k0", 6, k0, fun () -> Workloads.Adlb.program ());
+    ( "parmetis",
+      4,
+      default,
+      fun () ->
+        Workloads.Parmetis.program
+          ~params:{ Workloads.Parmetis.default_params with scale = 0.01 }
+          () );
+  ]
+  @ List.map
+      (fun s ->
+        ( s.Workloads.Skeleton.name,
+          8,
+          default,
+          fun () -> Workloads.Skeleton.program s ))
+      (Workloads.Nas.all @ Workloads.Specmpi.all)
+
+(* The worker's resolve function — what the CLI builds from its registry,
+   here built from ours. The job's np must agree with the registry's. *)
+let resolve (job : Wire.job) =
+  match
+    List.find_opt (fun (n, _, _, _) -> n = job.Wire.workload) registry
+  with
+  | None -> Error (Printf.sprintf "unknown workload %S" job.Wire.workload)
+  | Some (_, np, state_config, build) ->
+      if job.Wire.np <> np then
+        Error (Printf.sprintf "np mismatch: job says %d, have %d" job.Wire.np np)
+      else
+        Ok
+          {
+            Remote_worker.np;
+            runner =
+              Explorer.dampi_runner
+                { Explorer.default_config with state_config }
+                ~np (build ());
+            rb = Explorer.default_robustness;
+          }
+
+let signatures (report : Report.t) =
+  List.map
+    (fun (f : Report.finding) -> Report.error_signature f.Report.error)
+    report.Report.findings
+  |> List.sort_uniq compare
+
+let verify_seq ~np ~state_config program =
+  Explorer.verify
+    ~config:{ Explorer.default_config with state_config }
+    ~np program
+
+(* Spawn [n] in-process workers, each a domain serving one end of a
+   socketpair; returns the coordinator-side fds and the join handle. *)
+let spawn_workers ?(resolve = resolve) n =
+  List.init n (fun _ ->
+      let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let d = Domain.spawn (fun () -> Remote_worker.serve ~resolve w) in
+      (c, d))
+
+let setup_of ~name ~np ~fds ?(lease_size = 2) () =
+  {
+    Coordinator.attach = Coordinator.Fds fds;
+    job = { Wire.workload = name; np; params = [] };
+    lease_size;
+    heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+  }
+
+let check_same name (seq : Report.t) (dist : Report.t) =
+  Alcotest.(check (list string))
+    (name ^ ": no harness failures")
+    []
+    (List.map
+       (fun (h : Report.harness_failure) -> h.Report.hf_message)
+       dist.Report.harness_failures);
+  Alcotest.(check (list string))
+    (name ^ ": same finding signatures")
+    (signatures seq) (signatures dist);
+  Alcotest.(check int)
+    (name ^ ": same interleaving count")
+    seq.Report.interleavings dist.Report.interleavings;
+  Alcotest.(check int)
+    (name ^ ": same bounded epochs")
+    seq.Report.bounded_epochs dist.Report.bounded_epochs;
+  Alcotest.(check int)
+    (name ^ ": same wildcards analyzed")
+    seq.Report.wildcards_analyzed dist.Report.wildcards_analyzed;
+  (* The canonical report also agrees on each finding's reproduction
+     schedule and virtual time, not just its signature. *)
+  Alcotest.(check (list string))
+    (name ^ ": same canonical findings")
+    (List.map
+       (fun (f : Report.finding) ->
+         Format.asprintf "%a" Report.pp_finding { f with Report.run_index = 0 })
+       seq.Report.findings)
+    (List.map
+       (fun (f : Report.finding) ->
+         Format.asprintf "%a" Report.pp_finding { f with Report.run_index = 0 })
+       dist.Report.findings);
+  Alcotest.(check (float 1e-9))
+    (name ^ ": same total virtual time")
+    seq.Report.total_virtual_time dist.Report.total_virtual_time
+
+let check_equivalence ((name, np, state_config, build) as _case) () =
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let workers = spawn_workers 2 in
+  let setup =
+    setup_of ~name ~np ~fds:(List.map fst workers) ()
+  in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  List.iter (fun (_, d) -> Domain.join d) workers;
+  check_same name seq dist
+
+(* A worker SIGKILLed mid-exploration forfeits its lease; the coordinator
+   re-leases to the survivor and the canonical report is unchanged. The
+   victim is a genuinely separate process (so the kill severs the socket
+   and exercises the EOF → re-lease path): this very test binary re-exec'd
+   in worker mode (see the [DAMPI_TEST_WORKER] branch of [main]), with its
+   socket passed as stdin — [Unix.fork] is off limits once any domain has
+   ever been created, and an earlier test's domains would count. *)
+let spawn_victim () =
+  let c1, w1 = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec c1;
+  let victim =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      (Array.append (Unix.environment ()) [| "DAMPI_TEST_WORKER=slow" |])
+      w1 Unix.stdout Unix.stderr
+  in
+  Unix.close w1;
+  (c1, victim)
+
+let test_worker_kill () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "adlb/k0") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let c1, victim = spawn_victim () in
+  let c2, w2 = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let survivor = Domain.spawn (fun () -> Remote_worker.serve ~resolve w2) in
+  (* The victim leases its first item within milliseconds of the handshake
+     and needs 0.5s to replay it, so a kill at 0.15s lands mid-replay with
+     the lease guaranteed outstanding (the fast survivor cannot finish the
+     whole frontier sooner than that lease resolves). *)
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.15;
+        try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ())
+  in
+  let setup = setup_of ~name ~np ~fds:[ c1; c2 ] ~lease_size:1 () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  Domain.join killer;
+  Domain.join survivor;
+  ignore (Unix.waitpid [] victim);
+  check_same "adlb/k0 (worker killed)" seq dist;
+  (* The re-lease actually happened: the coordinator metrics shard
+     recorded at least one released item. *)
+  let series name =
+    List.fold_left
+      (fun acc (n, s) ->
+        match s with
+        | Obs.Metrics.Counter v when n = name -> acc + v
+        | _ -> acc)
+      0 dist.Report.metrics
+  in
+  Alcotest.(check bool)
+    "items were re-leased after the kill" true
+    (series "coordinator.releases" > 0)
+
+(* Losing every worker mid-run is an interruption, not silent data loss:
+   the run reports a harness failure and preserves the frontier. *)
+let test_all_workers_lost () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "adlb/k0") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  (* One worker that dies after its first replay: serve a connection whose
+     far end we close from a watchdog domain shortly into the run. *)
+  let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let slow_resolve job =
+    match resolve job with
+    | Error _ as e -> e
+    | Ok r ->
+        Ok
+          {
+            r with
+            Remote_worker.runner =
+              (fun ~ctx plan ~fork_index ->
+                Unix.sleepf 0.05;
+                r.Remote_worker.runner ~ctx plan ~fork_index);
+          }
+  in
+  let worker = Domain.spawn (fun () -> Remote_worker.serve ~resolve:slow_resolve w) in
+  let closer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        try Unix.shutdown c Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  in
+  let setup = setup_of ~name ~np ~fds:[ c ] ~lease_size:1 () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  Domain.join closer;
+  Domain.join worker;
+  Alcotest.(check bool)
+    "harness failure reported" true
+    (dist.Report.harness_failures <> []);
+  Alcotest.(check bool)
+    "exploration did not complete" true
+    (dist.Report.interleavings < seq.Report.interleavings)
+
+(* The CLI's two socket shapes, end to end over real addresses:
+   [Listen] (what [--distribute] uses: the coordinator binds, [ready]
+   starts connecting workers) and [Dial] (what [--workers] uses: workers
+   already listening, the coordinator dials in). *)
+let sock_path tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dampi-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let test_listen_attach () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let path = sock_path "listen" in
+  let doms = ref [] in
+  let ready addr =
+    for _ = 1 to 2 do
+      doms :=
+        Domain.spawn (fun () ->
+            match Remote_worker.serve_addr ~resolve (`Connect addr) with
+            | Ok () -> ()
+            | Error e -> failwith e)
+        :: !doms
+    done
+  in
+  let setup =
+    {
+      Coordinator.attach =
+        Coordinator.Listen { addr = Wire.Unix_sock path; ready };
+      job = { Wire.workload = name; np; params = [] };
+      lease_size = 1;
+      heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+    }
+  in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  List.iter Domain.join !doms;
+  check_same "fig3 (listen attach)" seq dist
+
+let test_dial_attach () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig4") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let path = sock_path "dial" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let worker =
+    Domain.spawn (fun () ->
+        match
+          Remote_worker.serve_addr ~resolve (`Listen (Wire.Unix_sock path))
+        with
+        | Ok () -> ()
+        | Error e -> failwith e)
+  in
+  (* Wait for the worker to bind before dialing. *)
+  let rec wait n =
+    if not (Sys.file_exists path) then
+      if n = 0 then Alcotest.fail "worker never bound its socket"
+      else (
+        Unix.sleepf 0.02;
+        wait (n - 1))
+  in
+  wait 250;
+  Unix.sleepf 0.05;
+  let setup =
+    {
+      Coordinator.attach = Coordinator.Dial [ Wire.Unix_sock path ];
+      job = { Wire.workload = name; np; params = [] };
+      lease_size = 2;
+      heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+    }
+  in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  Domain.join worker;
+  check_same "fig4 (dial attach)" seq dist
+
+(* A worker whose resolve rejects the job surfaces as a lost worker, not a
+   hang. *)
+let test_resolve_failure () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let bad_resolve (_ : Wire.job) = Error "no such workload here" in
+  let workers = spawn_workers ~resolve:bad_resolve 1 in
+  let setup = setup_of ~name ~np ~fds:(List.map fst workers) () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  List.iter (fun (_, d) -> Domain.join d) workers;
+  Alcotest.(check bool)
+    "harness failure reported" true
+    (dist.Report.harness_failures <> [])
+
+(* ---- wire unit tests ---- *)
+
+let test_addr_parsing () =
+  (match Wire.addr_of_string "unix:/tmp/x.sock" with
+  | Ok (Wire.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix addr");
+  (match Wire.addr_of_string "tcp:localhost:7777" with
+  | Ok (Wire.Tcp ("localhost", 7777)) -> ()
+  | _ -> Alcotest.fail "tcp addr");
+  List.iter
+    (fun s ->
+      match Wire.addr_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+    [ ""; "unix:"; "tcp:host"; "tcp:host:notaport"; "ftp:x" ];
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        "addr round-trips" true
+        (Wire.addr_of_string (Wire.addr_to_string a) = Ok a))
+    [ Wire.Unix_sock "/tmp/a b.sock"; Wire.Tcp ("10.0.0.1", 9) ]
+
+(* Serialize worker→coordinator messages through a pipe, then reassemble
+   them with the select-loop assembler fed one byte at a time — the worst
+   possible framing — and check structural equality. *)
+let test_assembler_byte_at_a_time () =
+  let item =
+    {
+      Checkpoint.prefix =
+        [
+          {
+            Decisions.owner = 0;
+            epoch_id = 1;
+            src = 2;
+            kind = Dampi.Epoch.Wildcard_recv;
+          };
+        ];
+      choice =
+        {
+          Decisions.owner = 1;
+          epoch_id = 3;
+          src = 0;
+          kind = Dampi.Epoch.Wildcard_probe;
+        };
+    }
+  in
+  let msgs =
+    [
+      Wire.Hello { proto = Wire.proto_version; id = "worker one" };
+      Wire.Ready;
+      Wire.Heartbeat;
+      Wire.Results
+        {
+          lease_id = 7;
+          runs =
+            [
+              {
+                Wire.key = Checkpoint.item_key item;
+                payload =
+                  Some
+                    {
+                      Wire.vtime = 1.25e-3;
+                      bounded = 2;
+                      errors = [];
+                      children = [ item ];
+                    };
+                timeouts = 1;
+                retries = 2;
+                transients = 0;
+              };
+              {
+                Wire.key = "-";
+                payload = None;
+                timeouts = 3;
+                retries = 3;
+                transients = 1;
+              };
+            ];
+        };
+      Wire.Failed "it broke | badly\nvery badly";
+    ]
+  in
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  List.iter (Wire.write_to_coord oc) msgs;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let raw = Buffer.contents buf in
+  let a = Wire.assembler () in
+  let out = ref [] in
+  String.iter
+    (fun ch ->
+      let b = Bytes.make 1 ch in
+      List.iter
+        (function
+          | Ok m -> out := m :: !out
+          | Error e -> Alcotest.fail ("assembler error: " ^ e))
+        (Wire.feed a b 1))
+    raw;
+  Alcotest.(check int) "all messages reassembled" (List.length msgs)
+    (List.length !out);
+  Alcotest.(check bool)
+    "messages survive the wire intact" true
+    (List.rev !out = msgs)
+
+let test_assembler_rejects_garbage () =
+  let a = Wire.assembler () in
+  let b = Bytes.of_string "definitely not a frame\n" in
+  match Wire.feed a b (Bytes.length b) with
+  | [ Error _ ] -> ()
+  | _ -> Alcotest.fail "garbage should yield a protocol error"
+
+(* Worker mode for the kill test: serve the wire protocol on stdin (a
+   socketpair end inherited from the spawning test), replaying slowly so
+   the parent can kill this process with a lease reliably outstanding. *)
+let () =
+  match Sys.getenv_opt "DAMPI_TEST_WORKER" with
+  | Some _ ->
+      let slow job =
+        match resolve job with
+        | Error _ as e -> e
+        | Ok r ->
+            Ok
+              {
+                r with
+                Remote_worker.runner =
+                  (fun ~ctx plan ~fork_index ->
+                    Unix.sleepf 0.5;
+                    r.Remote_worker.runner ~ctx plan ~fork_index);
+              }
+      in
+      Remote_worker.serve ~resolve:slow Unix.stdin;
+      exit 0
+  | None -> ()
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "addresses" `Quick test_addr_parsing;
+          Alcotest.test_case "byte-at-a-time reassembly" `Quick
+            test_assembler_byte_at_a_time;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_assembler_rejects_garbage;
+        ] );
+      ( "jobs=1 vs distribute=2",
+        List.map
+          (fun ((name, _, _, _) as case) ->
+            Alcotest.test_case name `Quick (check_equivalence case))
+          registry );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "worker killed mid-run" `Quick test_worker_kill;
+          Alcotest.test_case "all workers lost" `Quick test_all_workers_lost;
+          Alcotest.test_case "resolve failure" `Quick test_resolve_failure;
+        ] );
+      ( "attach modes",
+        [
+          Alcotest.test_case "listen + connect" `Quick test_listen_attach;
+          Alcotest.test_case "dial" `Quick test_dial_attach;
+        ] );
+    ]

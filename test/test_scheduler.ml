@@ -138,6 +138,138 @@ let test_parallel_drains_everything () =
   Alcotest.(check int) "40 executions" 40 (Scheduler.executed sched);
   Alcotest.(check int) "queue drained" 0 (Scheduler.pending sched)
 
+(* ---- property tests: the scheduler vs a pure-list reference ----
+
+   The stealing-deque machinery (per-worker deques, near/far ends, the
+   in-flight slot) must be observationally identical, at jobs=1, to the
+   trivial model: a single list where [push_batch] prepends (Lifo) or
+   appends (Fifo) and execution pops the head. Random seed batches and a
+   random branching table exercise the front/back refill paths that the
+   hand-written cases above miss. *)
+
+let reference ~order ~budget seeds children =
+  let enqueue queue batch =
+    match order with
+    | Scheduler.Lifo -> batch @ queue
+    | Scheduler.Fifo -> queue @ batch
+  in
+  let rec go queue left acc =
+    if left = 0 then List.rev acc
+    else
+      match queue with
+      | [] -> List.rev acc
+      | x :: rest -> go (enqueue rest (children x)) (left - 1) (x :: acc)
+  in
+  go (List.fold_left enqueue [] seeds) budget []
+
+(* Items are digit strings in disguise: seeds are 0..9 and item [x]'s
+   children are [10x+1 .. 10x+arity], so the tree is finite (depth 4) and
+   every item is distinct within its seed's subtree. The arity table is the
+   random part. *)
+let children_of_table table x =
+  if x >= 1000 then []
+  else
+    let arity = List.nth table (x mod List.length table) in
+    List.init arity (fun i -> (x * 10) + i + 1)
+
+let gen_case =
+  QCheck.make
+    ~print:(fun (seeds, table, budget) ->
+      Printf.sprintf "seeds=[%s] arity=[%s] budget=%d"
+        (String.concat ";"
+           (List.map
+              (fun b -> String.concat "," (List.map string_of_int b))
+              seeds))
+        (String.concat "," (List.map string_of_int table))
+        budget)
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 4) (list_size (int_range 0 5) (int_range 0 9)))
+        (list_size (int_range 1 5) (int_range 0 3))
+        (int_range 0 60))
+
+let scheduler_trace ~order ~jobs ~budget seeds children =
+  let sched = Scheduler.create ~order ~jobs ~budget () in
+  List.iter (Scheduler.push_batch sched) seeds;
+  let log = ref [] in
+  let log_m = Mutex.create () in
+  Scheduler.run sched (fun ~worker:_ x ->
+      Mutex.lock log_m;
+      log := x :: !log;
+      Mutex.unlock log_m;
+      children x);
+  List.rev !log
+
+let prop_matches_reference order name =
+  QCheck.Test.make ~name ~count:500 gen_case (fun (seeds, table, budget) ->
+      let children = children_of_table table in
+      scheduler_trace ~order ~jobs:1 ~budget seeds children
+      = reference ~order ~budget seeds children)
+
+(* With several workers the order is scheduling-dependent — and under a
+   budget so is the admitted subset — but unbudgeted, the multiset of
+   executed items is not: stealing must neither lose, duplicate, nor invent
+   work. (Sorting both sides compares multisets.) *)
+let prop_parallel_same_multiset =
+  QCheck.Test.make ~name:"jobs=3 executes the same multiset" ~count:60
+    gen_case (fun (seeds, table, _budget) ->
+      let children = children_of_table table in
+      List.sort compare
+        (scheduler_trace ~order:Scheduler.Lifo ~jobs:3 ~budget:max_int seeds
+           children)
+      = List.sort compare
+          (reference ~order:Scheduler.Lifo ~budget:max_int seeds children))
+
+(* ---- snapshot is a consistent cut, taken mid-steal ----
+
+   Park both workers inside their first item (one of which worker 1 can
+   only have obtained by stealing: external pushes all land on worker 0's
+   deque), photograph the queue from a third domain, then release. The cut
+   must contain every seed exactly once — the two in-flight items included,
+   their children excluded (not published yet) — which is precisely what a
+   checkpoint written at that instant needs in order to resume without
+   losing or duplicating subtrees. *)
+let test_snapshot_mid_steal () =
+  let seeds = [ 1; 2; 3; 4; 5; 6 ] in
+  let children = function 1 -> [ 101; 102 ] | 2 -> [ 201 ] | _ -> [] in
+  let sched = Scheduler.create ~order:Scheduler.Lifo ~jobs:2 () in
+  Scheduler.push_batch sched seeds;
+  let started = Atomic.make 0 in
+  let release = Atomic.make false in
+  let snap = Atomic.make None in
+  let taker =
+    Domain.spawn (fun () ->
+        while Atomic.get started < 2 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.set snap (Some (Scheduler.snapshot sched));
+        Atomic.set release true)
+  in
+  let ran = Atomic.make 0 in
+  Scheduler.run sched (fun ~worker:_ x ->
+      Atomic.incr started;
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done;
+      Atomic.incr ran;
+      children x);
+  Domain.join taker;
+  (match Atomic.get snap with
+  | None -> Alcotest.fail "snapshot never taken"
+  | Some cut ->
+      Alcotest.(check (list int))
+        "cut = every seed once, no unpublished children" seeds
+        (List.sort compare cut));
+  Alcotest.(check int) "everything ran after release" 9 (Atomic.get ran);
+  let steals =
+    List.fold_left
+      (fun acc (ws : Scheduler.worker_stats) -> acc + ws.Scheduler.steals)
+      0 (Scheduler.stats sched)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "worker 1 stole its first item (steals=%d)" steals)
+    true (steals >= 1)
+
 let test_run_twice_rejected () =
   let sched = Scheduler.create ~jobs:1 () in
   Scheduler.push sched 1;
@@ -178,5 +310,20 @@ let () =
           Alcotest.test_case "parallel drain" `Quick
             test_parallel_drains_everything;
           Alcotest.test_case "run twice rejected" `Quick test_run_twice_rejected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_matches_reference Scheduler.Lifo
+               "jobs=1 Lifo = pure-list reference");
+          QCheck_alcotest.to_alcotest
+            (prop_matches_reference Scheduler.Fifo
+               "jobs=1 Fifo = pure-list reference");
+          QCheck_alcotest.to_alcotest prop_parallel_same_multiset;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "consistent cut mid-steal" `Quick
+            test_snapshot_mid_steal;
         ] );
     ]

@@ -538,8 +538,9 @@ let distributed_explore () =
           | None -> "(unbounded, exhaustive)"
           | Some k ->
               Printf.sprintf "(mixing bound k=%d, max-runs %d)" k max_runs);
-        pf "%-10s %14s %10s %12s %9s %8s %10s %8s\n" "mode" "interleavings"
-          "findings" "wall-s" "speedup" "leases" "re-leases" "steals";
+        pf "%-10s %14s %10s %12s %9s %8s %10s %8s %10s %9s\n" "mode"
+          "interleavings" "findings" "wall-s" "speedup" "leases" "re-leases"
+          "steals" "reconnects" "fallbacks";
         let state_config = State.make_config ?mixing_bound:k () in
         let config =
           { Explorer.default_config with state_config; max_runs }
@@ -561,7 +562,7 @@ let distributed_explore () =
                         in
                         ( c,
                           Domain.spawn (fun () ->
-                              Dampi.Remote_worker.serve ~resolve w) ))
+                              ignore (Dampi.Remote_worker.serve ~resolve w)) ))
                   in
                   let setup =
                     {
@@ -571,6 +572,9 @@ let distributed_explore () =
                       lease_size = Dampi.Coordinator.default_lease_size;
                       heartbeat_timeout =
                         Dampi.Coordinator.default_heartbeat_timeout;
+                      join_timeout = Dampi.Coordinator.default_join_timeout;
+                      rejoin_grace = Dampi.Coordinator.default_rejoin_grace;
+                      auth = None;
                     }
                   in
                   let r =
@@ -586,17 +590,21 @@ let distributed_explore () =
         let counters (r : Report.t) =
           ( Obs.Metrics.counter_value r.Report.metrics "coordinator.leases",
             Obs.Metrics.counter_value r.Report.metrics "coordinator.releases",
-            Obs.Metrics.counter_value r.Report.metrics "sched.steals" )
+            Obs.Metrics.counter_value r.Report.metrics "sched.steals",
+            Obs.Metrics.counter_value r.Report.metrics
+              "coordinator.reconnects",
+            Obs.Metrics.counter_value r.Report.metrics "coordinator.fallbacks"
+          )
         in
         List.iter
           (fun (label, _, (r : Report.t)) ->
-            let leases, releases, steals = counters r in
-            pf "%-10s %14d %10d %12.3f %8.2fx %8d %10d %8d\n%!" label
+            let leases, releases, steals, reconnects, fallbacks = counters r in
+            pf "%-10s %14d %10d %12.3f %8.2fx %8d %10d %8d %10d %9d\n%!" label
               r.Report.interleavings
               (List.length r.Report.findings)
               r.Report.host_seconds
               (base_wall /. Float.max 1e-9 r.Report.host_seconds)
-              leases releases steals)
+              leases releases steals reconnects fallbacks)
           rows;
         (name, np, max_runs, base_wall, rows))
       scenarios
@@ -623,15 +631,24 @@ let distributed_explore () =
           let steals =
             Obs.Metrics.counter_value r.Report.metrics "sched.steals"
           in
+          let reconnects =
+            Obs.Metrics.counter_value r.Report.metrics
+              "coordinator.reconnects"
+          in
+          let fallbacks =
+            Obs.Metrics.counter_value r.Report.metrics
+              "coordinator.fallbacks"
+          in
           Printf.fprintf oc
             "      {\"mode\": %S, \"workers\": %d, \"interleavings\": %d, \
              \"findings\": %d, \"wall_seconds\": %.6f, \"speedup\": %.4f, \
-             \"leases\": %d, \"releases\": %d, \"steals\": %d}%s\n"
+             \"leases\": %d, \"releases\": %d, \"steals\": %d, \
+             \"reconnects\": %d, \"fallbacks\": %d}%s\n"
             label workers r.Report.interleavings
             (List.length r.Report.findings)
             r.Report.host_seconds
             (base_wall /. Float.max 1e-9 r.Report.host_seconds)
-            leases releases steals
+            leases releases steals reconnects fallbacks
             (if ri = nr - 1 then "" else ","))
         rows;
       Printf.fprintf oc "    ]}%s\n" (if si = ns - 1 then "" else ","))

@@ -248,11 +248,65 @@ let list_cmd =
 
 (* ---- verify command ---- *)
 
+(* Re-exec this verify without --coordinator-respawn, restarting it from
+   its checkpoint each time it dies to a signal (up to [budget] times). A
+   SIGKILLed coordinator thus costs the run one resume, not the run. *)
+let supervise_respawns ~budget =
+  let rec strip = function
+    | [] -> []
+    | "--coordinator-respawn" :: rest -> (
+        match rest with _ :: tl -> strip tl | [] -> [])
+    | a :: rest
+      when String.length a >= 22
+           && String.sub a 0 22 = "--coordinator-respawn=" ->
+        strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let argv = Array.of_list (strip (Array.to_list Sys.argv)) in
+  (* OCaml signal numbers are a private negative encoding; name the common
+     ones rather than leak e.g. -7 for SIGKILL into the diagnostics. *)
+  let signal_name sg =
+    if sg = Sys.sigkill then "SIGKILL"
+    else if sg = Sys.sigterm then "SIGTERM"
+    else if sg = Sys.sigint then "SIGINT"
+    else if sg = Sys.sigsegv then "SIGSEGV"
+    else if sg = Sys.sigabrt then "SIGABRT"
+    else if sg = Sys.sighup then "SIGHUP"
+    else if sg = Sys.sigquit then "SIGQUIT"
+    else if sg = Sys.sigbus then "SIGBUS"
+    else Printf.sprintf "signal %d" sg
+  in
+  let rec go restarts =
+    let pid =
+      Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
+        Unix.stderr
+    in
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED code -> exit code
+    | Unix.WSIGNALED sg | Unix.WSTOPPED sg ->
+        if restarts >= budget then begin
+          Printf.eprintf
+            "coordinator died (%s); respawn budget exhausted after %d \
+             restart(s)\n"
+            (signal_name sg) restarts;
+          exit 1
+        end
+        else begin
+          Printf.eprintf
+            "coordinator died (%s); respawning from checkpoint (%d/%d)\n"
+            (signal_name sg) (restarts + 1) budget;
+          go (restarts + 1)
+        end
+  in
+  go 0
+
 let verify_run workload np clock_name mixing_bound max_runs engine dual
     stop_first quiet dump_schedule jobs distribute workers trace_out
     metrics_out
     (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
-     max_retries, retry_backoff, fault_seed, fault_spec) =
+     max_retries, retry_backoff, fault_seed, fault_spec)
+    (auth_token, fallback_local, join_timeout, heartbeat_timeout, rejoin_grace,
+     coordinator_respawn) =
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be at least 1\n";
     exit 2
@@ -284,6 +338,39 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
     Printf.eprintf "distributed mode supports only the dampi engine\n";
     exit 2
   end;
+  if fallback_local && not distributed then begin
+    Printf.eprintf "--fallback-local only applies to a distributed run\n";
+    exit 2
+  end;
+  (match auth_token with
+  | Some _ when not distributed ->
+      Printf.eprintf "--auth-token only applies to a distributed run\n";
+      exit 2
+  | _ -> ());
+  let auth =
+    match auth_token with
+    | None -> None
+    | Some file -> (
+        match Dampi.Wire.load_token file with
+        | Ok secret -> Some secret
+        | Error msg ->
+            Printf.eprintf "cannot read --auth-token %s: %s\n" file msg;
+            exit 2)
+  in
+  (match coordinator_respawn with
+  | Some n ->
+      if checkpoint_path = None then begin
+        Printf.eprintf
+          "--coordinator-respawn requires --checkpoint (a respawned \
+           coordinator resumes from it)\n";
+        exit 2
+      end;
+      if n < 1 then begin
+        Printf.eprintf "--coordinator-respawn needs at least 1 restart\n";
+        exit 2
+      end;
+      supervise_respawns ~budget:n
+  | None -> ());
   let worker_addrs =
     match workers with
     | None -> []
@@ -406,11 +493,16 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                 let path = Filename.temp_file "dampi-coord" ".sock" in
                 let ready addr =
                   let connect = Dampi.Wire.addr_to_string addr in
+                  let argv =
+                    [ "dampi"; "worker"; "--connect"; connect ]
+                    @ (match auth_token with
+                      | Some file -> [ "--auth-token"; file ]
+                      | None -> [])
+                  in
                   for _ = 1 to n do
                     children :=
                       Unix.create_process Sys.executable_name
-                        [| "dampi"; "worker"; "--connect"; connect |]
-                        Unix.stdin Unix.stdout Unix.stderr
+                        (Array.of_list argv) Unix.stdin Unix.stdout Unix.stderr
                       :: !children
                   done
                 in
@@ -423,7 +515,10 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
               Dampi.Coordinator.attach;
               job;
               lease_size = Dampi.Coordinator.default_lease_size;
-              heartbeat_timeout = Dampi.Coordinator.default_heartbeat_timeout;
+              heartbeat_timeout;
+              join_timeout;
+              rejoin_grace;
+              auth;
             }
         end
       in
@@ -442,7 +537,8 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                     trace;
                     robustness;
                   }
-                ?resume ?distribute:distribute_setup ~np program
+                ?resume ?distribute:distribute_setup ~fallback_local ~np
+                program
             in
             reap_children !children;
             r
@@ -692,6 +788,79 @@ let verify_cmd =
       $ checkpoint $ checkpoint_every $ replay_timeout $ max_replay_steps
       $ max_retries $ retry_backoff $ fault_seed $ fault_spec)
   in
+  let auth_token =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "auth-token" ] ~docv:"FILE"
+          ~doc:
+            "Require workers to authenticate: $(docv) holds a shared secret \
+             (trailing whitespace trimmed), and every joining worker must \
+             answer an HMAC challenge over it before receiving work. Pass \
+             the same file to $(b,dampi worker); mismatches are refused with \
+             a one-line reject. Spawned $(b,--distribute) workers inherit \
+             the flag automatically.")
+  in
+  let fallback_local =
+    Arg.(
+      value & flag
+      & info [ "fallback-local" ]
+          ~doc:
+            "Graceful degradation: if a distributed run loses every worker \
+             (past reconnect grace), drain the remaining frontier with the \
+             in-process pool instead of flagging the run interrupted. The \
+             canonical report is unchanged; the fallback is reported loudly \
+             and counted in the $(b,coordinator.fallbacks) metric.")
+  in
+  let join_timeout =
+    Arg.(
+      value
+      & opt float Dampi.Coordinator.default_join_timeout
+      & info [ "join-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a listening coordinator waits for the $(i,first) \
+             worker to join before declaring the run lost (distinct from \
+             $(b,--heartbeat-timeout), which governs workers already \
+             admitted).")
+  in
+  let heartbeat_timeout =
+    Arg.(
+      value
+      & opt float Dampi.Coordinator.default_heartbeat_timeout
+      & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Silence threshold after which an admitted worker is considered \
+             lost and its lease is eligible for refund (after \
+             $(b,--rejoin-grace)).")
+  in
+  let rejoin_grace =
+    Arg.(
+      value
+      & opt float Dampi.Coordinator.default_rejoin_grace
+      & info [ "rejoin-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Grace window during which a lost worker may redial and resume \
+             its in-flight lease; past it the lease is refunded to the \
+             frontier and a late rejoiner is fenced onto a fresh epoch.")
+  in
+  let coordinator_respawn =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "coordinator-respawn" ] ~docv:"N"
+          ~doc:
+            "Supervise the coordinator: re-exec this verify as a child and, \
+             if it dies to a signal, restart it from its checkpoint up to \
+             $(docv) times (requires $(b,--checkpoint)). Surviving \
+             $(b,--listen) workers redial and rejoin the restarted \
+             coordinator.")
+  in
+  let distributed_opts =
+    Term.(
+      const (fun a b c d e f -> (a, b, c, d, e, f))
+      $ auth_token $ fallback_local $ join_timeout $ heartbeat_timeout
+      $ rejoin_grace $ coordinator_respawn)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
@@ -701,11 +870,12 @@ let verify_cmd =
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
       $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ distribute
-      $ workers $ trace_out $ metrics_out $ robustness_opts)
+      $ workers $ trace_out $ metrics_out $ robustness_opts
+      $ distributed_opts)
 
 (* ---- worker command ---- *)
 
-let worker_run connect listen =
+let worker_run connect listen auth_token max_redials redial_backoff =
   let parse s =
     match Dampi.Wire.addr_of_string s with
     | Ok a -> a
@@ -721,7 +891,26 @@ let worker_run connect listen =
         Printf.eprintf "worker needs exactly one of --connect or --listen\n";
         exit 2
   in
-  match Dampi.Remote_worker.serve_addr ~resolve:cli_resolve mode with
+  let auth =
+    match auth_token with
+    | None -> None
+    | Some file -> (
+        match Dampi.Wire.load_token file with
+        | Ok secret -> Some secret
+        | Error msg ->
+            Printf.eprintf "cannot read --auth-token %s: %s\n" file msg;
+            exit 2)
+  in
+  let reconnect =
+    {
+      Dampi.Remote_worker.default_reconnect with
+      max_redials;
+      backoff = redial_backoff;
+    }
+  in
+  match
+    Dampi.Remote_worker.serve_addr ?auth ~reconnect ~resolve:cli_resolve mode
+  with
   | Ok () -> ()
   | Error msg ->
       Printf.eprintf "%s\n" msg;
@@ -744,9 +933,37 @@ let worker_cmd =
       & opt (some string) None
       & info [ "listen" ] ~docv:"ADDR"
           ~doc:
-            "Bind $(docv) and wait for a coordinator to dial in (pair with \
-             $(b,verify --workers)). Serves one coordinator session, then \
-             exits.")
+            "Bind $(docv) and wait for coordinators to dial in (pair with \
+             $(b,verify --workers)). Serves successive coordinator sessions \
+             on one persistent worker identity — so it survives coordinator \
+             restarts — and exits when a coordinator announces the run \
+             complete or on SIGTERM.")
+  in
+  let auth_token =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "auth-token" ] ~docv:"FILE"
+          ~doc:
+            "Shared-secret file matching the coordinator's \
+             $(b,--auth-token); used to answer its HMAC challenge on join.")
+  in
+  let max_redials =
+    Arg.(
+      value
+      & opt int Dampi.Remote_worker.default_reconnect.max_redials
+      & info [ "max-redials" ] ~docv:"N"
+          ~doc:
+            "With $(b,--connect): redial a lost coordinator up to $(docv) \
+             times (capped exponential backoff with deterministic jitter) \
+             before giving up; 0 exits on the first disconnect.")
+  in
+  let redial_backoff =
+    Arg.(
+      value
+      & opt float Dampi.Remote_worker.default_reconnect.backoff
+      & info [ "redial-backoff" ] ~docv:"SECONDS"
+          ~doc:"Base delay of the redial backoff (doubles per attempt).")
   in
   Cmd.v
     (Cmd.info "worker"
@@ -754,7 +971,9 @@ let worker_cmd =
          "Serve guided replays to a distributed $(b,verify) run: receive \
           the job description, replay leased frontier items, stream result \
           deltas back.")
-    Term.(const worker_run $ connect $ listen)
+    Term.(
+      const worker_run $ connect $ listen $ auth_token $ max_redials
+      $ redial_backoff)
 
 (* ---- replay command ---- *)
 

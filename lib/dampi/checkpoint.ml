@@ -32,6 +32,8 @@ type t = {
   findings : Report.finding list;
   completed : string list;  (** {!schedule_key}s of counted replays *)
   frontier : item list;
+  epoch : int;  (** highest fencing epoch granted (distributed mode; 0
+                    when the run was never distributed) *)
 }
 
 (* ---- percent-encoding (RFC 3986 unreserved set) ---- *)
@@ -229,6 +231,7 @@ let to_string t =
      resume depends on it. *)
   line "first-makespan %h" t.first_run_makespan;
   line "total-vtime %h" t.total_virtual_time;
+  if t.epoch <> 0 then line "epoch %d" t.epoch;
   List.iter
     (fun (f : Report.finding) ->
       line "finding %d %s %s" f.Report.run_index
@@ -266,6 +269,7 @@ let of_string text =
       let wildcards = ref 0 in
       let first_makespan = ref 0.0 in
       let total_vtime = ref 0.0 in
+      let epoch = ref 0 in
       let findings = ref [] in
       let completed = ref [] in
       let frontier = ref [] in
@@ -316,6 +320,7 @@ let of_string text =
                 | "first-makespan" ->
                     float_field "first-makespan" rest first_makespan
                 | "total-vtime" -> float_field "total-vtime" rest total_vtime
+                | "epoch" -> int_field "epoch" rest epoch
                 | "finding" -> (
                     match String.split_on_char ' ' rest with
                     | run_index :: sched :: tag :: payload -> (
@@ -367,6 +372,7 @@ let of_string text =
               findings = List.rev !findings;
               completed = List.rev !completed;
               frontier = List.rev !frontier;
+              epoch = !epoch;
             })
   | _ -> Error "not a DAMPI checkpoint file"
 

@@ -40,6 +40,13 @@ type t = {
   findings : Report.finding list;
   completed : string list;  (** {!schedule_key}s of counted replays *)
   frontier : item list;
+  epoch : int;
+      (** highest fencing epoch the coordinator granted before the cut
+          (distributed mode — see {!Coordinator}); [0] for runs that were
+          never distributed. A restarted coordinator starts granting at
+          [epoch + 1], so sessions admitted before the crash are fenced.
+          The field is omitted from the text when zero, keeping old
+          readers and non-distributed checkpoints unchanged. *)
 }
 
 val schedule_key : Decisions.decision list -> string

@@ -1,6 +1,13 @@
 (* Frontier coordinator for the distributed mode: leases item batches to
    remote workers over the Wire protocol, ingests result deltas, re-leases
-   on worker loss. Single-threaded select loop; see coordinator.mli. *)
+   on worker loss. Single-threaded select loop; see coordinator.mli.
+
+   proto=2 separates the *connection* (a socket that can drop and come
+   back) from the *session* (a worker identity that survives reconnects).
+   Leases belong to sessions; each (re)admission is stamped with a
+   monotone fencing epoch, and a results frame is ingested only when its
+   epoch and lease id match the session's current ones — anything else is
+   a zombie flush and is discarded whole. *)
 
 let src = Logs.Src.create "dampi.coordinator" ~doc:"distributed coordinator"
 
@@ -16,10 +23,15 @@ type setup = {
   job : Wire.job;
   lease_size : int;
   heartbeat_timeout : float;
+  join_timeout : float;
+  rejoin_grace : float;
+  auth : string option;
 }
 
 let default_lease_size = 4
 let default_heartbeat_timeout = 30.0
+let default_join_timeout = 30.0
+let default_rejoin_grace = 1.0
 
 type stats = {
   leases : int;
@@ -27,6 +39,8 @@ type stats = {
   workers_seen : int;
   workers_lost : int;
   results : int;
+  reconnects : int;
+  fenced : int;
 }
 
 type lease = {
@@ -35,12 +49,34 @@ type lease = {
   sent_at : float;
 }
 
+(* A worker identity: survives reconnects, owns the outstanding lease. *)
+type sess = {
+  sid : string;
+  mutable epoch : int;  (* current fencing epoch grant *)
+  mutable lease : lease option;
+  mutable conn_fd : Unix.file_descr option;  (* bound connection, if any *)
+  mutable lost_at : float;  (* when conn_fd went None *)
+  mutable seen_ready : bool;  (* first ready counted in workers_seen *)
+}
+
+(* Hello fields carried across the auth round-trip. *)
+type hello = {
+  h_id : string;
+  h_session : string;
+  h_epoch : int;
+  h_pending : int option;
+}
+
 type conn = {
   fd : Unix.file_descr;
   oc : out_channel;
   asm : Wire.assembler;
   mutable name : string;
-  mutable state : [ `Greeting | `Jobbed | `Idle | `Leased of lease ];
+  mutable state :
+    [ `Greeting  (* awaiting hello *)
+    | `Challenged of string * hello  (* nonce sent, awaiting auth *)
+    | `Jobbed of sess  (* welcomed + job sent, awaiting ready *)
+    | `Bound of sess  (* ready; leases flow *) ];
   mutable last_seen : float;
   mutable alive : bool;
 }
@@ -48,6 +84,8 @@ type conn = {
 type cmetrics = {
   m_leases : Obs.Metrics.counter;
   m_releases : Obs.Metrics.counter;
+  m_reconnects : Obs.Metrics.counter;
+  m_fenced : Obs.Metrics.counter;
   m_rtt : Obs.Metrics.histogram;
 }
 
@@ -57,12 +95,16 @@ type t = {
   mutable claimed : int;  (* items ever leased, net of re-leases *)
   mutable frontier : Checkpoint.item list;  (* stack *)
   mutable conns : conn list;
+  sessions : (string, sess) Hashtbl.t;
+  mutable next_epoch : int;
+  mutable anon : int;  (* synthetic ids for proto peers without a session *)
   listen_fd : Unix.file_descr option;
   listen_path : string option;  (* unix socket to unlink on close *)
   started : float;
   mutable next_lease : int;
   mutable st : stats;
   mutable ran : bool;
+  mutable finish : [ `Done | `Abort ];  (* shutdown vs detach at close *)
   metrics : cmetrics option;
 }
 
@@ -75,7 +117,7 @@ let mkdirs_socket_fd addr =
   | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
   (fd, sa)
 
-let create ?metrics ~budget setup =
+let create ?metrics ?(first_epoch = 1) ~budget setup =
   let listen_fd, listen_path =
     match setup.attach with
     | Listen { addr; ready } ->
@@ -93,20 +135,26 @@ let create ?metrics ~budget setup =
     claimed = 0;
     frontier = [];
     conns = [];
+    sessions = Hashtbl.create 16;
+    next_epoch = max 1 first_epoch;
+    anon = 0;
     listen_fd;
     listen_path;
     started = Unix.gettimeofday ();
     next_lease = 0;
     st =
       { leases = 0; releases = 0; workers_seen = 0; workers_lost = 0;
-        results = 0 };
+        results = 0; reconnects = 0; fenced = 0 };
     ran = false;
+    finish = `Abort;
     metrics =
       Option.map
         (fun sh ->
           {
             m_leases = Obs.Metrics.counter sh "coordinator.leases";
             m_releases = Obs.Metrics.counter sh "coordinator.releases";
+            m_reconnects = Obs.Metrics.counter sh "coordinator.reconnects";
+            m_fenced = Obs.Metrics.counter sh "coordinator.fenced";
             m_rtt = Obs.Metrics.histogram sh "coordinator.worker_rtt_s";
           })
         metrics;
@@ -115,14 +163,20 @@ let create ?metrics ~budget setup =
 let push t items = t.frontier <- items @ t.frontier
 
 let outstanding t =
-  List.concat_map
-    (fun c ->
-      match c.state with `Leased l when c.alive -> l.lease_items | _ -> [])
-    t.conns
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s.lease with Some l -> l.lease_items @ acc | None -> acc)
+    t.sessions []
 
 let snapshot t = t.frontier @ outstanding t
 let pending t = List.length t.frontier
 let stats t = t.st
+let current_epoch t = t.next_epoch - 1
+
+let next_epoch t =
+  let e = t.next_epoch in
+  t.next_epoch <- e + 1;
+  e
 
 (* ---- connection lifecycle ---- *)
 
@@ -144,28 +198,51 @@ let add_conn t fd =
   t.conns <- t.conns @ [ c ];
   c
 
-(* Drop a worker; its outstanding lease items go back to the front of the
-   frontier for another worker. *)
-let lose t c ~reason =
+(* Return a session's leased items to the frontier for another worker. *)
+let refund t s ~reason =
+  match s.lease with
+  | None -> ()
+  | Some l ->
+      let n = List.length l.lease_items in
+      Log.warn (fun m ->
+          m "session %s: re-leasing %d item(s) (%s)" s.sid n reason);
+      t.frontier <- l.lease_items @ t.frontier;
+      t.claimed <- t.claimed - n;
+      s.lease <- None;
+      t.st <- { t.st with releases = t.st.releases + n };
+      (match t.metrics with
+      | Some ms -> for _ = 1 to n do Obs.Metrics.incr ms.m_releases done
+      | None -> ())
+
+(* Close a connection without touching its session (version/auth
+   rejections, superseded duplicates). *)
+let drop_conn t c ~reason =
+  ignore t;
   if c.alive then begin
     c.alive <- false;
+    Log.info (fun m -> m "dropping connection %s: %s" c.name reason);
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* A worker connection died. Its session keeps the lease for the rejoin
+   grace period — the grace scan refunds it if the worker stays away. *)
+let lose t c ~reason =
+  if c.alive then begin
     (match c.state with
-    | `Leased l ->
-        let n = List.length l.lease_items in
+    | (`Jobbed s | `Bound s) when s.conn_fd = Some c.fd ->
+        s.conn_fd <- None;
+        s.lost_at <- Unix.gettimeofday ();
         Log.warn (fun m ->
-            m "worker %s lost (%s): re-leasing %d item(s)" c.name reason n);
-        t.frontier <- l.lease_items @ t.frontier;
-        t.claimed <- t.claimed - n;
-        t.st <- { t.st with releases = t.st.releases + n };
-        (match t.metrics with
-        | Some ms ->
-            for _ = 1 to n do Obs.Metrics.incr ms.m_releases done
-        | None -> ())
-    | _ ->
-        Log.warn (fun m -> m "worker %s lost (%s)" c.name reason));
+            m "worker %s lost (%s)%s" c.name reason
+              (match s.lease with
+              | Some l ->
+                  Printf.sprintf "; lease %d held for %.3gs rejoin grace"
+                    l.lease_id t.setup.rejoin_grace
+              | None -> ""))
+    | _ -> Log.warn (fun m -> m "worker %s lost (%s)" c.name reason));
     t.st <- { t.st with workers_lost = t.st.workers_lost + 1 };
-    c.state <- `Idle;
-    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
 let send t c msg =
@@ -180,22 +257,105 @@ let rec take_front n acc = function
   | x :: tl -> take_front (n - 1) (x :: acc) tl
 
 let maybe_lease t c =
-  if c.alive && c.state = `Idle && t.frontier <> [] && t.claimed < t.budget
-  then begin
-    let n = min t.setup.lease_size (t.budget - t.claimed) in
-    let items, rest = take_front n [] t.frontier in
-    t.frontier <- rest;
-    t.claimed <- t.claimed + List.length items;
-    let lease_id = t.next_lease in
-    t.next_lease <- t.next_lease + 1;
-    c.state <-
-      `Leased { lease_id; lease_items = items; sent_at = Unix.gettimeofday () };
-    t.st <- { t.st with leases = t.st.leases + 1 };
+  match c.state with
+  | `Bound s
+    when c.alive && s.lease = None && t.frontier <> []
+         && t.claimed < t.budget ->
+      let n = min t.setup.lease_size (t.budget - t.claimed) in
+      let items, rest = take_front n [] t.frontier in
+      t.frontier <- rest;
+      t.claimed <- t.claimed + List.length items;
+      let lease_id = t.next_lease in
+      t.next_lease <- t.next_lease + 1;
+      s.lease <-
+        Some { lease_id; lease_items = items; sent_at = Unix.gettimeofday () };
+      t.st <- { t.st with leases = t.st.leases + 1 };
+      (match t.metrics with
+      | Some ms -> Obs.Metrics.incr ms.m_leases
+      | None -> ());
+      send t c (Wire.Lease { lease_id; items })
+  | _ -> ()
+
+(* ---- admission ---- *)
+
+let const_eq a b =
+  String.length a = String.length b
+  &&
+  let d = ref 0 in
+  String.iteri (fun i c -> d := !d lor (Char.code c lxor Char.code b.[i])) a;
+  !d = 0
+
+(* The hello (and auth, when configured) checked out: bind the connection
+   to its session, deciding between lease resumption and fencing. *)
+let bind t c (h : hello) =
+  let sid =
+    if h.h_session = "" then begin
+      t.anon <- t.anon + 1;
+      Printf.sprintf "anon%d" t.anon
+    end
+    else h.h_session
+  in
+  let s, rejoined =
+    match Hashtbl.find_opt t.sessions sid with
+    | Some s -> (s, true)
+    | None ->
+        let s =
+          {
+            sid;
+            epoch = next_epoch t;
+            lease = None;
+            conn_fd = None;
+            lost_at = 0.0;
+            seen_ready = false;
+          }
+        in
+        Hashtbl.add t.sessions sid s;
+        (s, false)
+  in
+  (* A live connection already bound to this session is a stale duplicate
+     (the worker redialed before we read its EOF): supersede it, keeping
+     the lease with the session. *)
+  (match s.conn_fd with
+  | Some fd -> (
+      match List.find_opt (fun c' -> c'.alive && c'.fd = fd) t.conns with
+      | Some old -> drop_conn t old ~reason:"superseded by reconnect"
+      | None -> ())
+  | None -> ());
+  if rejoined then begin
+    t.st <- { t.st with reconnects = t.st.reconnects + 1 };
     (match t.metrics with
-    | Some ms -> Obs.Metrics.incr ms.m_leases
+    | Some ms -> Obs.Metrics.incr ms.m_reconnects
     | None -> ());
-    send t c (Wire.Lease { lease_id; items })
-  end
+    let intact =
+      match (s.lease, h.h_pending) with
+      | Some l, Some p -> h.h_epoch = s.epoch && p = l.lease_id
+      | _ -> false
+    in
+    if intact then
+      Log.info (fun m ->
+          m "worker %s rejoined session %s: resuming lease at epoch %d"
+            h.h_id sid s.epoch)
+    else begin
+      (* Anything the previous incarnation still holds is now a zombie's:
+         refund the lease and fence the old epoch so its late results
+         frames are recognisably stale. *)
+      refund t s ~reason:"rejoined without the lease intact";
+      s.epoch <- next_epoch t;
+      Log.info (fun m ->
+          m "worker %s rejoined session %s: fenced to epoch %d" h.h_id sid
+            s.epoch)
+    end
+  end;
+  s.conn_fd <- Some c.fd;
+  s.lost_at <- 0.0;
+  c.name <- h.h_id;
+  c.state <- `Jobbed s;
+  send t c (Wire.Welcome { epoch = s.epoch });
+  send t c (Wire.Job t.setup.job)
+
+let reject t c ~reason =
+  send t c (Wire.Reject { proto = Wire.proto_version; reason });
+  drop_conn t c ~reason
 
 (* ---- message handling ---- *)
 
@@ -203,29 +363,59 @@ let handle_msg t c ~on_run msg =
   c.last_seen <- Unix.gettimeofday ();
   match msg with
   | Error e -> lose t c ~reason:("protocol error: " ^ e)
-  | Ok (Wire.Hello { proto; id }) ->
-      if proto <> Wire.proto_version then
-        lose t c
-          ~reason:
-            (Printf.sprintf "protocol version %d (this build speaks %d)" proto
-               Wire.proto_version)
-      else begin
-        c.name <- id;
-        c.state <- `Jobbed;
-        send t c (Wire.Job t.setup.job)
-      end
+  | Ok (Wire.Hello { proto; id; session; epoch; pending }) -> (
+      match c.state with
+      | `Greeting ->
+          if proto <> Wire.proto_version then
+            (* One versioned line, then close: an old peer learns why it
+               was refused instead of hanging on a silent drop. *)
+            reject t c
+              ~reason:
+                (Printf.sprintf
+                   "protocol version %d not supported (this build speaks %d)"
+                   proto Wire.proto_version)
+          else begin
+            c.name <- id;
+            let h =
+              { h_id = id; h_session = session; h_epoch = epoch;
+                h_pending = pending }
+            in
+            match t.setup.auth with
+            | Some _ ->
+                let nonce = Wire.gen_nonce () in
+                c.state <- `Challenged (nonce, h);
+                send t c (Wire.Challenge nonce)
+            | None -> bind t c h
+          end
+      | _ -> lose t c ~reason:"hello out of sequence")
+  | Ok (Wire.Auth mac) -> (
+      match c.state with
+      | `Challenged (nonce, h) ->
+          let secret = Option.value t.setup.auth ~default:"" in
+          if const_eq (Wire.auth_mac ~secret ~nonce ~session:h.h_session) mac
+          then bind t c h
+          else reject t c ~reason:"authentication failed"
+      | _ -> lose t c ~reason:"auth out of sequence")
   | Ok Wire.Ready -> (
       match c.state with
-      | `Jobbed ->
-          c.state <- `Idle;
-          t.st <- { t.st with workers_seen = t.st.workers_seen + 1 };
+      | `Jobbed s ->
+          c.state <- `Bound s;
+          if not s.seen_ready then begin
+            s.seen_ready <- true;
+            t.st <- { t.st with workers_seen = t.st.workers_seen + 1 }
+          end;
           Log.info (fun m -> m "worker %s ready" c.name)
       | _ -> lose t c ~reason:"ready out of sequence")
   | Ok Wire.Heartbeat -> ()
   | Ok (Wire.Failed reason) -> lose t c ~reason:("worker failed: " ^ reason)
-  | Ok (Wire.Results { lease_id; runs }) -> (
+  | Ok (Wire.Results { epoch; lease_id; runs }) -> (
       match c.state with
-      | `Leased l when l.lease_id = lease_id ->
+      | `Bound s
+        when epoch = s.epoch
+             && (match s.lease with
+                | Some l -> l.lease_id = lease_id
+                | None -> false) -> (
+          let l = Option.get s.lease in
           (* Validate the frame covers exactly the leased items before
              ingesting anything: all-or-nothing is what makes re-leases
              duplicate-free. *)
@@ -248,7 +438,7 @@ let handle_msg t c ~on_run msg =
                 Obs.Metrics.observe ms.m_rtt
                   (Unix.gettimeofday () -. l.sent_at)
             | None -> ());
-            c.state <- `Idle;
+            s.lease <- None;
             t.st <- { t.st with results = t.st.results + 1 };
             List.iter
               (fun (it, r) ->
@@ -258,24 +448,62 @@ let handle_msg t c ~on_run msg =
                 | None -> ());
                 on_run ~item r)
               matched
-          end
-      | _ -> lose t c ~reason:"results for an unknown lease")
+          end)
+      | `Bound s ->
+          (* Stale epoch, or a lease this session no longer holds: a fenced
+             zombie (or a TCP redelivery) flushing work that was re-leased
+             or already ingested. The frame arrived whole through the
+             assembler; acknowledge by discarding it, never by counting. *)
+          t.st <- { t.st with fenced = t.st.fenced + 1 };
+          (match t.metrics with
+          | Some ms -> Obs.Metrics.incr ms.m_fenced
+          | None -> ());
+          Log.warn (fun m ->
+              m
+                "worker %s: discarding fenced results frame (epoch %d, lease \
+                 %d, %d run(s); session %s is at epoch %d)"
+                c.name epoch lease_id (List.length runs) s.sid s.epoch)
+      | _ -> lose t c ~reason:"results out of sequence")
 
 (* ---- the event loop ---- *)
 
 let work_remains t =
   (t.frontier <> [] && t.claimed < t.budget)
-  || List.exists
-       (fun c -> c.alive && match c.state with `Leased _ -> true | _ -> false)
-       t.conns
+  || Hashtbl.fold (fun _ s acc -> acc || s.lease <> None) t.sessions false
 
 let live_workers t = List.filter (fun c -> c.alive) t.conns
 
+(* Sessions disconnected within the grace window: their leases are still
+   honoured and their return is still expected, so an all-workers-lost
+   verdict would be premature. *)
+let any_in_grace t now =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc
+      || (s.conn_fd = None && s.lost_at > 0.0
+         && now -. s.lost_at <= t.setup.rejoin_grace))
+    t.sessions false
+
+(* Refund leases whose worker stayed away past the grace window. The
+   epoch is NOT bumped here — fencing happens at rebind time, and a
+   session that never returns never sends a stale frame. *)
+let grace_scan t now =
+  Hashtbl.iter
+    (fun _ s ->
+      if
+        s.conn_fd = None && s.lease <> None
+        && now -. s.lost_at > t.setup.rejoin_grace
+      then refund t s ~reason:"rejoin grace expired")
+    t.sessions
+
 let close_all t =
+  let farewell =
+    match t.finish with `Done -> Wire.Shutdown | `Abort -> Wire.Detach
+  in
   List.iter
     (fun c ->
       if c.alive then begin
-        send t c Wire.Shutdown;
+        send t c farewell;
         c.alive <- false;
         try Unix.close c.fd with Unix.Unix_error _ -> ()
       end)
@@ -325,16 +553,25 @@ let drive t ~on_run ~should_stop ~tick =
   let buf = Bytes.create 65536 in
   let rec loop () =
     if should_stop () then Ok ()
-    else if not (work_remains t) then Ok ()
+    else if not (work_remains t) then begin
+      (* Drained (or budget-capped): the exploration is over, workers may
+         exit. Any other way out of the loop leaves finish = `Abort, and
+         close_all sends [detach] so long-lived workers keep serving. *)
+      t.finish <- `Done;
+      Ok ()
+    end
     else begin
+      let now = Unix.gettimeofday () in
+      grace_scan t now;
       let live = live_workers t in
       (* Lost everyone (or nobody ever arrived): the frontier still holds
-         the unfinished work, so the caller can checkpoint and resume. *)
+         the unfinished work, so the caller can checkpoint and resume —
+         or drain it locally (Explorer's --fallback-local). *)
       if
         live = []
+        && (not (any_in_grace t now))
         && (t.st.workers_seen > 0 || t.listen_fd = None
-           || Unix.gettimeofday () -. t.started
-              > t.setup.heartbeat_timeout)
+           || now -. t.started > t.setup.join_timeout)
       then
         Error
           (if t.st.workers_seen = 0 then "no workers connected"

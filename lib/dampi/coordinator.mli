@@ -4,14 +4,27 @@
     processes over the {!Wire} protocol: batches of items are {e leased} to
     a worker, the worker replays each and ships back a result delta
     (counters, findings, child frontier), and the coordinator ingests the
-    delta, folds the children back into the frontier, and leases again. A
-    worker that disconnects, reports failure, or goes silent past the
-    heartbeat timeout forfeits its outstanding lease: those items return to
-    the frontier and are re-leased to a surviving worker. Results are
-    ingested only as complete frames, so a replay is counted exactly once
-    no matter how many times its item was leased — and since replays are
-    deterministic, the canonical report is identical to a single-process
-    run.
+    delta, folds the children back into the frontier, and leases again.
+    Results are ingested only as complete frames, so a replay is counted
+    exactly once no matter how many times its item was leased — and since
+    replays are deterministic, the canonical report is identical to a
+    single-process run.
+
+    {b Sessions, reconnects, fencing.} proto=2 distinguishes a worker's
+    {e connection} (a socket that can drop) from its {e session} (an
+    identity that survives reconnects). A lease belongs to the session.
+    When a connection dies, the session keeps its lease for a
+    {e rejoin grace} window; a worker that redials inside it with the
+    lease intact (same fencing epoch, [pending=] naming the lease) simply
+    resumes — its in-flight results frame is still welcome. Any other
+    rejoin, or a grace expiry, refunds the lease to the frontier and
+    advances the session's {e fencing epoch}: results frames stamped with
+    a superseded epoch (a zombie flushing work that was re-leased, or a
+    transport redelivery of an already-ingested frame) are read whole and
+    discarded, never counted. A [hello] from a peer speaking a different
+    protocol version gets a one-line [reject] instead of a hang, and when
+    a shared secret is configured every connection must pass an
+    HMAC challenge before it is admitted.
 
     The event loop is single-threaded ([Unix.select]); every callback runs
     on the calling thread, which is what makes periodic checkpointing from
@@ -24,7 +37,8 @@ type attach =
   | Listen of { addr : Wire.addr; ready : Wire.addr -> unit }
       (** bind + listen, then call [ready] (the CLI spawns
           [dampi worker --connect] children there); workers may also join
-          later, any time before the frontier drains *)
+          later, any time before the frontier drains — including workers
+          rejoining a coordinator restarted from a checkpoint *)
   | Dial of Wire.addr list
       (** connect to workers already listening ([dampi worker --listen]) *)
 
@@ -33,29 +47,48 @@ type setup = {
   job : Wire.job;  (** sent to every worker before its first lease *)
   lease_size : int;  (** max items per lease (≥ 1) *)
   heartbeat_timeout : float;
-      (** seconds of silence before a worker is declared dead *)
+      (** seconds of silence before a connected worker is declared dead *)
+  join_timeout : float;
+      (** seconds a [Listen] coordinator waits for the {e first} worker
+          before giving up — split from [heartbeat_timeout] so a
+          slow-to-spawn worker pool under a tight heartbeat no longer
+          aborts the run spuriously *)
+  rejoin_grace : float;
+      (** seconds a disconnected session keeps its lease (and holds off
+          the all-workers-lost verdict) while its worker redials *)
+  auth : string option;
+      (** shared secret: when set, every connection must answer the HMAC
+          challenge ({!Wire.auth_mac}) before admission *)
 }
 
 val default_lease_size : int
 val default_heartbeat_timeout : float
+val default_join_timeout : float
+val default_rejoin_grace : float
 
 type stats = {
   leases : int;  (** lease frames sent *)
-  releases : int;  (** items re-leased after a worker was lost *)
-  workers_seen : int;  (** workers that completed the hello/ready handshake *)
-  workers_lost : int;  (** workers lost to EOF, failure, or missed heartbeat *)
+  releases : int;  (** items re-leased after a lease was forfeited *)
+  workers_seen : int;  (** sessions that completed their first handshake *)
+  workers_lost : int;  (** connections lost to EOF, failure, or silence *)
   results : int;  (** result frames ingested *)
+  reconnects : int;  (** rebinds of an existing session (lease resumed
+                         or fenced) *)
+  fenced : int;  (** stale results frames discarded whole *)
 }
 
 type t
 
-val create : ?metrics:Obs.Metrics.shard -> budget:int -> setup -> t
+val create : ?metrics:Obs.Metrics.shard -> ?first_epoch:int -> budget:int -> setup -> t
 (** Binds/listens or dials according to [setup.attach] (deferring accepts
     and handshakes to {!drive}). [budget] caps the total number of items
     ever leased; items beyond it stay in the frontier (mirroring
-    {!Scheduler}'s claim budget). [metrics] gains [coordinator.leases],
-    [coordinator.releases], [coordinator.worker_rtt_s] — written only from
-    the driving thread. *)
+    {!Scheduler}'s claim budget). [first_epoch] (default 1) is the first
+    fencing epoch this coordinator will grant — a restart passes the
+    checkpointed epoch + 1 so every pre-crash grant is stale on arrival.
+    [metrics] gains [coordinator.leases], [coordinator.releases],
+    [coordinator.reconnects], [coordinator.fenced],
+    [coordinator.worker_rtt_s] — written only from the driving thread. *)
 
 val push : t -> Checkpoint.item list -> unit
 (** Seed the frontier (before or during {!drive}). *)
@@ -69,6 +102,11 @@ val pending : t -> int
 
 val stats : t -> stats
 
+val current_epoch : t -> int
+(** Highest fencing epoch granted so far (the [first_epoch - 1] floor
+    before any admission) — what a checkpoint must record so a restarted
+    coordinator fences every session this one admitted. *)
+
 val drive :
   t ->
   on_run:(item:Checkpoint.item -> Wire.run_result -> unit) ->
@@ -76,11 +114,15 @@ val drive :
   tick:(unit -> unit) ->
   (unit, string) result
 (** Run the event loop until the frontier drains (and no lease is
-    outstanding), the budget is exhausted, or [should_stop] answers [true];
-    workers are then sent [shutdown] and the connections closed. [on_run]
-    fires once per leased item as its result frame is ingested, with the
-    original item; [tick] fires about once per select timeout (for periodic
-    checkpoints). [Error] is returned when every worker is gone (or none
-    ever appeared within the heartbeat timeout) while work remains — the
-    frontier still holds that work, so a checkpoint taken afterwards can
-    resume it. May be called only once. *)
+    outstanding), the budget is exhausted, or [should_stop] answers [true].
+    On a drained/budget-capped exit workers are sent [shutdown] (the run
+    is over; they may exit); on [should_stop] or [Error] they are sent
+    [detach] (the run is {e not} over — long-lived workers go back to
+    redialling or listening). [on_run] fires once per leased item as its
+    result frame is ingested, with the original item; [tick] fires about
+    once per select timeout (for periodic checkpoints). [Error] is
+    returned when every worker is gone — and none is inside its rejoin
+    grace — while work remains (or none ever appeared within
+    [join_timeout]); the frontier still holds that work, so a checkpoint
+    taken afterwards can resume it, and {!Explorer} can optionally drain
+    it in-process instead. May be called only once. *)

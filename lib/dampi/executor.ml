@@ -160,9 +160,14 @@ let items_of_record (record : Report.run_record) ~plan_decisions =
   in
   List.concat (List.rev batches)
 
+type drive_outcome =
+  | Drained
+  | Lost of { reason : string; leftover : Checkpoint.item list }
+
 type t = {
   label : string;
-  drive : unit -> unit;
+  drive : unit -> drive_outcome;
   snapshot : unit -> Checkpoint.item list;
   stats : unit -> Report.worker_stat list;
+  fence_epoch : unit -> int;
 }

@@ -100,14 +100,29 @@ val items_of_record :
     alternatives in ascending order. Pure function of the record and the
     plan, so every process expands children identically. *)
 
+(** How a backend's drive ended. *)
+type drive_outcome =
+  | Drained
+      (** quiescence, budget, or cooperative cancellation — the normal
+          ends of a drive *)
+  | Lost of { reason : string; leftover : Checkpoint.item list }
+      (** the backend itself failed with work outstanding (the socket
+          coordinator losing every worker); [leftover] is the consistent
+          cut of that work, ready for another backend — or a checkpoint —
+          to pick up *)
+
 (** A running execution backend, as the explorer sees it. *)
 type t = {
   label : string;  (** for traces/logs: ["pool"] or ["coordinator"] *)
-  drive : unit -> unit;
+  drive : unit -> drive_outcome;
       (** drain the frontier to quiescence, budget, or cancellation *)
   snapshot : unit -> Checkpoint.item list;
       (** consistent cut of the outstanding work (queued + in flight),
           callable while [drive] runs *)
   stats : unit -> Report.worker_stat list;
       (** per-worker counters, meaningful after [drive] returns *)
+  fence_epoch : unit -> int;
+      (** highest fencing epoch granted so far (0 for the in-process
+          pool) — persisted in checkpoints so a restarted coordinator
+          fences its predecessor's sessions *)
 }

@@ -230,8 +230,8 @@ type run_status =
    bounded-epoch count are identical at any worker count and over any
    transport (on an exhaustive exploration; a binding [max_runs] budget
    selects a worker-order-dependent subset of runs by nature). *)
-let explore ?(config = default_config) ?resume ?distribute ~np
-    (runner : runner) : Report.t =
+let explore ?(config = default_config) ?resume ?distribute
+    ?(fallback_local = false) ~np (runner : runner) : Report.t =
   let started = Unix.gettimeofday () in
   let jobs = max 1 config.jobs in
   let rb = config.robustness in
@@ -305,6 +305,12 @@ let explore ?(config = default_config) ?resume ?distribute ~np
   let new_completed : string list ref = ref [] in
   let completed_since = ref 0 in
   let exec_ref : Executor.t option ref = ref None in
+  (* Highest fencing epoch known to this run: the checkpoint's floor,
+     raised by whatever the coordinator grants. Persisted so a restarted
+     coordinator starts above every pre-crash grant. *)
+  let epoch_hi =
+    ref (match resume with Some c -> c.Checkpoint.epoch | None -> 0)
+  in
   (* The frontier before any backend exists (the self run's children, or a
      resumed checkpoint's items): if the exploration is cut before the
      backend starts, this is what the checkpoint must carry. *)
@@ -419,6 +425,9 @@ let explore ?(config = default_config) ?resume ?distribute ~np
               | Some e -> e.Executor.snapshot ()
               | None -> !frontier_fallback
             in
+            (match !exec_ref with
+            | Some e -> epoch_hi := max !epoch_hi (e.Executor.fence_epoch ())
+            | None -> ());
             let completed =
               Hashtbl.fold (fun k () acc -> k :: acc) resume_completed []
               @ !new_completed
@@ -442,6 +451,7 @@ let explore ?(config = default_config) ?resume ?distribute ~np
                 findings = sorted_findings ();
                 completed;
                 frontier;
+                epoch = !epoch_hi;
               }
               c.path)
   in
@@ -605,7 +615,8 @@ let explore ?(config = default_config) ?resume ?distribute ~np
                 }
                 :: !harness_failures;
               Mutex.unlock m;
-              [])
+              []);
+      Executor.Drained
     in
     let stats () =
       let sched_stats = Scheduler.stats sched in
@@ -633,13 +644,15 @@ let explore ?(config = default_config) ?resume ?distribute ~np
       drive;
       snapshot = (fun () -> Scheduler.snapshot sched);
       stats;
+      fence_epoch = (fun () -> 0);
     }
   in
   (* ---- the distributed backend: coordinator + remote workers ---- *)
   let coordinator_backend initial_items ~budget setup =
     let co =
-      Coordinator.create ~metrics:(Obs.Metrics.shard registry jobs) ~budget
-        setup
+      Coordinator.create
+        ~metrics:(Obs.Metrics.shard registry jobs)
+        ~first_epoch:(!epoch_hi + 1) ~budget setup
     in
     Coordinator.push co initial_items;
     let on_run ~(item : Checkpoint.item) (r : Wire.run_result) =
@@ -655,8 +668,13 @@ let explore ?(config = default_config) ?resume ?distribute ~np
       for _ = 1 to r.Wire.timeouts do Obs.Metrics.incr timeouts_c.(0) done;
       for _ = 1 to r.Wire.retries do Obs.Metrics.incr retries_c.(0) done;
       for _ = 1 to r.Wire.transients do Obs.Metrics.incr faults_c.(0) done;
+      (* No checkpoint write from here: this runs mid-frame, after the
+         lease was settled but before the frame's later items are counted
+         and their children pushed — a cut taken now would lose them.
+         [tick] below fires between event-loop iterations, where every
+         ingested frame is whole. *)
       match r.Wire.payload with
-      | None -> maybe_periodic_checkpoint ()
+      | None -> ()
       | Some p ->
           Obs.Metrics.incr replays_c.(0);
           Obs.Metrics.observe vtime_h.(0) p.Wire.vtime;
@@ -664,26 +682,37 @@ let explore ?(config = default_config) ?resume ?distribute ~np
             count_completed ~worker:0 ~key:r.Wire.key
               ~schedule:(item.prefix @ [ item.choice ])
               ~makespan:p.Wire.vtime ~bounded_delta:p.Wire.bounded
-              ~errors:p.Wire.errors;
-          maybe_periodic_checkpoint ()
+              ~errors:p.Wire.errors
+    in
+    (* Crash tolerance hinges on the coordinator's cut reaching disk while
+       it is healthy: besides the every-N-replays policy, force a write
+       about once per second of ticking so a SIGKILLed coordinator loses at
+       most that much progress. *)
+    let last_forced = ref (Unix.gettimeofday ()) in
+    let tick () =
+      maybe_periodic_checkpoint ();
+      match rb.checkpoint with
+      | Some c when c.every > 0 ->
+          let now = Unix.gettimeofday () in
+          if now -. !last_forced > 1.0 then begin
+            last_forced := now;
+            write_checkpoint ()
+          end
+      | _ -> ()
     in
     let drive () =
       match
         Coordinator.drive co ~on_run
           ~should_stop:(fun () -> Atomic.get interrupt_requested)
-          ~tick:(fun () -> ())
+          ~tick
       with
-      | Ok () -> ()
+      | Ok () -> Executor.Drained
       | Error msg ->
-          (* The frontier still holds the unfinished work; flag the run
-             interrupted so it exits through the checkpoint path and can be
-             resumed. *)
-          Mutex.lock m;
-          harness_failures :=
-            { Report.hf_worker = -1; hf_message = msg; hf_backtrace = "" }
-            :: !harness_failures;
-          Mutex.unlock m;
-          Atomic.set interrupt_requested true
+          (* The frontier still holds the unfinished work; hand it to the
+             caller, who either drains it in-process (--fallback-local) or
+             flags the run interrupted so it exits through the checkpoint
+             path and can be resumed. *)
+          Executor.Lost { reason = msg; leftover = Coordinator.snapshot co }
     in
     let stats () =
       List.init jobs (fun i ->
@@ -700,6 +729,7 @@ let explore ?(config = default_config) ?resume ?distribute ~np
       drive;
       snapshot = (fun () -> Coordinator.snapshot co);
       stats;
+      fence_epoch = (fun () -> Coordinator.current_epoch co);
     }
   in
   (* SIGINT/SIGTERM flip the interrupt flag; the poison path then drains the
@@ -775,7 +805,53 @@ let explore ?(config = default_config) ?resume ?distribute ~np
       | Some setup -> coordinator_backend initial_items ~budget setup
     in
     exec_ref := Some exec;
-    exec.Executor.drive ()
+    match exec.Executor.drive () with
+    | Executor.Drained -> ()
+    | Executor.Lost { reason; leftover } ->
+        epoch_hi := max !epoch_hi (exec.Executor.fence_epoch ());
+        if
+          fallback_local && leftover <> []
+          && not (Atomic.get interrupt_requested)
+        then begin
+          (* Graceful degradation: every worker is gone but this process
+             can still replay. Drain the leftover cut on the in-process
+             pool — the canonical report comes out identical, just
+             slower. *)
+          Printf.eprintf
+            "dampi: %s — falling back to in-process execution of %d \
+             frontier item(s)\n\
+             %!"
+            reason (List.length leftover);
+          Obs.Metrics.incr
+            (Obs.Metrics.counter
+               (Obs.Metrics.shard registry jobs)
+               "coordinator.fallbacks");
+          let expand_only =
+            List.length
+              (List.filter
+                 (fun it ->
+                   Hashtbl.mem resume_completed (Checkpoint.item_key it))
+                 leftover)
+          in
+          let budget =
+            if config.max_runs = max_int then max_int
+            else config.max_runs - !runs + expand_only
+          in
+          let pool = pool_backend leftover ~budget in
+          exec_ref := Some pool;
+          ignore (pool.Executor.drive ())
+        end
+        else begin
+          (* The frontier still holds the unfinished work; flag the run
+             interrupted so it exits through the checkpoint path and can
+             be resumed. *)
+          Mutex.lock m;
+          harness_failures :=
+            { Report.hf_worker = -1; hf_message = reason; hf_backtrace = "" }
+            :: !harness_failures;
+          Mutex.unlock m;
+          Atomic.set interrupt_requested true
+        end
   end;
   let interrupted = Atomic.get interrupt_requested in
   (* Always leave a final checkpoint behind when one was requested: either
@@ -824,8 +900,10 @@ let explore ?(config = default_config) ?resume ?distribute ~np
   }
 
 (** Verify [program] on [np] simulated ranks under DAMPI. *)
-let verify ?(config = default_config) ?resume ?distribute ~np program =
-  explore ~config ?resume ?distribute ~np (dampi_runner config ~np program)
+let verify ?(config = default_config) ?resume ?distribute ?fallback_local ~np
+    program =
+  explore ~config ?resume ?distribute ?fallback_local ~np
+    (dampi_runner config ~np program)
 
 (** Execute exactly one guided run under [plan] (e.g. a schedule loaded from
     an Epoch-Decisions file) and report what it produced. *)

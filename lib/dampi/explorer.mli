@@ -99,6 +99,7 @@ val explore :
   ?config:config ->
   ?resume:Checkpoint.t ->
   ?distribute:Coordinator.setup ->
+  ?fallback_local:bool ->
   np:int ->
   runner ->
   Report.t
@@ -112,9 +113,21 @@ val explore :
     leases the frontier to worker processes over sockets; the self run
     still executes locally, counters and findings ingest from wire deltas,
     and — the paper's acceptance bar — an exhaustive distributed
-    exploration produces a canonical report identical to [jobs = 1]. Losing
-    every worker flags the run interrupted (the frontier is preserved for
-    the checkpoint) and surfaces as a harness failure.
+    exploration produces a canonical report identical to [jobs = 1], across
+    any sequence of worker loss, reconnection, and coordinator restart
+    (exactly-once ingestion is enforced by fencing epochs; see
+    {!Coordinator}). Losing every worker flags the run interrupted (the
+    frontier is preserved for the checkpoint) and surfaces as a harness
+    failure — unless [fallback_local] is set, in which case the leftover
+    cut is drained by the in-process pool instead (graceful degradation:
+    same canonical report, a loud stderr line, and a
+    [coordinator.fallbacks] metric tick).
+
+    When a checkpoint is configured with [every > 0], a distributed run
+    also persists the consistent cut about once per second of coordinator
+    ticking, so a SIGKILLed coordinator loses at most that much progress;
+    [dampi verify --checkpoint F --workers ...] then resumes it, fencing
+    every session the dead coordinator had admitted.
 
     [resume] restores a checkpointed cut instead of starting from the self
     run: counters and findings are seeded from the checkpoint, its frontier
@@ -126,6 +139,7 @@ val verify :
   ?config:config ->
   ?resume:Checkpoint.t ->
   ?distribute:Coordinator.setup ->
+  ?fallback_local:bool ->
   np:int ->
   Mpi.Mpi_intf.program ->
   Report.t

@@ -10,6 +10,36 @@ type resolved = {
   rb : Executor.robustness;
 }
 
+(* An unacknowledged results frame: the lease was computed but the send
+   failed (or never happened) before the connection died. It is re-sent on
+   the next session, stamped with the epoch of the grant it answers — the
+   coordinator fences it if that grant was superseded meanwhile. *)
+type pending = {
+  p_epoch : int;
+  p_lease_id : int;
+  p_runs : Wire.run_result list;
+}
+
+type session = {
+  id : string;
+  mutable epoch : int;  (* last granted fencing epoch; 0 = never admitted *)
+  mutable pending : pending option;
+}
+
+let make_session ?id () =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        Printf.sprintf "w%d-%s" (Unix.getpid ())
+          (String.sub (Wire.gen_nonce ()) 0 8)
+  in
+  { id; epoch = 0; pending = None }
+
+type reconnect = { max_redials : int; backoff : float; seed : int }
+
+let default_reconnect = { max_redials = 5; backoff = 0.1; seed = 0 }
+
 (* Heartbeats ride the replay's poison hook: every [hb_poll_steps]
    interposed calls, if [hb_interval] elapsed, send one [hb] line. The hook
    answers false — a worker is never externally poisoned; cancellation is
@@ -74,7 +104,8 @@ let run_item ~(r : resolved) ~hb ~metrics (it : Checkpoint.item) : Wire.run_resu
   { Wire.key; payload; timeouts = !timeouts; retries = !retries;
     transients = !transients }
 
-let serve ~resolve fd =
+let serve ?auth ?session ~resolve fd =
+  let sess = match session with Some s -> s | None -> make_session () in
   let old_pipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
@@ -89,92 +120,261 @@ let serve ~resolve fd =
   @@ fun () ->
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  (* A write can fail because the coordinator already said its goodbye and
+     closed — a drained run shuts down the instant the frontier empties,
+     racing our hello/ready/results. The farewell is still sitting in the
+     receive buffer, and reading cannot block (the peer is gone, so EOF
+     follows the buffered bytes). Without this drain a [`Listen] worker
+     would treat a completed run as a lost coordinator and wait forever. *)
+  let disconnected () =
+    let rec drain () =
+      match Wire.read_to_worker ic with
+      | Ok Wire.Shutdown -> `Shutdown
+      | Ok _ -> drain ()
+      | Error _ -> `Disconnected
+      | exception (Sys_error _ | Unix.Unix_error _ | End_of_file) ->
+          `Disconnected
+    in
+    drain ()
+  in
   let hb = { oc; polls = 0; last = Unix.gettimeofday () } in
   (* The worker's metric shard is process-local (registry of one shard);
      canonical counters travel in result deltas, not metrics. *)
   let registry = Obs.Metrics.create ~shards:1 () in
   let metrics = Some (Obs.Metrics.shard registry 0) in
   let id = Printf.sprintf "pid%d" (Unix.getpid ()) in
+  (* Re-send the unacknowledged frame from a previous incarnation, tagged
+     with its grant-time epoch. The coordinator either still holds that
+     lease (it resumes: the frame is counted, exactly once) or has fenced
+     this session (the frame is discarded). Either way the coordinator has
+     settled the lease once the write went through, so the stash clears. *)
+  let flush_pending () =
+    match sess.pending with
+    | None -> true
+    | Some p -> (
+        match
+          Wire.write_to_coord oc
+            (Wire.Results
+               { epoch = p.p_epoch; lease_id = p.p_lease_id; runs = p.p_runs })
+        with
+        | () ->
+            sess.pending <- None;
+            true
+        | exception (Sys_error _ | Unix.Unix_error _) -> false)
+  in
   match
-    Wire.write_to_coord oc (Wire.Hello { proto = Wire.proto_version; id })
+    Wire.write_to_coord oc
+      (Wire.Hello
+         {
+           proto = Wire.proto_version;
+           id;
+           session = sess.id;
+           epoch = sess.epoch;
+           pending = Option.map (fun p -> p.p_lease_id) sess.pending;
+         })
   with
-  | exception (Sys_error _ | Unix.Unix_error _) -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> disconnected ()
   | () ->
       let rec loop (r : resolved option) =
         match Wire.read_to_worker ic with
-        | Error e -> Log.debug (fun m -> m "session over: %s" e)
-        | Ok Wire.Shutdown -> ()
+        | Error e ->
+            Log.debug (fun m -> m "session over: %s" e);
+            `Disconnected
+        | Ok (Wire.Challenge nonce) -> (
+            let secret = Option.value auth ~default:"" in
+            match
+              Wire.write_to_coord oc
+                (Wire.Auth (Wire.auth_mac ~secret ~nonce ~session:sess.id))
+            with
+            | () -> loop r
+            | exception (Sys_error _ | Unix.Unix_error _) -> disconnected ())
+        | Ok (Wire.Welcome { epoch }) ->
+            (* An epoch differing from ours means any stale state we hold
+               (the pending stash aside — its frame carries its own grant
+               epoch and gets fenced server-side) is history. *)
+            sess.epoch <- epoch;
+            loop r
+        | Ok (Wire.Reject { proto; reason }) ->
+            Log.err (fun m ->
+                m "coordinator (proto=%d) rejected us: %s" proto reason);
+            `Rejected reason
+        | Ok Wire.Detach ->
+            Log.info (fun m -> m "coordinator detached; session over");
+            `Disconnected
+        | Ok Wire.Shutdown -> `Shutdown
         | Ok (Wire.Job job) -> (
             match resolve job with
-            | Ok r ->
-                (match Wire.write_to_coord oc Wire.Ready with
-                | () -> loop (Some r)
-                | exception (Sys_error _ | Unix.Unix_error _) -> ())
-            | Error reason -> (
+            | Ok r -> (
+                match Wire.write_to_coord oc Wire.Ready with
+                | () ->
+                    if flush_pending () then loop (Some r) else disconnected ()
+                | exception (Sys_error _ | Unix.Unix_error _) ->
+                    disconnected ())
+            | Error reason ->
                 Log.err (fun m -> m "cannot resolve job: %s" reason);
-                try Wire.write_to_coord oc (Wire.Failed reason)
-                with Sys_error _ | Unix.Unix_error _ -> ()))
+                (try Wire.write_to_coord oc (Wire.Failed reason)
+                 with Sys_error _ | Unix.Unix_error _ -> ());
+                (* Redialling cannot fix an unresolvable job; end cleanly. *)
+                `Shutdown)
         | Ok (Wire.Lease { lease_id; items }) -> (
             match r with
-            | None -> (
-                try
-                  Wire.write_to_coord oc (Wire.Failed "lease before job")
-                with Sys_error _ | Unix.Unix_error _ -> ())
-            | Some rr -> (
+            | None ->
+                (try Wire.write_to_coord oc (Wire.Failed "lease before job")
+                 with Sys_error _ | Unix.Unix_error _ -> ());
+                `Shutdown
+            | Some rr ->
                 let runs = List.map (run_item ~r:rr ~hb ~metrics) items in
-                match
-                  Wire.write_to_coord oc (Wire.Results { lease_id; runs })
-                with
-                | () -> loop r
-                | exception (Sys_error _ | Unix.Unix_error _) -> ()))
+                (* Stash before sending: if the write dies part-way the
+                   next session re-delivers the whole frame. *)
+                sess.pending <-
+                  Some { p_epoch = sess.epoch; p_lease_id = lease_id;
+                         p_runs = runs };
+                if flush_pending () then loop r else disconnected ())
       in
       loop None
 
-let serve_addr ~resolve mode =
+(* ---- standalone worker entry points ---- *)
+
+let sigterm_seen = Atomic.make false
+
+let dial sa =
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sa with
+  | () -> `Connected fd
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      `Gone e
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      `Err (Unix.error_message e)
+
+let serve_addr ?auth ?session ?(reconnect = default_reconnect) ?stop ~resolve
+    mode =
+  let sess = match session with Some s -> s | None -> make_session () in
+  let stopping () =
+    Atomic.get sigterm_seen
+    || match stop with Some f -> f () | None -> false
+  in
+  (* Deterministic jitter: same (seed, session) always sleeps the same
+     schedule, so reconnect tests are reproducible. *)
+  let rng =
+    Sim.Splitmix.derive reconnect.seed ~salt:(Hashtbl.hash sess.id)
+  in
+  let delay attempt =
+    let base = reconnect.backoff *. (2.0 ** float_of_int attempt) in
+    min 5.0 base *. (0.5 +. Sim.Splitmix.float rng 1.0)
+  in
   match mode with
   | `Connect addr -> (
       let sa = Wire.sockaddr_of_addr addr in
-      let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
-      match Unix.connect fd sa with
-      | () ->
-          serve ~resolve fd;
-          Ok ()
-      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as e, _, _)
-        ->
-          (* A coordinator that already drained its frontier closes and
-             unlinks its socket before late workers arrive; joining a
-             finished run is a no-op, not an error. *)
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          Log.info (fun m ->
-              m "coordinator at %s already gone (%s); nothing to do"
-                (Wire.addr_to_string addr) (Unix.error_message e));
-          Ok ()
-      | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          Error
-            (Printf.sprintf "cannot connect to %s: %s"
-               (Wire.addr_to_string addr) (Unix.error_message e)))
+      let rec go attempt ever_connected =
+        if stopping () then Ok ()
+        else
+          match dial sa with
+          | `Connected fd -> (
+              match serve ?auth ~session:sess ~resolve fd with
+              | `Shutdown -> Ok ()
+              | `Rejected reason ->
+                  Error ("rejected by coordinator: " ^ reason)
+              | `Disconnected ->
+                  if reconnect.max_redials <= 0 then Ok ()
+                  else begin
+                    (* Fresh failure streak: the dial worked, so count
+                       redials from here. *)
+                    Unix.sleepf (delay 0);
+                    go 1 true
+                  end)
+          | `Gone e ->
+              if (not ever_connected) && attempt = 0 then begin
+                (* A coordinator that already drained its frontier closes
+                   and unlinks its socket before late workers arrive;
+                   joining a finished run is a no-op, not an error. *)
+                Log.info (fun m ->
+                    m "coordinator at %s already gone (%s); nothing to do"
+                      (Wire.addr_to_string addr) (Unix.error_message e));
+                Ok ()
+              end
+              else if attempt >= reconnect.max_redials then begin
+                Log.warn (fun m ->
+                    m "giving up on %s after %d redial(s)"
+                      (Wire.addr_to_string addr) attempt);
+                Ok ()
+              end
+              else begin
+                Unix.sleepf (delay attempt);
+                go (attempt + 1) ever_connected
+              end
+          | `Err msg ->
+              Error
+                (Printf.sprintf "cannot connect to %s: %s"
+                   (Wire.addr_to_string addr) msg)
+      in
+      go 0 false)
   | `Listen addr -> (
       let sa = Wire.sockaddr_of_addr addr in
       let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
       (match addr with
       | Wire.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
       | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
+      (* The CLI worker runs standalone, so claiming the process SIGTERM
+         handler is fine there; embedded callers pass [stop] instead and
+         keep their handlers. *)
+      let old_term =
+        match stop with
+        | Some _ -> None
+        | None -> (
+            try
+              Some
+                (Sys.signal Sys.sigterm
+                   (Sys.Signal_handle (fun _ -> Atomic.set sigterm_seen true)))
+            with Invalid_argument _ | Sys_error _ -> None)
+      in
+      let cleanup () =
+        (match old_term with
+        | Some h -> (
+            try Sys.set_signal Sys.sigterm h
+            with Invalid_argument _ | Sys_error _ -> ())
+        | None -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match addr with
+        | Wire.Unix_sock p -> (
+            try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+        | Wire.Tcp _ -> ()
+      in
       match
         Unix.bind fd sa;
-        Unix.listen fd 1;
-        Unix.accept fd
+        Unix.listen fd 4
       with
-      | afd, _ ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          (match addr with
-          | Wire.Unix_sock p -> (
-              try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
-          | Wire.Tcp _ -> ());
-          serve ~resolve afd;
-          Ok ()
       | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
+          cleanup ();
           Error
             (Printf.sprintf "cannot listen on %s: %s"
-               (Wire.addr_to_string addr) (Unix.error_message e)))
+               (Wire.addr_to_string addr) (Unix.error_message e))
+      | () ->
+          (* Serve successive coordinator sessions on one persistent
+             session identity — a coordinator restarted from a checkpoint
+             dials back in, and the carried-over pending/epoch state is
+             exactly what exercises lease resumption and fencing. *)
+          let rec accept_loop () =
+            if stopping () then Ok ()
+            else begin
+              let readable, _, _ =
+                try Unix.select [ fd ] [] [] 0.2
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+              in
+              if readable = [] then accept_loop ()
+              else
+                match Unix.accept fd with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+                | exception Unix.Unix_error _ -> accept_loop ()
+                | afd, _ -> (
+                    match serve ?auth ~session:sess ~resolve afd with
+                    | `Shutdown -> Ok ()
+                    | `Rejected reason ->
+                        Error ("rejected by coordinator: " ^ reason)
+                    | `Disconnected -> accept_loop ())
+            end
+          in
+          let r = accept_loop () in
+          cleanup ();
+          r)

@@ -1,12 +1,24 @@
 (** A worker process of the distributed mode.
 
-    Serves one coordinator connection: sends [hello], receives the job
-    description, resolves it into a runner (the CLI supplies the registry
-    lookup; tests supply their own), then loops executing leased fork items
-    through the shared {!Executor.run_attempts} watchdog/retry machinery
-    and shipping result deltas back. Heartbeats are emitted from inside
-    long replays via the poison hook, so a wedged-but-alive worker is
-    distinguishable from a dead one. *)
+    Serves coordinator sessions: sends [hello], passes the optional HMAC
+    challenge, receives the job description, resolves it into a runner
+    (the CLI supplies the registry lookup; tests supply their own), then
+    loops executing leased fork items through the shared
+    {!Executor.run_attempts} watchdog/retry machinery and shipping result
+    deltas back. Heartbeats are emitted from inside long replays via the
+    poison hook, so a wedged-but-alive worker is distinguishable from a
+    dead one.
+
+    {b Crash tolerance.} A worker carries a {!session} across connection
+    losses: the stable session id, the last granted fencing epoch, and at
+    most one {e pending} results frame whose send was never known to
+    complete. On reconnect the worker re-hellos with all three; the
+    coordinator either resumes the outstanding lease (the pending frame
+    is then delivered and counted, exactly once) or fences the session
+    (the frame is delivered and discarded). [`Connect] workers redial a
+    lost coordinator with capped exponential backoff and deterministic
+    jitter; [`Listen] workers simply keep accepting, so a coordinator
+    restarted from a checkpoint finds them where it left them. *)
 
 (** What a resolved job gives the worker: how to run one replay. *)
 type resolved = {
@@ -18,21 +30,66 @@ type resolved = {
           here *)
 }
 
+type session
+(** Worker identity surviving reconnects: session id, granted fencing
+    epoch, and the pending (unacknowledged) results frame, if any. *)
+
+val make_session : ?id:string -> unit -> session
+(** A fresh session (never admitted, nothing pending). [id] defaults to a
+    unique [w<pid>-<hex>] string. *)
+
+type reconnect = {
+  max_redials : int;  (** consecutive failed dials before giving up *)
+  backoff : float;  (** base delay, doubled per attempt, capped at 5 s *)
+  seed : int;
+      (** jitter seed ({!Sim.Splitmix.derive}d with the session id): each
+          delay is scaled by a deterministic factor in [0.5, 1.5) so
+          reconnect storms decorrelate yet tests reproduce exactly *)
+}
+
+val default_reconnect : reconnect
+(** [{ max_redials = 5; backoff = 0.1; seed = 0 }] *)
+
 val serve :
+  ?auth:string ->
+  ?session:session ->
   resolve:(Wire.job -> (resolved, string) result) ->
   Unix.file_descr ->
-  unit
-(** Speak the worker side of the protocol on a connected socket until
-    [shutdown] or disconnect. Never raises on connection loss (the
-    coordinator's re-lease handles it); a [resolve] error is reported as a
-    [fail] message. *)
+  [ `Shutdown | `Disconnected | `Rejected of string ]
+(** Speak the worker side of the protocol on a connected socket. Never
+    raises on connection loss. [`Shutdown]: the coordinator declared the
+    run complete (also returned after an unresolvable job — redialling
+    cannot fix that). [`Disconnected]: the link died or the coordinator
+    detached; the run may still be live, and [session] (if supplied)
+    carries the lease/pending state a reconnect needs. [`Rejected]: the
+    coordinator refused us (version or auth) — retrying is pointless.
+    [auth] is the shared secret for the HMAC challenge; without one, a
+    challenge is answered with the empty secret (and will be rejected). *)
 
 val serve_addr :
+  ?auth:string ->
+  ?session:session ->
+  ?reconnect:reconnect ->
+  ?stop:(unit -> bool) ->
   resolve:(Wire.job -> (resolved, string) result) ->
   [ `Connect of Wire.addr | `Listen of Wire.addr ] ->
   (unit, string) result
-(** [`Connect] dials a listening coordinator ([dampi worker --connect]);
-    [`Listen] binds and waits for the coordinator to dial in
-    ([dampi worker --listen]), serving exactly one session. A [`Connect]
-    that finds the coordinator already gone (socket unlinked or refusing)
-    is [Ok]: the run finished before this worker joined. *)
+(** [`Connect] dials a listening coordinator ([dampi worker --connect]).
+    A lost connection is redialled per [reconnect] (session state intact),
+    so a coordinator crash + restart-from-checkpoint costs the worker a
+    few backoff sleeps, not its life. A first dial that finds the
+    coordinator already gone (socket unlinked or refusing) is still [Ok]:
+    the run finished before this worker joined. Exhausting [max_redials]
+    is also [Ok] (logged): the coordinator never came back.
+
+    [`Listen] binds and serves {e successive} sessions on one persistent
+    session identity ([dampi worker --listen]) — after a disconnect or a
+    coordinator [detach] it goes straight back to accepting, which is
+    what lets a restarted coordinator re-dial its surviving workers. The
+    loop ends with [Ok] on a [shutdown] (run complete), on SIGTERM (the
+    worker installs a handler unless [stop] is given — embedded callers
+    poll their own flag via [stop]), or when [stop] answers true; it ends
+    with [Error] if this worker is rejected or the address cannot be
+    bound.
+
+    Both modes answer HMAC challenges with [auth]. *)

@@ -2,7 +2,7 @@
    remote workers. See wire.mli for the conversation; the encodings for
    items, schedules, and errors are Checkpoint's, verbatim. *)
 
-let proto_version = 1
+let proto_version = 2
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -50,6 +50,52 @@ let sockaddr_of_addr = function
       in
       Unix.ADDR_INET (ip, port)
 
+(* ---- authentication ---- *)
+
+(* HMAC-MD5 (RFC 2104 two-pass construction over the stdlib Digest). MD5 is
+   what the toolchain ships without extra dependencies; the goal is keeping
+   strangers and misconfigured peers off a cross-host TCP coordinator, not
+   resisting a cryptanalyst — the mli says so out loud. *)
+let hmac ~secret msg =
+  let block = 64 in
+  let key =
+    if String.length secret > block then Digest.string secret else secret
+  in
+  let key = key ^ String.make (block - String.length key) '\000' in
+  let xored c = String.map (fun k -> Char.chr (Char.code k lxor c)) key in
+  Digest.to_hex (Digest.string (xored 0x5c ^ Digest.string (xored 0x36 ^ msg)))
+
+let auth_mac ~secret ~nonce ~session =
+  hmac ~secret (nonce ^ "\n" ^ session)
+
+(* Nonce freshness, not reproducibility, is what matters here; seed from
+   volatile process state. *)
+let nonce_counter = ref 0
+
+let gen_nonce () =
+  incr nonce_counter;
+  let seed =
+    Hashtbl.hash
+      (Unix.gettimeofday (), Unix.getpid (), !nonce_counter, Sys.executable_name)
+  in
+  let g = Sim.Splitmix.derive seed ~salt:!nonce_counter in
+  Printf.sprintf "%016Lx%016Lx" (Sim.Splitmix.next_int64 g)
+    (Sim.Splitmix.next_int64 g)
+
+let load_token path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> (
+      match String.trim text with
+      | "" -> Error (Printf.sprintf "auth token file %s is empty" path)
+      | secret -> Ok secret)
+  | exception Sys_error msg -> Error msg
+
 type job = { workload : string; np : int; params : (string * string) list }
 
 type run_result = {
@@ -68,15 +114,26 @@ and run_payload = {
 }
 
 type to_worker =
+  | Challenge of string
+  | Welcome of { epoch : int }
+  | Reject of { proto : int; reason : string }
   | Job of job
   | Lease of { lease_id : int; items : Checkpoint.item list }
+  | Detach
   | Shutdown
 
 type to_coord =
-  | Hello of { proto : int; id : string }
+  | Hello of {
+      proto : int;
+      id : string;
+      session : string;
+      epoch : int;
+      pending : int option;
+    }
+  | Auth of string
   | Ready
   | Heartbeat
-  | Results of { lease_id : int; runs : run_result list }
+  | Results of { epoch : int; lease_id : int; runs : run_result list }
   | Failed of string
 
 (* ---- line building ---- *)
@@ -93,6 +150,10 @@ let item_of_fields prefix choice =
 
 let write_to_worker oc msg =
   (match msg with
+  | Challenge nonce -> Printf.fprintf oc "challenge %s\n" (Checkpoint.enc nonce)
+  | Welcome { epoch } -> Printf.fprintf oc "welcome epoch=%d\n" epoch
+  | Reject { proto; reason } ->
+      Printf.fprintf oc "reject proto=%d %s\n" proto (Checkpoint.enc reason)
   | Job j ->
       let params =
         String.concat " "
@@ -107,18 +168,24 @@ let write_to_worker oc msg =
       Printf.fprintf oc "lease %d %d\n" lease_id (List.length items);
       List.iter (fun it -> output_string oc (item_line it ^ "\n")) items;
       output_string oc "end\n"
+  | Detach -> output_string oc "detach\n"
   | Shutdown -> output_string oc "shutdown\n");
   flush oc
 
 let write_to_coord oc msg =
   (match msg with
-  | Hello { proto; id } ->
-      Printf.fprintf oc "hello proto=%d id=%s\n" proto (Checkpoint.enc id)
+  | Hello { proto; id; session; epoch; pending } ->
+      Printf.fprintf oc "hello proto=%d id=%s session=%s epoch=%d%s\n" proto
+        (Checkpoint.enc id) (Checkpoint.enc session) epoch
+        (match pending with
+        | Some l -> Printf.sprintf " pending=%d" l
+        | None -> "")
+  | Auth mac -> Printf.fprintf oc "auth %s\n" (Checkpoint.enc mac)
   | Ready -> output_string oc "ready\n"
   | Heartbeat -> output_string oc "hb\n"
   | Failed reason -> Printf.fprintf oc "fail %s\n" (Checkpoint.enc reason)
-  | Results { lease_id; runs } ->
-      Printf.fprintf oc "results %d %d\n" lease_id (List.length runs);
+  | Results { epoch; lease_id; runs } ->
+      Printf.fprintf oc "results %d %d %d\n" epoch lease_id (List.length runs);
       List.iter
         (fun r ->
           (match r.payload with
@@ -248,13 +315,34 @@ let parse_run_line line =
 
 (* ---- worker side: blocking frame reads ---- *)
 
-let read_line_opt ic = try Some (input_line ic) with End_of_file -> None
+(* A SIGKILLed peer surfaces as ECONNRESET ([Sys_error] through the
+   channel layer), not a clean EOF; both just mean the session is over. *)
+let read_line_opt ic =
+  try Some (input_line ic)
+  with End_of_file | Sys_error _ -> None
 
 let read_to_worker ic =
   match read_line_opt ic with
   | None -> Error "connection closed"
   | Some line -> (
       match fields line with
+      | [ "challenge"; nonce ] -> Ok (Challenge (Checkpoint.dec nonce))
+      | "welcome" :: rest -> (
+          match
+            Option.bind
+              (List.assoc_opt "epoch" (kv_fields rest))
+              int_of_string_opt
+          with
+          | Some epoch -> Ok (Welcome { epoch })
+          | None -> Error (Printf.sprintf "malformed welcome %S" line))
+      | [ "reject"; proto_kv; reason ] -> (
+          match
+            Option.bind
+              (List.assoc_opt "proto" (kv_fields [ proto_kv ]))
+              int_of_string_opt
+          with
+          | Some proto -> Ok (Reject { proto; reason = Checkpoint.dec reason })
+          | None -> Error (Printf.sprintf "malformed reject %S" line))
       | "job" :: _ ->
           parse_job (String.sub line 4 (String.length line - 4))
           |> Result.map (fun j -> Job j)
@@ -278,6 +366,7 @@ let read_to_worker ic =
               | Ok items -> Ok (Lease { lease_id; items })
               | Error e -> Error e)
           | _ -> Error (Printf.sprintf "malformed lease line %S" line))
+      | [ "detach" ] -> Ok Detach
       | [ "shutdown" ] -> Ok Shutdown
       | _ -> Error (Printf.sprintf "unexpected coordinator line %S" line))
 
@@ -285,6 +374,7 @@ let read_to_worker ic =
 
 (* Mid-frame state of a results frame being assembled. *)
 type partial = {
+  p_epoch : int;
   p_lease_id : int;
   mutable p_want : int;  (* run groups still expected *)
   mutable p_runs : run_result list;  (* completed groups, reversed *)
@@ -374,7 +464,11 @@ let line_msg a line =
             Some
               (Ok
                  (Results
-                    { lease_id = p.p_lease_id; runs = List.rev p.p_runs }))
+                    {
+                      epoch = p.p_epoch;
+                      lease_id = p.p_lease_id;
+                      runs = List.rev p.p_runs;
+                    }))
           else Some (Error "results frame closed with groups missing")
       | _ -> Some (Error (Printf.sprintf "unexpected line in results %S" line))
       )
@@ -386,28 +480,46 @@ let line_msg a line =
             (Option.bind (List.assoc_opt "proto" kvs) int_of_string_opt,
              List.assoc_opt "id" kvs)
           with
-          | Some proto, Some id -> Some (Ok (Hello { proto; id }))
+          | Some proto, Some id ->
+              (* session/epoch/pending are proto>=2 fields; a proto=1 hello
+                 still parses so the coordinator can answer with a versioned
+                 rejection instead of dropping the connection silently. *)
+              let session =
+                Option.value (List.assoc_opt "session" kvs) ~default:""
+              in
+              let epoch =
+                Option.value
+                  (Option.bind (List.assoc_opt "epoch" kvs) int_of_string_opt)
+                  ~default:0
+              in
+              let pending =
+                Option.bind (List.assoc_opt "pending" kvs) int_of_string_opt
+              in
+              Some (Ok (Hello { proto; id; session; epoch; pending }))
           | _ -> Some (Error (Printf.sprintf "malformed hello %S" line)))
+      | [ "auth"; mac ] -> Some (Ok (Auth (Checkpoint.dec mac)))
       | [ "ready" ] -> Some (Ok Ready)
       | [ "hb" ] -> Some (Ok Heartbeat)
       | [ "fail"; reason ] -> Some (Ok (Failed (Checkpoint.dec reason)))
-      | [ "results"; id; n ] -> (
-          match (int_of_string_opt id, int_of_string_opt n) with
-          | Some lease_id, Some n when n >= 0 ->
-              if n = 0 then Some (Ok (Results { lease_id; runs = [] }))
-              else begin
-                a.frame <-
-                  Some
-                    {
-                      p_lease_id = lease_id;
-                      p_want = n;
-                      p_runs = [];
-                      p_cur = None;
-                      p_errs = [];
-                      p_children = [];
-                    };
-                None
-              end
+      | [ "results"; epoch; id; n ] -> (
+          match
+            (int_of_string_opt epoch, int_of_string_opt id, int_of_string_opt n)
+          with
+          | Some epoch, Some lease_id, Some n when n >= 0 ->
+              (* Even an empty frame closes with "end": enter frame state
+                 unconditionally so the closing line is consumed there. *)
+              a.frame <-
+                Some
+                  {
+                    p_epoch = epoch;
+                    p_lease_id = lease_id;
+                    p_want = n;
+                    p_runs = [];
+                    p_cur = None;
+                    p_errs = [];
+                    p_children = [];
+                  };
+              None
           | _ -> Some (Error (Printf.sprintf "malformed results line %S" line)))
       | _ -> Some (Error (Printf.sprintf "unexpected worker line %S" line)))
 

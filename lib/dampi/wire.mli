@@ -1,4 +1,4 @@
-(** The distributed mode's line-oriented wire protocol.
+(** The distributed mode's line-oriented wire protocol (proto=2).
 
     A coordinator (the process running {!Explorer.explore}) speaks to
     worker processes ({!Remote_worker}) over Unix-domain or TCP sockets.
@@ -10,20 +10,43 @@
 
     Conversation, worker-initiated after connect:
     {v
-      worker: hello proto=1 id=<enc>
+      worker: hello proto=2 id=<enc> session=<enc> epoch=<n> [pending=<id>]
+      coord:  challenge <nonce>          (only when --auth-token is set)
+      worker: auth <hmac>
+      coord:  welcome epoch=<n>          (or: reject proto=2 <enc reason>)
       coord:  job <key>=<enc-value> ...
       worker: ready                      (or: fail <enc reason>)
       coord:  lease <id> <n> / n x item ... / end
       worker: hb                         (heartbeats, during long replays)
-      worker: results <id> <n> / n x run-groups / end
+      worker: results <epoch> <id> <n> / n x run-groups / end
       ...                                (more leases)
-      coord:  shutdown
+      coord:  shutdown                   (exploration complete: exit)
+              — or —
+      coord:  detach                     (session over, run continues:
+                                          redial / keep listening)
     v}
 
+    {b Sessions and fencing.} A worker identifies itself by a stable
+    session id that survives reconnects. Each (re)admission of a session
+    is stamped with a monotonically increasing {e fencing epoch}, granted
+    by the coordinator in [welcome] and echoed by the worker on every
+    [results] frame. A worker that reconnects while its previous lease is
+    still intact (same epoch, [pending=] names that lease) resumes it;
+    any other reconnect gets a fresh epoch, and results frames carrying a
+    stale epoch — a fenced zombie flushing work the coordinator already
+    re-leased — are read to completion and discarded, preserving
+    exactly-once counting across crashes and restarts.
+
+    {b Version negotiation.} A [hello] with [proto<>2] is answered with a
+    one-line [reject proto=2 <reason>] and the connection is closed — old
+    peers get a versioned refusal, not a hang. The assembler therefore
+    parses proto=1 hellos leniently (empty session, epoch 0).
+
     A worker that disconnects, fails, or goes silent past the heartbeat
-    timeout forfeits its outstanding lease; the coordinator re-leases those
-    items to another worker. Results are ingested only as complete frames,
-    so a re-leased item is never double-counted. *)
+    timeout forfeits its outstanding lease once the rejoin grace period
+    expires; the coordinator re-leases those items to another worker.
+    Results are ingested only as complete, current-epoch frames, so a
+    re-leased item is never double-counted. *)
 
 val proto_version : int
 
@@ -36,6 +59,30 @@ type addr =
 val addr_of_string : string -> (addr, string) result
 val addr_to_string : addr -> string
 val sockaddr_of_addr : addr -> Unix.sockaddr
+
+(** {2 Authentication}
+
+    An HMAC-style challenge/response over a shared secret loaded from a
+    file ([--auth-token FILE] on both sides). The MAC is HMAC-MD5 built
+    on the stdlib [Digest] — this keeps strangers and misconfigured peers
+    off a cross-host TCP coordinator; it is an authentication handshake,
+    not transport encryption, and MD5 is not a defence against a
+    determined cryptanalyst. The challenge nonce is fresh per connection;
+    the response covers both the nonce and the claimed session id so a
+    captured response cannot be replayed for another session. *)
+
+val hmac : secret:string -> string -> string
+(** [hmac ~secret msg] is the hex HMAC-MD5 of [msg] under [secret]. *)
+
+val auth_mac : secret:string -> nonce:string -> session:string -> string
+(** The response a worker sends to a [challenge]. *)
+
+val gen_nonce : unit -> string
+(** A fresh unpredictable-enough hex nonce (time/pid/counter seeded). *)
+
+val load_token : string -> (string, string) result
+(** [load_token path] reads and trims the shared secret from [path].
+    [Error] on unreadable or empty files. *)
 
 (** {2 Job description}
 
@@ -65,15 +112,33 @@ and run_payload = {
 }
 
 type to_worker =
+  | Challenge of string  (** auth nonce; reply with [Auth] *)
+  | Welcome of { epoch : int }  (** admission + fencing epoch grant *)
+  | Reject of { proto : int; reason : string }
+      (** refusal (version or auth); [proto] is what the coordinator
+          speaks. The connection closes after this line. *)
   | Job of job
   | Lease of { lease_id : int; items : Checkpoint.item list }
-  | Shutdown
+  | Detach
+      (** this session is over but the exploration is not (coordinator
+          interrupted or erroring out): reconnecting later may succeed *)
+  | Shutdown  (** exploration complete: the worker should exit *)
 
 type to_coord =
-  | Hello of { proto : int; id : string }
+  | Hello of {
+      proto : int;
+      id : string;
+      session : string;  (** stable across reconnects; fresh = new worker *)
+      epoch : int;  (** last granted fencing epoch (0 = never admitted) *)
+      pending : int option;
+          (** lease id of an unacknowledged results frame the worker still
+              holds, if any — the coordinator uses it to decide between
+              resuming the lease and fencing *)
+    }
+  | Auth of string  (** response to [Challenge] *)
   | Ready
   | Heartbeat
-  | Results of { lease_id : int; runs : run_result list }
+  | Results of { epoch : int; lease_id : int; runs : run_result list }
   | Failed of string
 
 (** {2 Writing} *)

@@ -219,6 +219,38 @@ Conflicting or nonsensical job/worker combinations are rejected up front
   distributed mode supports only the dampi engine
   [2]
 
+Crash-tolerance flags apply only to distributed runs, and a respawning
+coordinator needs a checkpoint to come back from:
+
+  $ dampi verify fig3 -q --fallback-local
+  --fallback-local only applies to a distributed run
+  [2]
+
+  $ echo sesame > token.txt
+  $ dampi verify fig3 -q --auth-token token.txt
+  --auth-token only applies to a distributed run
+  [2]
+
+  $ printf '' > empty.txt
+  $ dampi verify fig3 -q --distribute 2 --auth-token empty.txt
+  cannot read --auth-token empty.txt: auth token file empty.txt is empty
+  [2]
+
+  $ dampi verify fig3 -q --distribute 2 --checkpoint /dev/null --coordinator-respawn 0
+  --coordinator-respawn needs at least 1 restart
+  [2]
+
+  $ dampi verify fig3 -q --distribute 2 --coordinator-respawn 2
+  --coordinator-respawn requires --checkpoint (a respawned coordinator resumes from it)
+  [2]
+
+An authenticated distributed run: spawned workers inherit the token file
+and the report is unchanged:
+
+  $ dampi verify fig3 --distribute 2 -q --auth-token token.txt
+  fig3 np=3: 2 interleavings, 1 findings
+  [1]
+
 A worker needs exactly one attachment mode; dialing a coordinator that
 already finished (socket gone) is a clean no-op, not an error:
 

@@ -78,6 +78,7 @@ let sample_checkpoint =
         { Checkpoint.prefix = []; choice = d 1 };
         { Checkpoint.prefix = [ d 1; d 2 ]; choice = d 3 };
       ];
+    epoch = 4;
   }
 
 let test_roundtrip () =

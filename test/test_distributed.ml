@@ -92,18 +92,27 @@ let verify_seq ~np ~state_config program =
 
 (* Spawn [n] in-process workers, each a domain serving one end of a
    socketpair; returns the coordinator-side fds and the join handle. *)
-let spawn_workers ?(resolve = resolve) n =
+let spawn_workers ?auth ?(resolve = resolve) n =
   List.init n (fun _ ->
       let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let d = Domain.spawn (fun () -> Remote_worker.serve ~resolve w) in
+      let d =
+        Domain.spawn (fun () -> ignore (Remote_worker.serve ?auth ~resolve w))
+      in
       (c, d))
 
-let setup_of ~name ~np ~fds ?(lease_size = 2) () =
+(* Tests keep the rejoin grace short: with [Fds] attach there is no listen
+   socket for a lost worker to redial, so waiting out the default grace
+   only slows the refund path down. *)
+let setup_of ~name ~np ~fds ?(lease_size = 2) ?(rejoin_grace = 0.05) ?auth ()
+    =
   {
     Coordinator.attach = Coordinator.Fds fds;
     job = { Wire.workload = name; np; params = [] };
     lease_size;
     heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+    join_timeout = Coordinator.default_join_timeout;
+    rejoin_grace;
+    auth;
   }
 
 let check_same name (seq : Report.t) (dist : Report.t) =
@@ -181,7 +190,9 @@ let test_worker_kill () =
   let seq = verify_seq ~np ~state_config (build ()) in
   let c1, victim = spawn_victim () in
   let c2, w2 = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let survivor = Domain.spawn (fun () -> Remote_worker.serve ~resolve w2) in
+  let survivor =
+    Domain.spawn (fun () -> ignore (Remote_worker.serve ~resolve w2))
+  in
   (* The victim leases its first item within milliseconds of the handshake
      and needs 0.5s to replay it, so a kill at 0.15s lands mid-replay with
      the lease guaranteed outstanding (the fast survivor cannot finish the
@@ -238,7 +249,9 @@ let test_all_workers_lost () =
                 r.Remote_worker.runner ~ctx plan ~fork_index);
           }
   in
-  let worker = Domain.spawn (fun () -> Remote_worker.serve ~resolve:slow_resolve w) in
+  let worker =
+    Domain.spawn (fun () -> ignore (Remote_worker.serve ~resolve:slow_resolve w))
+  in
   let closer =
     Domain.spawn (fun () ->
         Unix.sleepf 0.3;
@@ -292,6 +305,9 @@ let test_listen_attach () =
       job = { Wire.workload = name; np; params = [] };
       lease_size = 1;
       heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+      join_timeout = Coordinator.default_join_timeout;
+      rejoin_grace = 0.05;
+      auth = None;
     }
   in
   let dist =
@@ -333,6 +349,9 @@ let test_dial_attach () =
       job = { Wire.workload = name; np; params = [] };
       lease_size = 2;
       heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+      join_timeout = Coordinator.default_join_timeout;
+      rejoin_grace = 0.05;
+      auth = None;
     }
   in
   let dist =
@@ -361,6 +380,404 @@ let test_resolve_failure () =
   Alcotest.(check bool)
     "harness failure reported" true
     (dist.Report.harness_failures <> [])
+
+let metric_sum (report : Report.t) name =
+  List.fold_left
+    (fun acc (n, s) ->
+      match s with
+      | Obs.Metrics.Counter v when n = name -> acc + v
+      | _ -> acc)
+    0 report.Report.metrics
+
+(* ---- crash tolerance ---- *)
+
+(* Workers behind a shared secret: the right token verifies as usual, the
+   wrong one is refused with a one-line reject (and the run, having no
+   other worker, errors out instead of hanging). *)
+let test_auth_roundtrip () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let workers = spawn_workers ~auth:"open sesame" 2 in
+  let setup =
+    setup_of ~name ~np ~fds:(List.map fst workers) ~auth:"open sesame" ()
+  in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  List.iter (fun (_, d) -> Domain.join d) workers;
+  check_same "fig3 (authenticated)" seq dist
+
+let test_auth_mismatch () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let worker =
+    Domain.spawn (fun () -> Remote_worker.serve ~auth:"wrong" ~resolve w)
+  in
+  let setup = setup_of ~name ~np ~fds:[ c ] ~auth:"right" () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  (match Domain.join worker with
+  | `Rejected reason ->
+      Alcotest.(check string)
+        "reject names the cause" "authentication failed" reason
+  | `Shutdown | `Disconnected ->
+      Alcotest.fail "worker should have been rejected");
+  Alcotest.(check bool)
+    "run lost its only worker" true
+    (dist.Report.harness_failures <> [])
+
+(* An old (proto=1) worker gets one versioned reject line, not a hang: the
+   scripted peer speaks the previous dialect raw and reads the answer. *)
+let test_proto1_rejected () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let scripted =
+    Domain.spawn (fun () ->
+        let oc = Unix.out_channel_of_descr w in
+        let ic = Unix.in_channel_of_descr w in
+        output_string oc "hello proto=1 id=old%20timer\n";
+        flush oc;
+        let answer = try input_line ic with End_of_file -> "<eof>" in
+        let eof = try ignore (input_line ic); false with End_of_file -> true in
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        (answer, eof))
+  in
+  let setup = setup_of ~name ~np ~fds:[ c ] () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  let answer, eof = Domain.join scripted in
+  let prefix = Printf.sprintf "reject proto=%d " Wire.proto_version in
+  Alcotest.(check bool)
+    (Printf.sprintf "versioned reject line (got %S)" answer)
+    true
+    (String.length answer > String.length prefix
+    && String.sub answer 0 (String.length prefix) = prefix);
+  Alcotest.(check bool) "connection closed after the reject" true eof;
+  Alcotest.(check bool)
+    "run lost its only worker" true
+    (dist.Report.harness_failures <> [])
+
+(* A listening coordinator no worker ever joins gives up after the join
+   timeout — quickly, and as an error rather than a hang. *)
+let test_join_timeout () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "fig3") registry
+  in
+  let path = sock_path "join" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let setup =
+    {
+      Coordinator.attach =
+        Coordinator.Listen { addr = Wire.Unix_sock path; ready = ignore };
+      job = { Wire.workload = name; np; params = [] };
+      lease_size = 1;
+      heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+      join_timeout = 0.2;
+      rejoin_grace = 0.0;
+      auth = None;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  Alcotest.(check bool)
+    "harness failure reported" true
+    (dist.Report.harness_failures <> []);
+  Alcotest.(check bool)
+    "gave up promptly" true
+    (Unix.gettimeofday () -. t0 < 10.0)
+
+(* Graceful degradation: same worker-loss scenario as
+   [test_all_workers_lost], but with the local fallback the run completes
+   and the canonical report is unchanged. *)
+let test_fallback_local () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "adlb/k0") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let c, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let slow_resolve job =
+    match resolve job with
+    | Error _ as e -> e
+    | Ok r ->
+        Ok
+          {
+            r with
+            Remote_worker.runner =
+              (fun ~ctx plan ~fork_index ->
+                Unix.sleepf 0.05;
+                r.Remote_worker.runner ~ctx plan ~fork_index);
+          }
+  in
+  let worker =
+    Domain.spawn (fun () ->
+        ignore (Remote_worker.serve ~resolve:slow_resolve w))
+  in
+  let closer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        try Unix.shutdown c Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  in
+  let setup = setup_of ~name ~np ~fds:[ c ] ~lease_size:1 () in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~fallback_local:true ~np (build ())
+  in
+  Domain.join closer;
+  Domain.join worker;
+  check_same "adlb/k0 (fallback to local)" seq dist;
+  Alcotest.(check bool)
+    "fallback was taken and counted" true
+    (metric_sum dist "coordinator.fallbacks" > 0)
+
+(* The exactly-once guarantee under the nastiest rejoin: a worker leases
+   items, goes silent past the heartbeat timeout (the lease is refunded
+   and re-run by the survivor), then rejoins with its stale epoch and
+   flushes a poisoned results frame for the old lease. The frame must be
+   read whole, recognised as fenced, and discarded — the canonical report
+   stays identical to jobs=1 even though the frame claims a virtual time
+   of 1e9. *)
+let test_zombie_fenced () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "adlb/k0") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let path = sock_path "zombie" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let doms = ref [] in
+  let slow_resolve job =
+    match resolve job with
+    | Error _ as e -> e
+    | Ok r ->
+        Ok
+          {
+            r with
+            Remote_worker.runner =
+              (fun ~ctx plan ~fork_index ->
+                Unix.sleepf 0.04;
+                r.Remote_worker.runner ~ctx plan ~fork_index);
+          }
+  in
+  let zombie addr () =
+    let dial () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Wire.sockaddr_of_addr addr);
+      (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
+    in
+    let expect what = function
+      | Ok m -> m
+      | Error e -> failwith (Printf.sprintf "zombie: %s: %s" what e)
+    in
+    let ic, oc, fd = dial () in
+    Wire.write_to_coord oc
+      (Wire.Hello
+         {
+           proto = Wire.proto_version;
+           id = "zombie";
+           session = "zombie-session";
+           epoch = 0;
+           pending = None;
+         });
+    let old_epoch =
+      match expect "welcome" (Wire.read_to_worker ic) with
+      | Wire.Welcome { epoch } -> epoch
+      | _ -> failwith "zombie: expected welcome"
+    in
+    (match expect "job" (Wire.read_to_worker ic) with
+    | Wire.Job _ -> ()
+    | _ -> failwith "zombie: expected job");
+    Wire.write_to_coord oc Wire.Ready;
+    let lease_id, items =
+      match expect "lease" (Wire.read_to_worker ic) with
+      | Wire.Lease { lease_id; items } -> (lease_id, items)
+      | _ -> failwith "zombie: expected lease"
+    in
+    (* Silence past the heartbeat timeout: the coordinator declares this
+       session lost and (grace 0) refunds the lease to the survivor. *)
+    Unix.sleepf 0.5;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (* Rejoin with the stale epoch and flush the poisoned frame. *)
+    let ic2, oc2, fd2 = dial () in
+    Wire.write_to_coord oc2
+      (Wire.Hello
+         {
+           proto = Wire.proto_version;
+           id = "zombie";
+           session = "zombie-session";
+           epoch = old_epoch;
+           pending = Some lease_id;
+         });
+    (match expect "re-welcome" (Wire.read_to_worker ic2) with
+    | Wire.Welcome { epoch } ->
+        if epoch <= old_epoch then
+          failwith "zombie: rejoin did not advance the fencing epoch"
+    | _ -> failwith "zombie: expected second welcome");
+    (match expect "re-job" (Wire.read_to_worker ic2) with
+    | Wire.Job _ -> ()
+    | _ -> failwith "zombie: expected second job");
+    Wire.write_to_coord oc2 Wire.Ready;
+    let runs =
+      List.map
+        (fun it ->
+          {
+            Wire.key = Checkpoint.item_key it;
+            payload =
+              Some
+                { Wire.vtime = 1e9; bounded = 0; errors = []; children = [] };
+            timeouts = 0;
+            retries = 0;
+            transients = 0;
+          })
+        items
+    in
+    Wire.write_to_coord oc2
+      (Wire.Results { epoch = old_epoch; lease_id; runs });
+    (* Stay connected until dismissed so the frame is provably processed
+       (not lost to a racing close). *)
+    (try
+       let rec drain () =
+         match Wire.read_to_worker ic2 with
+         | Ok Wire.Shutdown | Ok Wire.Detach | Error _ -> ()
+         | Ok _ -> drain ()
+       in
+       drain ()
+     with _ -> ());
+    try Unix.close fd2 with Unix.Unix_error _ -> ()
+  in
+  let ready addr =
+    doms :=
+      Domain.spawn (fun () ->
+          match Remote_worker.serve_addr ~resolve:slow_resolve (`Connect addr) with
+          | Ok () -> ()
+          | Error e -> failwith e)
+      :: Domain.spawn (zombie addr)
+      :: !doms
+  in
+  let setup =
+    {
+      Coordinator.attach =
+        Coordinator.Listen { addr = Wire.Unix_sock path; ready };
+      job = { Wire.workload = name; np; params = [] };
+      lease_size = 1;
+      heartbeat_timeout = 0.2;
+      join_timeout = Coordinator.default_join_timeout;
+      rejoin_grace = 0.0;
+      auth = None;
+    }
+  in
+  let dist =
+    Explorer.verify
+      ~config:{ Explorer.default_config with state_config }
+      ~distribute:setup ~np (build ())
+  in
+  List.iter Domain.join !doms;
+  check_same "adlb/k0 (fenced zombie)" seq dist;
+  Alcotest.(check bool)
+    "the rejoin was recorded" true
+    (metric_sum dist "coordinator.reconnects" > 0);
+  Alcotest.(check bool)
+    "the stale frame was fenced, not counted" true
+    (metric_sum dist "coordinator.fenced" > 0)
+
+(* The tentpole end to end, in-process: interrupt a distributed run (the
+   stand-in for SIGKILLing the coordinator), let its worker outlive it and
+   redial, then restart the coordinator from the checkpoint at the same
+   address. The resumed run re-admits the worker (fencing the dead
+   coordinator's epochs) and finishes with the canonical jobs=1 report. *)
+let test_coordinator_restart () =
+  let name, np, state_config, build =
+    List.find (fun (n, _, _, _) -> n = "adlb/k0") registry
+  in
+  let seq = verify_seq ~np ~state_config (build ()) in
+  let ckpt = Filename.temp_file "dampi-restart" ".ckpt" in
+  Sys.remove ckpt;
+  let path = sock_path "restart" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let addr = Wire.Unix_sock path in
+  let rb interrupt_after =
+    {
+      Explorer.default_robustness with
+      checkpoint = Some { Explorer.path = ckpt; every = 1; label = name };
+      interrupt_after;
+    }
+  in
+  let config interrupt_after =
+    {
+      Explorer.default_config with
+      state_config;
+      robustness = rb interrupt_after;
+    }
+  in
+  let worker = ref None in
+  let ready _addr =
+    worker :=
+      Some
+        (Domain.spawn (fun () ->
+             match
+               Remote_worker.serve_addr
+                 ~reconnect:
+                   { Remote_worker.max_redials = 400; backoff = 0.02; seed = 7 }
+                 ~resolve (`Connect addr)
+             with
+             | Ok () -> ()
+             | Error e -> failwith e))
+  in
+  let setup ready =
+    {
+      Coordinator.attach = Coordinator.Listen { addr; ready };
+      job = { Wire.workload = name; np; params = [] };
+      lease_size = 1;
+      heartbeat_timeout = Coordinator.default_heartbeat_timeout;
+      join_timeout = Coordinator.default_join_timeout;
+      rejoin_grace = 0.5;
+      auth = None;
+    }
+  in
+  (* First life: explore a few replays, then die (interrupt), leaving the
+     checkpoint behind and the worker redialling. *)
+  let first =
+    Explorer.verify ~config:(config (Some 4)) ~distribute:(setup ready) ~np
+      (build ())
+  in
+  Alcotest.(check bool) "first life was interrupted" true
+    first.Report.interrupted;
+  Alcotest.(check bool)
+    "first life left work behind" true
+    (first.Report.interleavings < seq.Report.interleavings);
+  let resume =
+    match Checkpoint.load ckpt with
+    | Ok c -> c
+    | Error e -> Alcotest.fail ("checkpoint did not load: " ^ e)
+  in
+  Alcotest.(check bool)
+    "checkpoint carries the fencing epoch" true
+    (resume.Checkpoint.epoch > 0);
+  (* Second life: same address, resumed from the checkpoint; the worker's
+     redial loop finds it. *)
+  let dist =
+    Explorer.verify ~config:(config None) ~resume
+      ~distribute:(setup ignore) ~np (build ())
+  in
+  (match !worker with Some d -> Domain.join d | None -> ());
+  check_same "adlb/k0 (coordinator restarted)" seq dist
 
 (* ---- wire unit tests ---- *)
 
@@ -410,11 +827,28 @@ let test_assembler_byte_at_a_time () =
   in
   let msgs =
     [
-      Wire.Hello { proto = Wire.proto_version; id = "worker one" };
+      Wire.Hello
+        {
+          proto = Wire.proto_version;
+          id = "worker one";
+          session = "sess one";
+          epoch = 3;
+          pending = Some 7;
+        };
+      Wire.Hello
+        {
+          proto = Wire.proto_version;
+          id = "fresh";
+          session = "";
+          epoch = 0;
+          pending = None;
+        };
+      Wire.Auth "deadbeefdeadbeefdeadbeefdeadbeef";
       Wire.Ready;
       Wire.Heartbeat;
       Wire.Results
         {
+          epoch = 3;
           lease_id = 7;
           runs =
             [
@@ -500,7 +934,7 @@ let () =
                     r.Remote_worker.runner ~ctx plan ~fork_index);
               }
       in
-      Remote_worker.serve ~resolve:slow Unix.stdin;
+      ignore (Remote_worker.serve ~resolve:slow Unix.stdin);
       exit 0
   | None -> ()
 
@@ -525,6 +959,20 @@ let () =
           Alcotest.test_case "worker killed mid-run" `Quick test_worker_kill;
           Alcotest.test_case "all workers lost" `Quick test_all_workers_lost;
           Alcotest.test_case "resolve failure" `Quick test_resolve_failure;
+        ] );
+      ( "crash tolerance",
+        [
+          Alcotest.test_case "authenticated run" `Quick test_auth_roundtrip;
+          Alcotest.test_case "auth mismatch rejected" `Quick
+            test_auth_mismatch;
+          Alcotest.test_case "proto=1 peer rejected" `Quick
+            test_proto1_rejected;
+          Alcotest.test_case "join timeout" `Quick test_join_timeout;
+          Alcotest.test_case "fallback to local pool" `Quick
+            test_fallback_local;
+          Alcotest.test_case "zombie worker fenced" `Quick test_zombie_fenced;
+          Alcotest.test_case "coordinator restart from checkpoint" `Quick
+            test_coordinator_restart;
         ] );
       ( "attach modes",
         [

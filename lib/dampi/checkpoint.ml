@@ -13,6 +13,11 @@ let version = 1
 type item = {
   prefix : Decisions.decision list;
   choice : Decisions.decision;
+  sleep : Epoch.summary list;
+      (** sleep set inherited from the ancestors that created this item:
+          epochs whose alternatives are already covered by a sibling
+          subtree. Shipped with the item (and over the wire) so pruning is
+          deterministic wherever the item executes. *)
 }
 
 type t = {
@@ -34,6 +39,7 @@ type t = {
   frontier : item list;
   epoch : int;  (** highest fencing epoch granted (distributed mode; 0
                     when the run was never distributed) *)
+  pruned : int;  (** schedules suppressed by the independence analysis *)
 }
 
 (* ---- percent-encoding (RFC 3986 unreserved set) ---- *)
@@ -106,6 +112,75 @@ let schedule_of_key = function
       else Some (List.filter_map Fun.id ds)
 
 let item_key it = schedule_key (it.prefix @ [ it.choice ])
+
+(* ---- epoch summaries (sleep sets) ----
+
+   One summary per colon-joined token; a sleep set joins summaries with
+   [;]. Alternatives are [.]-joined inside their field ([~] when empty) so
+   a summary never contains whitespace and survives the space-delimited
+   item grammar. *)
+
+let summary_to_key (s : Epoch.summary) =
+  Printf.sprintf "%s:%d:%d:%d:%d:%d:%d:%s"
+    (Decisions.kind_to_string s.Epoch.s_kind)
+    s.Epoch.s_owner s.Epoch.s_id s.Epoch.s_ctx s.Epoch.s_tag s.Epoch.s_matched
+    (if s.Epoch.s_expandable then 1 else 0)
+    (match s.Epoch.s_alternatives with
+    | [] -> "~"
+    | alts -> String.concat "." (List.map string_of_int alts))
+
+let summary_of_key key =
+  match String.split_on_char ':' key with
+  | [ kind; owner; id; ctx; tag; matched; expandable; alts ] -> (
+      let alternatives =
+        if alts = "~" then Some []
+        else
+          let parts = List.map int_of_string_opt (String.split_on_char '.' alts) in
+          if List.exists Option.is_none parts then None
+          else Some (List.filter_map Fun.id parts)
+      in
+      match
+        ( Decisions.kind_of_string kind,
+          int_of_string_opt owner,
+          int_of_string_opt id,
+          int_of_string_opt ctx,
+          int_of_string_opt tag,
+          int_of_string_opt matched,
+          expandable,
+          alternatives )
+      with
+      | ( Some s_kind,
+          Some s_owner,
+          Some s_id,
+          Some s_ctx,
+          Some s_tag,
+          Some s_matched,
+          ("0" | "1"),
+          Some s_alternatives ) ->
+          Some
+            {
+              Epoch.s_owner;
+              s_id;
+              s_kind;
+              s_ctx;
+              s_tag;
+              s_matched;
+              s_alternatives;
+              s_expandable = expandable = "1";
+            }
+      | _ -> None)
+  | _ -> None
+
+let sleep_key = function
+  | [] -> "-"
+  | ss -> String.concat ";" (List.map summary_to_key ss)
+
+let sleep_of_key = function
+  | "-" -> Some []
+  | s ->
+      let parts = List.map summary_of_key (String.split_on_char ';' s) in
+      if List.exists Option.is_none parts then None
+      else Some (List.filter_map Fun.id parts)
 
 (* ---- error serialization ---- *)
 
@@ -232,6 +307,7 @@ let to_string t =
   line "first-makespan %h" t.first_run_makespan;
   line "total-vtime %h" t.total_virtual_time;
   if t.epoch <> 0 then line "epoch %d" t.epoch;
+  if t.pruned <> 0 then line "pruned %d" t.pruned;
   List.iter
     (fun (f : Report.finding) ->
       line "finding %d %s %s" f.Report.run_index
@@ -241,7 +317,11 @@ let to_string t =
   List.iter (fun k -> line "done %s" k) t.completed;
   List.iter
     (fun it ->
-      line "item %s %s" (schedule_key it.prefix) (decision_to_key it.choice))
+      if it.sleep = [] then
+        line "item %s %s" (schedule_key it.prefix) (decision_to_key it.choice)
+      else
+        line "item %s %s %s" (schedule_key it.prefix)
+          (decision_to_key it.choice) (sleep_key it.sleep))
     t.frontier;
   Buffer.contents b
 
@@ -270,6 +350,7 @@ let of_string text =
       let first_makespan = ref 0.0 in
       let total_vtime = ref 0.0 in
       let epoch = ref 0 in
+      let pruned = ref 0 in
       let findings = ref [] in
       let completed = ref [] in
       let frontier = ref [] in
@@ -336,16 +417,28 @@ let of_string text =
                         | _ -> fail "malformed finding line %S" l)
                     | _ -> fail "malformed finding line %S" l)
                 | "done" -> completed := rest :: !completed
+                | "pruned" -> int_field "pruned" rest pruned
                 | "item" -> (
-                    match String.split_on_char ' ' rest with
-                    | [ prefix; choice ] -> (
+                    (* 2-field items (no sleep set) predate pruning and
+                       still parse: sleep defaults to empty. *)
+                    let fields =
+                      match String.split_on_char ' ' rest with
+                      | [ prefix; choice ] -> Some (prefix, choice, "-")
+                      | [ prefix; choice; sleep ] ->
+                          Some (prefix, choice, sleep)
+                      | _ -> None
+                    in
+                    match fields with
+                    | None -> fail "malformed item line %S" l
+                    | Some (prefix, choice, sleep) -> (
                         match
-                          (schedule_of_key prefix, decision_of_key choice)
+                          ( schedule_of_key prefix,
+                            decision_of_key choice,
+                            sleep_of_key sleep )
                         with
-                        | Some prefix, Some choice ->
-                            frontier := { prefix; choice } :: !frontier
-                        | _ -> fail "malformed item line %S" l)
-                    | _ -> fail "malformed item line %S" l)
+                        | Some prefix, Some choice, Some sleep ->
+                            frontier := { prefix; choice; sleep } :: !frontier
+                        | _ -> fail "malformed item line %S" l))
                 | _ -> fail "unknown checkpoint field %S" key))
         rest;
       (match (!err, !seen_version) with
@@ -373,6 +466,7 @@ let of_string text =
               completed = List.rev !completed;
               frontier = List.rev !frontier;
               epoch = !epoch;
+              pruned = !pruned;
             })
   | _ -> Error "not a DAMPI checkpoint file"
 

@@ -21,6 +21,14 @@ val version : int
 type item = {
   prefix : Decisions.decision list;
   choice : Decisions.decision;
+  sleep : Epoch.summary list;
+      (** sleep set inherited from the ancestors that created this item:
+          completed epochs whose alternatives a sibling subtree already
+          covers. Travels with the item — in checkpoints and over the
+          wire — so sleep-set pruning makes identical suppression
+          decisions wherever (and whenever) the item executes. Omitted
+          from the text when empty; 2-field item lines from older
+          checkpoints parse with an empty sleep set. *)
 }
 
 type t = {
@@ -47,6 +55,9 @@ type t = {
           [epoch + 1], so sessions admitted before the crash are fenced.
           The field is omitted from the text when zero, keeping old
           readers and non-distributed checkpoints unchanged. *)
+  pruned : int;
+      (** schedules the independence analysis suppressed before the cut;
+          omitted from the text when zero, like [epoch]. *)
 }
 
 val schedule_key : Decisions.decision list -> string
@@ -73,6 +84,16 @@ val dec : string -> string
 
 val decision_to_key : Decisions.decision -> string
 val decision_of_key : string -> Decisions.decision option
+
+val summary_to_key : Epoch.summary -> string
+(** One whitespace-free token per epoch summary (sleep-set element). *)
+
+val summary_of_key : string -> Epoch.summary option
+
+val sleep_key : Epoch.summary list -> string
+(** [;]-joined {!summary_to_key}s, ["-"] for the empty set. *)
+
+val sleep_of_key : string -> Epoch.summary list option
 
 val error_to_line : Report.error -> string
 (** [tag payload] form, whitespace-safe; parsed back by {!error_of_line}. *)

@@ -106,6 +106,9 @@ type t = {
   mutable ran : bool;
   mutable finish : [ `Done | `Abort ];  (* shutdown vs detach at close *)
   metrics : cmetrics option;
+  admit : Checkpoint.item -> bool;
+      (* enqueue filter on {!push} (seeds and ingested children); refunded
+         leases bypass it — their items were admitted when first pushed. *)
 }
 
 let mkdirs_socket_fd addr =
@@ -117,7 +120,7 @@ let mkdirs_socket_fd addr =
   | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
   (fd, sa)
 
-let create ?metrics ?(first_epoch = 1) ~budget setup =
+let create ?metrics ?(first_epoch = 1) ?(admit = fun _ -> true) ~budget setup =
   let listen_fd, listen_path =
     match setup.attach with
     | Listen { addr; ready } ->
@@ -158,9 +161,10 @@ let create ?metrics ?(first_epoch = 1) ~budget setup =
             m_rtt = Obs.Metrics.histogram sh "coordinator.worker_rtt_s";
           })
         metrics;
+    admit;
   }
 
-let push t items = t.frontier <- items @ t.frontier
+let push t items = t.frontier <- List.filter t.admit items @ t.frontier
 
 let outstanding t =
   Hashtbl.fold

@@ -79,16 +79,26 @@ type stats = {
 
 type t
 
-val create : ?metrics:Obs.Metrics.shard -> ?first_epoch:int -> budget:int -> setup -> t
+val create :
+  ?metrics:Obs.Metrics.shard ->
+  ?first_epoch:int ->
+  ?admit:(Checkpoint.item -> bool) ->
+  budget:int ->
+  setup ->
+  t
 (** Binds/listens or dials according to [setup.attach] (deferring accepts
     and handshakes to {!drive}). [budget] caps the total number of items
     ever leased; items beyond it stay in the frontier (mirroring
     {!Scheduler}'s claim budget). [first_epoch] (default 1) is the first
     fencing epoch this coordinator will grant — a restart passes the
     checkpointed epoch + 1 so every pre-crash grant is stale on arrival.
-    [metrics] gains [coordinator.leases], [coordinator.releases],
-    [coordinator.reconnects], [coordinator.fenced],
-    [coordinator.worker_rtt_s] — written only from the driving thread. *)
+    [admit] filters every {!push} (seeds and children ingested from result
+    frames); refunded leases bypass it, since their items were admitted
+    when first pushed — the explorer uses it for duplicate-schedule
+    detection at the frontier. [metrics] gains [coordinator.leases],
+    [coordinator.releases], [coordinator.reconnects],
+    [coordinator.fenced], [coordinator.worker_rtt_s] — written only from
+    the driving thread. *)
 
 val push : t -> Checkpoint.item list -> unit
 (** Seed the frontier (before or during {!drive}). *)

@@ -52,6 +52,24 @@ let forced_src plan ~owner ~epoch_id ~kind =
 let in_guided_window plan ~owner ~epoch_id =
   epoch_id <= plan.guided_epoch.(owner)
 
+(** Canonical total order on decisions: owner, then epoch, then source,
+    then kind. The report layer sorts reproduction schedules with it; the
+    pruning layer uses it to build plan normal forms. *)
+let compare_decision (a : decision) (b : decision) =
+  compare (a.owner, a.epoch_id, a.src, a.kind) (b.owner, b.epoch_id, b.src, b.kind)
+
+(** Two decisions commute in a plan when they govern different epochs:
+    {!of_decisions} keys forcing by (owner, epoch_id), so plans built from
+    either order force identically. Decisions on the {e same} epoch
+    conflict — the later one wins {!forced_src} — and must never be
+    treated as independent. *)
+let commutes (a : decision) (b : decision) =
+  (a.owner, a.epoch_id) <> (b.owner, b.epoch_id)
+
+(** The order-insensitive identity of a decision set: its sorted decision
+    list. Two plans with equal normal forms force the same matches. *)
+let normal_form plan = List.sort_uniq compare_decision plan.decisions
+
 (** The observed match of a completed epoch, as a decision for a child
     plan's prefix. *)
 let decision_of_epoch (e : Epoch.t) ~src =

@@ -33,6 +33,20 @@ val forced_src : plan -> owner:int -> epoch_id:int -> kind:Epoch.kind -> int opt
 val in_guided_window : plan -> owner:int -> epoch_id:int -> bool
 val decision_of_epoch : Epoch.t -> src:int -> decision
 
+(** {1 Independence} *)
+
+val compare_decision : decision -> decision -> int
+(** Canonical total order: owner, then epoch id, then source, then kind. *)
+
+val commutes : decision -> decision -> bool
+(** Two decisions commute when they govern different (owner, epoch) keys:
+    plans built from either order force identically. Decisions on the same
+    epoch conflict (the later one wins {!forced_src}) and never commute. *)
+
+val normal_form : plan -> decision list
+(** The order-insensitive identity of a plan's decision set (sorted,
+    deduplicated). [commutes]-related reorderings share a normal form. *)
+
 (** {1 Schedule files} *)
 
 val kind_to_string : Epoch.kind -> string

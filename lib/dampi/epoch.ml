@@ -62,6 +62,31 @@ let set_matched t src =
 
 let alternatives t = List.sort compare t.potentials
 
+type summary = {
+  s_owner : int;
+  s_id : int;
+  s_kind : kind;
+  s_ctx : int;
+  s_tag : int;
+  s_matched : int;
+  s_alternatives : int list;
+  s_expandable : bool;
+}
+
+let summarize t =
+  {
+    s_owner = t.owner;
+    s_id = t.id;
+    s_kind = t.kind;
+    s_ctx = t.ctx;
+    s_tag = t.tag;
+    s_matched = t.matched_src;
+    s_alternatives = alternatives t;
+    s_expandable = t.expandable;
+  }
+
+let summary_equal (a : summary) (b : summary) = a = b
+
 let pp_kind ppf = function
   | Wildcard_recv -> Format.pp_print_string ppf "recv(*)"
   | Wildcard_probe -> Format.pp_print_string ppf "probe(*)"

@@ -40,5 +40,26 @@ val set_matched : t -> int -> unit
 val alternatives : t -> int list
 (** Unexplored alternate sources, sorted. *)
 
+(** The immutable footprint of a completed epoch — what pruning, caching,
+    and the wire need to remember about it after the replay that produced
+    it is gone. Built once per epoch by {!summarize}, so two summaries are
+    equal exactly when the epochs were observed identically. *)
+type summary = {
+  s_owner : int;
+  s_id : int;
+  s_kind : kind;
+  s_ctx : int;
+  s_tag : int;
+  s_matched : int;  (** matched communicator rank *)
+  s_alternatives : int list;  (** sorted, as {!alternatives} returns *)
+  s_expandable : bool;
+}
+
+val summarize : t -> summary
+
+val summary_equal : summary -> summary -> bool
+(** Structural equality on every field — "the same epoch rediscovered
+    unchanged". *)
+
 val pp_kind : Format.formatter -> kind -> unit
 val pp : Format.formatter -> t -> unit

@@ -121,44 +121,17 @@ let run_attempts ~rb ~runner ~worker ~metrics ~need_poison ~external_poison
   in
   attempt ~n:0
 
-let rec take n = function
-  | [] -> []
-  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
-
 (* The child frontier of [record]: one item per unexplored alternative of
    each expandable epoch, deepest epoch first and alternatives in ascending
    order. Under a LIFO queue with one worker this visits exactly the same
    depth-first order as the original recursive walk. A pure function of the
    record and the plan, so a remote worker expands children bit-identically
-   to the in-process pool. *)
+   to the in-process pool. Prune-aware callers use {!Prune.expand}
+   directly; this is the unpruned special case. *)
 let items_of_record (record : Report.run_record) ~plan_decisions =
-  let observed =
-    List.map
-      (fun (e : Epoch.t) ->
-        Decisions.decision_of_epoch e ~src:e.Epoch.matched_src)
-      record.Report.new_epochs
-  in
-  let batches =
-    List.mapi
-      (fun i (e : Epoch.t) ->
-        if not e.Epoch.expandable then []
-        else
-          List.map
-            (fun alt ->
-              {
-                Checkpoint.prefix = plan_decisions @ take i observed;
-                choice =
-                  {
-                    Decisions.owner = e.Epoch.owner;
-                    epoch_id = e.Epoch.id;
-                    src = alt;
-                    kind = e.Epoch.kind;
-                  };
-              })
-            (Epoch.alternatives e))
-      record.Report.new_epochs
-  in
-  List.concat (List.rev batches)
+  (Prune.expand ~prune:false ~sleep:[] ~plan_decisions
+     (List.map Epoch.summarize record.Report.new_epochs))
+    .Prune.items
 
 type drive_outcome =
   | Drained

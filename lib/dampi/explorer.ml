@@ -47,6 +47,12 @@ type config = {
   stop_on_first_error : bool;
   jobs : int;  (** worker domains; 1 = sequential depth-first walk *)
   trace : bool;  (** collect a span timeline of the exploration *)
+  prune : bool;
+      (** sleep-set pruning at frontier expansion ({!Prune.expand}) plus
+          duplicate-schedule suppression at the enqueue paths *)
+  prefix_cache : int option;
+      (** memoize replay artifacts by schedule ({!Prefix_cache}), with this
+          LRU byte budget; persisted as a checkpoint sidecar *)
   robustness : robustness;
 }
 
@@ -59,6 +65,8 @@ let default_config =
     stop_on_first_error = false;
     jobs = 1;
     trace = false;
+    prune = false;
+    prefix_cache = None;
     robustness = default_robustness;
   }
 
@@ -208,13 +216,16 @@ let native_makespan ?(cost = Runtime.default_cost) ~np program =
 type item = Checkpoint.item = {
   prefix : Decisions.decision list;  (* observed matches before the fork *)
   choice : Decisions.decision;  (* the alternate match this run forces *)
+  sleep : Epoch.summary list;  (* epochs this subtree must not re-expand *)
 }
 
-let items_of_record = Executor.items_of_record
-
-(* How one replay (possibly after retries) resolved, as seen by the walk. *)
+(* How one replay (possibly after retries) resolved, as seen by the walk.
+   A counted run carries its memoizable artifact ({!Prefix_cache.entry}) —
+   the same value whether the schedule was replayed or served from the
+   cache, which is what keeps cache-hit children identical to executed-run
+   children. *)
 type run_status =
-  | Counted of Report.run_record
+  | Counted of Prefix_cache.entry
       (* completed (or expand-only re-ran): expand its child frontier *)
   | Stopped  (* poisoned by stop-first cancellation: drop *)
   | Interrupted  (* poisoned by SIGINT/SIGTERM: requeue for the checkpoint *)
@@ -244,12 +255,13 @@ let explore ?(config = default_config) ?resume ?distribute
         Some c
     | _ -> None
   in
-  (* Shard layout: one per worker domain, plus a final shard for the
-     scheduler or coordinator (whose writes happen under its own lock, or
-     on the single driving thread). The merged snapshot of a jobs=N
-     exploration equals the jobs=1 one for every series that is a property
-     of the run set. *)
-  let registry = Obs.Metrics.create ~shards:(jobs + 1) () in
+  (* Shard layout: one per worker domain, plus a shard for the scheduler
+     or coordinator (whose writes happen under its own lock, or on the
+     single driving thread), plus a shard for the prefix cache and the
+     frontier-dedup counters (written under their own mutexes). The merged
+     snapshot of a jobs=N exploration equals the jobs=1 one for every
+     series that is a property of the run set. *)
+  let registry = Obs.Metrics.create ~shards:(jobs + 2) () in
   let worker_shard w = Obs.Metrics.shard registry w in
   let replays_c =
     Array.init jobs (fun w ->
@@ -279,12 +291,39 @@ let explore ?(config = default_config) ?resume ?distribute
     Array.init jobs (fun w ->
         Obs.Metrics.histogram (worker_shard w) "explorer.cancel_latency_s")
   in
+  let pruned_c =
+    Array.init jobs (fun w ->
+        Obs.Metrics.counter (worker_shard w) "prune.children_suppressed")
+  in
+  let aux_shard = Obs.Metrics.shard registry (jobs + 1) in
+  let cache =
+    Option.map
+      (fun budget_bytes ->
+        let label =
+          match rb.checkpoint with Some ck -> ck.label | None -> ""
+        in
+        Prefix_cache.create ~metrics:aux_shard ~label ~budget_bytes ())
+      config.prefix_cache
+  in
+  (* Frontier-level duplicate-schedule suppression: one admit filter shared
+     by every enqueue path (pool pushes and coordinator ingestion). In a
+     normal walk every in-tree key is unique, so this only fires on actual
+     re-discoveries — but it is what makes the dedup a frontier property
+     instead of a report-layer afterthought. *)
+  let seen = Prune.Seen.create () in
+  let duplicates = Atomic.make 0 in
+  let admit it =
+    let fresh = Prune.Seen.admit seen it in
+    if not fresh then Atomic.incr duplicates;
+    fresh
+  in
   let tracer =
     if config.trace then Some (Obs.Trace.create ~shards:jobs ()) else None
   in
   let m = Mutex.create () in
-  let findings : (string, Report.finding) Hashtbl.t = Hashtbl.create 16 in
+  let findings = Report.Merge.create () in
   let runs = ref 0 in
+  let runs_pruned = ref 0 in
   let runs_cancelled = ref 0 in
   let runs_timed_out = ref 0 in
   let runs_retried = ref 0 in
@@ -325,12 +364,13 @@ let explore ?(config = default_config) ?resume ?distribute
       runs_crashed := c.Checkpoint.runs_crashed;
       monitor_alerts := c.Checkpoint.monitor_alerts;
       bounded := c.Checkpoint.bounded_epochs;
+      runs_pruned := c.Checkpoint.pruned;
       wildcards_analyzed := c.Checkpoint.wildcards_analyzed;
       first_makespan := c.Checkpoint.first_run_makespan;
       total_vtime := c.Checkpoint.total_virtual_time;
       List.iter
         (fun (f : Report.finding) ->
-          Hashtbl.replace findings (Report.error_signature f.Report.error) f;
+          Report.Merge.add findings f;
           match f.Report.error with
           | Report.Deadlock _ | Report.Crash _ -> Atomic.set error_found true
           | _ -> ())
@@ -338,6 +378,17 @@ let explore ?(config = default_config) ?resume ?distribute
       List.iter
         (fun k -> Hashtbl.replace resume_completed k ())
         c.Checkpoint.completed);
+  (* Warm the cache from the checkpoint's sidecar — on resume (the
+     expand-only re-runs then cost a lookup, not a replay) but also on a
+     fresh start, where a sidecar left by a previous complete run turns the
+     whole re-verification into lookups. The label stored in the sidecar
+     must match the checkpoint label, so a stale file from another workload
+     or config is refused; a missing or corrupt sidecar costs warmth, not
+     correctness. *)
+  (match (cache, rb.checkpoint) with
+  | Some pc, Some ck when Sys.file_exists (ck.path ^ ".cache") ->
+      ignore (Prefix_cache.load pc (ck.path ^ ".cache"))
+  | _ -> ());
   let need_poison =
     config.stop_on_first_error || rb.checkpoint <> None
     || rb.replay_timeout <> None || rb.max_replay_steps <> None
@@ -357,26 +408,20 @@ let explore ?(config = default_config) ?resume ?distribute
   let worker_runs = Array.make jobs 0 in
   let worker_wall = Array.make jobs 0.0 in
   let worker_vtime = Array.make jobs 0.0 in
-  (* Caller holds [m]. *)
+  (* Caller holds [m]. Findings go through {!Report.Merge}: bucketed by
+     signature but deduplicated by structural error value, so two distinct
+     findings whose errors merely render identically can no longer shadow
+     each other mid-merge. *)
   let record_findings errors ~run_index ~schedule =
     List.iter
       (fun error ->
         (match error with
         | Report.Monitor_alert _ -> incr monitor_alerts
         | _ -> ());
-        let key = Report.error_signature error in
-        let candidate = { Report.error; run_index; schedule } in
-        match Hashtbl.find_opt findings key with
-        | None -> Hashtbl.replace findings key candidate
-        | Some kept ->
-            if Report.compare_schedule schedule kept.Report.schedule < 0 then
-              Hashtbl.replace findings key candidate)
+        Report.Merge.add findings { Report.error; run_index; schedule })
       errors
   in
-  let sorted_findings () =
-    Hashtbl.fold (fun _ f acc -> f :: acc) findings []
-    |> List.sort Report.compare_finding
-  in
+  let sorted_findings () = Report.Merge.to_list findings in
   (* Fold one counted replay into the canonical totals, wherever it ran —
      on a pool domain (from a full run record) or on a remote worker (from
      a wire delta). Everything here is a pure function of the run set, so
@@ -445,6 +490,7 @@ let explore ?(config = default_config) ?resume ?distribute
                 runs_crashed = !runs_crashed;
                 monitor_alerts = !monitor_alerts;
                 bounded_epochs = !bounded;
+                pruned = !runs_pruned;
                 wildcards_analyzed = !wildcards_analyzed;
                 first_run_makespan = !first_makespan;
                 total_virtual_time = !total_vtime;
@@ -453,7 +499,10 @@ let explore ?(config = default_config) ?resume ?distribute
                 frontier;
                 epoch = !epoch_hi;
               }
-              c.path)
+              c.path;
+            match cache with
+            | Some pc -> Prefix_cache.save pc (c.path ^ ".cache")
+            | None -> ())
   in
   let maybe_periodic_checkpoint () =
     match rb.checkpoint with
@@ -527,36 +576,73 @@ let explore ?(config = default_config) ?resume ?distribute
           Obs.Metrics.observe cancel_h.(worker)
             (Float.max 0.0 (Unix.gettimeofday () -. Atomic.get cancel_at))
     in
-    match
-      Executor.run_attempts ~rb ~runner ~worker
-        ~metrics:(Some (worker_shard worker)) ~need_poison
-        ~external_poison:(fun () ->
-          Atomic.get interrupt_requested
-          || (config.stop_on_first_error && Atomic.get error_found))
-        ~abort_retries:(fun () -> Atomic.get interrupt_requested)
-        ~wrap ~on_event ~key plan ~fork_index
-    with
-    | Executor.Gave_up -> Gave_up
-    | Executor.Poisoned ->
-        if Atomic.get interrupt_requested then Interrupted else Stopped
-    | Executor.Completed record ->
-        Obs.Metrics.incr replays_c.(worker);
-        Obs.Metrics.observe vtime_h.(worker) record.Report.makespan;
+    (* Replay determinism makes the memoized artifact of a schedule as
+       good as re-executing it: a cache hit skips the replay outright (the
+       expand-only re-runs of a warm resume become pure lookups) and still
+       feeds the counting path, so the canonical report cannot tell. *)
+    let cached =
+      match cache with Some pc -> Prefix_cache.find pc schedule | None -> None
+    in
+    match cached with
+    | Some entry ->
         if count then
           count_completed ~worker ~key ~schedule
-            ~makespan:record.Report.makespan
-            ~bounded_delta:
-              (List.length
-                 (List.filter
-                    (fun (e : Epoch.t) -> not e.Epoch.expandable)
-                    record.Report.new_epochs))
-            ~errors:record.Report.run_errors;
-        Counted record
+            ~makespan:entry.Prefix_cache.vtime
+            ~bounded_delta:(Prefix_cache.bounded entry)
+            ~errors:entry.Prefix_cache.errors;
+        Counted entry
+    | None -> (
+        match
+          Executor.run_attempts ~rb ~runner ~worker
+            ~metrics:(Some (worker_shard worker)) ~need_poison
+            ~external_poison:(fun () ->
+              Atomic.get interrupt_requested
+              || (config.stop_on_first_error && Atomic.get error_found))
+            ~abort_retries:(fun () -> Atomic.get interrupt_requested)
+            ~wrap ~on_event ~key plan ~fork_index
+        with
+        | Executor.Gave_up -> Gave_up
+        | Executor.Poisoned ->
+            if Atomic.get interrupt_requested then Interrupted else Stopped
+        | Executor.Completed record ->
+            Obs.Metrics.incr replays_c.(worker);
+            Obs.Metrics.observe vtime_h.(worker) record.Report.makespan;
+            let entry = Prefix_cache.entry_of_record record in
+            (match cache with
+            | Some pc -> Prefix_cache.add pc schedule entry
+            | None -> ());
+            if count then
+              count_completed ~worker ~key ~schedule
+                ~makespan:record.Report.makespan
+                ~bounded_delta:
+                  (List.length
+                     (List.filter
+                        (fun (e : Epoch.t) -> not e.Epoch.expandable)
+                        record.Report.new_epochs))
+                ~errors:record.Report.run_errors;
+            Counted entry)
+  in
+  (* Expand one counted run into its child frontier, applying the item's
+     sleep set when pruning is on. Counted either way so the report and
+     checkpoint carry how much of the tree was cut. *)
+  let expand_children ~worker ~(sleep : Epoch.summary list) ~plan_decisions
+      (entry : Prefix_cache.entry) =
+    let exp =
+      Prune.expand ~prune:config.prune ~sleep ~plan_decisions
+        entry.Prefix_cache.epochs
+    in
+    if exp.Prune.suppressed > 0 then begin
+      Obs.Metrics.add pruned_c.(worker) exp.Prune.suppressed;
+      Mutex.lock m;
+      runs_pruned := !runs_pruned + exp.Prune.suppressed;
+      Mutex.unlock m
+    end;
+    exp.Prune.items
   in
   (* ---- the in-process backend: per-worker stealing deques ---- *)
   let pool_backend initial_items ~budget =
     let sched =
-      Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget
+      Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget ~admit
         ~metrics:(Obs.Metrics.shard registry jobs)
         ()
     in
@@ -578,11 +664,12 @@ let explore ?(config = default_config) ?resume ?distribute
               ~fork_index:(List.length decisions - 1)
               ~schedule:decisions ~worker ~name:"replay" ~count
           with
-          | Counted record ->
+          | Counted entry ->
               maybe_periodic_checkpoint ();
               let children =
-                items_of_record record
+                expand_children ~worker ~sleep:it.sleep
                   ~plan_decisions:(it.prefix @ [ it.choice ])
+                  entry
               in
               if
                 Atomic.get interrupt_requested
@@ -598,7 +685,10 @@ let explore ?(config = default_config) ?resume ?distribute
               []
           | Interrupted ->
               (* The replay was poisoned before completing: put the item
-                 back so the checkpointed frontier still covers it. *)
+                 back so the checkpointed frontier still covers it — and
+                 un-remember it first, or the dedup filter would reject its
+                 own requeue. *)
+              Prune.Seen.forget seen it;
               Scheduler.cancel sched;
               [ it ]
           | Gave_up ->
@@ -652,7 +742,7 @@ let explore ?(config = default_config) ?resume ?distribute
     let co =
       Coordinator.create
         ~metrics:(Obs.Metrics.shard registry jobs)
-        ~first_epoch:(!epoch_hi + 1) ~budget setup
+        ~first_epoch:(!epoch_hi + 1) ~admit ~budget setup
     in
     Coordinator.push co initial_items;
     let on_run ~(item : Checkpoint.item) (r : Wire.run_result) =
@@ -678,11 +768,23 @@ let explore ?(config = default_config) ?resume ?distribute
       | Some p ->
           Obs.Metrics.incr replays_c.(0);
           Obs.Metrics.observe vtime_h.(0) p.Wire.vtime;
-          if not (Hashtbl.mem resume_completed r.Wire.key) then
+          if not (Hashtbl.mem resume_completed r.Wire.key) then begin
+            (* The worker already applied the item's sleep set at
+               expansion; its delta reports how many children it cut. An
+               expand-only re-run's suppressions were counted before the
+               cut (the checkpoint's [pruned]), so they fold in only for
+               fresh runs — same rule as every other counter here. *)
+            if p.Wire.pruned > 0 then begin
+              Obs.Metrics.add pruned_c.(0) p.Wire.pruned;
+              Mutex.lock m;
+              runs_pruned := !runs_pruned + p.Wire.pruned;
+              Mutex.unlock m
+            end;
             count_completed ~worker:0 ~key:r.Wire.key
               ~schedule:(item.prefix @ [ item.choice ])
               ~makespan:p.Wire.vtime ~bounded_delta:p.Wire.bounded
               ~errors:p.Wire.errors
+          end
     in
     (* Crash tolerance hinges on the coordinator's cut reaching disk while
        it is healthy: besides the every-N-replays policy, force a write
@@ -767,10 +869,12 @@ let explore ?(config = default_config) ?resume ?distribute
           run_one (Decisions.empty ~np) ~fork_index:(-1) ~schedule:[]
             ~worker:0 ~name:"self-run" ~count:true
         with
-        | Counted record ->
-            wildcards_analyzed := record.Report.wildcards;
-            first_makespan := record.Report.makespan;
-            items_of_record record ~plan_decisions:[]
+        | Counted entry ->
+            wildcards_analyzed := entry.Prefix_cache.wildcards;
+            first_makespan := entry.Prefix_cache.vtime;
+            (* The root carries an empty sleep set; pruning begins with the
+               sibling sets its children inherit. *)
+            expand_children ~worker:0 ~sleep:[] ~plan_decisions:[] entry
         | Stopped | Interrupted | Gave_up -> [])
   in
   frontier_fallback := initial_items;
@@ -837,6 +941,11 @@ let explore ?(config = default_config) ?resume ?distribute
             if config.max_runs = max_int then max_int
             else config.max_runs - !runs + expand_only
           in
+          (* The leftover items were admitted when first pushed to the
+             coordinator but never ran; forget them so the pool's own
+             enqueue filter re-admits instead of dropping them as
+             duplicates. *)
+          List.iter (fun it -> Prune.Seen.forget seen it) leftover;
           let pool = pool_backend leftover ~budget in
           exec_ref := Some pool;
           ignore (pool.Executor.drive ())
@@ -874,6 +983,11 @@ let explore ?(config = default_config) ?resume ?distribute
   (match (tracer, root_span) with
   | Some tr, Some sp -> Obs.Trace.end_span (Obs.Trace.sink tr 0) sp
   | _ -> ());
+  (* Exploration is over: the aux shard has no concurrent writer left, so
+     the duplicate tally can be published in one store. *)
+  Obs.Metrics.add
+    (Obs.Metrics.counter aux_shard "prune.duplicates")
+    (Atomic.get duplicates);
   {
     Report.np;
     interleavings = !runs;
@@ -883,6 +997,7 @@ let explore ?(config = default_config) ?resume ?distribute
     total_virtual_time = !total_vtime;
     monitor_alerts = !monitor_alerts;
     bounded_epochs = !bounded;
+    runs_pruned = !runs_pruned;
     host_seconds = Unix.gettimeofday () -. started;
     jobs;
     workers;
@@ -894,7 +1009,7 @@ let explore ?(config = default_config) ?resume ?distribute
     interrupted;
     metrics = Obs.Metrics.snapshot registry;
     worker_metrics =
-      List.init (jobs + 1) (fun i -> (i, Obs.Metrics.shard_snapshot registry i))
+      List.init (jobs + 2) (fun i -> (i, Obs.Metrics.shard_snapshot registry i))
       |> List.filter (fun (_, s) -> s <> []);
     events = (match tracer with Some tr -> Obs.Trace.events tr | None -> []);
   }

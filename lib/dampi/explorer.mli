@@ -55,6 +55,22 @@ type config = {
   trace : bool;
       (** collect a span timeline ([explore] root, one [self-run]/[replay]
           span per execution) into {!Report.t}[.events] *)
+  prune : bool;
+      (** sleep-set pruning: at every frontier expansion ({!Prune.expand})
+          a child whose completed epochs include a sleeping epoch — one
+          whose alternatives a sibling subtree with a provably commuting
+          ({!Prune.footprint_disjoint}) fork already covers — is not
+          expanded, and duplicate schedules are suppressed at the enqueue
+          paths. The canonical report (findings, signatures, coverage
+          counters modulo runs skipped) is unchanged; [runs_pruned] records
+          how much of the tree was cut. Off by default. *)
+  prefix_cache : int option;
+      (** memoize each schedule's replay artifact ({!Prefix_cache}) under
+          this LRU byte budget, so re-discovered schedules — chiefly the
+          expand-only re-runs of a resume, warmed from the checkpoint's
+          [.cache] sidecar — skip execution entirely. Replay determinism
+          makes the memoized artifact indistinguishable from re-executing.
+          [None] (default) disables caching. *)
   robustness : robustness;
 }
 

@@ -1,0 +1,307 @@
+(* Memoized replay artifacts keyed by schedule, with an LRU byte budget.
+   See prefix_cache.mli for the caching model and why whole-schedule
+   memoization (not mid-run state snapshots) is what replay determinism
+   makes sound. *)
+
+type entry = {
+  vtime : float;
+  wildcards : int;
+  errors : Report.error list;
+  epochs : Epoch.summary list;  (* completion order *)
+}
+
+let entry_of_record (r : Report.run_record) =
+  {
+    vtime = r.Report.makespan;
+    wildcards = r.Report.wildcards;
+    errors = r.Report.run_errors;
+    epochs = List.map Epoch.summarize r.Report.new_epochs;
+  }
+
+let bounded e =
+  List.length
+    (List.filter (fun (s : Epoch.summary) -> not s.Epoch.s_expandable) e.epochs)
+
+(* ---- serialization (the checkpoint sidecar) ----
+
+   One line per entry; errors are percent-encoded whole so the line stays
+   whitespace-delimited. The byte cost charged against the budget is the
+   serialized line length — the honest size of what a sidecar persists. *)
+
+let entry_line ~key e =
+  Printf.sprintf "entry %s %h %d %s %s" key e.vtime e.wildcards
+    (Checkpoint.sleep_key e.epochs)
+    (match e.errors with
+    | [] -> "-"
+    | errs ->
+        String.concat ";"
+          (List.map (fun er -> Checkpoint.enc (Checkpoint.error_to_line er)) errs))
+
+let entry_of_line line =
+  match String.split_on_char ' ' line with
+  | [ "entry"; key; vtime; wildcards; epochs; errors ] -> (
+      let parse_err s =
+        let l = Checkpoint.dec s in
+        match String.index_opt l ' ' with
+        | Some i ->
+            Checkpoint.error_of_line (String.sub l 0 i)
+              (String.sub l (i + 1) (String.length l - i - 1))
+        | None -> Checkpoint.error_of_line l ""
+      in
+      let errors =
+        if errors = "-" then Some []
+        else
+          let parts = List.map parse_err (String.split_on_char ';' errors) in
+          if List.exists Option.is_none parts then None
+          else Some (List.filter_map Fun.id parts)
+      in
+      match
+        ( float_of_string_opt vtime,
+          int_of_string_opt wildcards,
+          Checkpoint.sleep_of_key epochs,
+          errors )
+      with
+      | Some vtime, Some wildcards, Some epochs, Some errors ->
+          Some (key, { vtime; wildcards; errors; epochs })
+      | _ -> None)
+  | _ -> None
+
+(* ---- LRU ---- *)
+
+type node = {
+  n_key : string;
+  n_entry : entry;
+  n_cost : int;
+  mutable prev : node option;  (* toward most-recent *)
+  mutable next : node option;  (* toward least-recent *)
+}
+
+type metrics = {
+  shard : Obs.Metrics.shard;
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+  m_depth : Obs.Metrics.histogram;
+}
+
+type t = {
+  label : string;
+      (* workload+config identity (the checkpoint label); schedule keys are
+         decision lists with no workload in them, so a sidecar is only safe
+         to warm from when the labels agree *)
+  budget : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m : Mutex.t;
+  metrics : metrics option;
+}
+
+let default_budget_bytes = 64 * 1024 * 1024
+
+let create ?metrics ?(label = "") ~budget_bytes () =
+  {
+    label;
+    budget = max 0 budget_bytes;
+    tbl = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    m = Mutex.create ();
+    metrics =
+      (* Resolved eagerly so the series exist even for a run with no
+         cache traffic; all writes happen under [m], keeping the shard
+         single-writer. *)
+      Option.map
+        (fun shard ->
+          {
+            shard;
+            m_hits = Obs.Metrics.counter shard "cache.hits";
+            m_misses = Obs.Metrics.counter shard "cache.misses";
+            m_evictions = Obs.Metrics.counter shard "cache.evictions";
+            m_depth =
+              Obs.Metrics.histogram shard ~bounds:Obs.Metrics.count_bounds
+                "cache.resume_depth";
+          })
+        metrics;
+  }
+
+(* All list surgery happens with [t.m] held. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let set_bytes_gauge t =
+  match t.metrics with
+  | Some ms -> Obs.Metrics.gauge_set ms.shard "cache.bytes" (float_of_int t.bytes)
+  | None -> ()
+
+let evict_over_budget t =
+  while t.bytes > t.budget && t.tail <> None do
+    match t.tail with
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl n.n_key;
+        t.bytes <- t.bytes - n.n_cost;
+        t.evictions <- t.evictions + 1;
+        (match t.metrics with
+        | Some ms -> Obs.Metrics.incr ms.m_evictions
+        | None -> ())
+    | None -> ()
+  done
+
+let keys_of_prefixes decisions =
+  (* Keys of every proper prefix plus the full schedule, shallow first. *)
+  let rec go acc rev_prefix = function
+    | [] -> List.rev acc
+    | d :: tl ->
+        let rev_prefix = d :: rev_prefix in
+        go (Checkpoint.schedule_key (List.rev rev_prefix) :: acc) rev_prefix tl
+  in
+  go [ Checkpoint.schedule_key [] ] [] decisions
+
+let deepest_prefix_locked t decisions =
+  let rec deepest best depth = function
+    | [] -> best
+    | k :: tl ->
+        deepest (if Hashtbl.mem t.tbl k then depth else best) (depth + 1) tl
+  in
+  deepest 0 0 (keys_of_prefixes decisions)
+
+let find t decisions =
+  let key = Checkpoint.schedule_key decisions in
+  Mutex.lock t.m;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        t.hits <- t.hits + 1;
+        (match t.metrics with
+        | Some ms ->
+            Obs.Metrics.incr ms.m_hits;
+            Obs.Metrics.observe ms.m_depth
+              (float_of_int (List.length decisions))
+        | None -> ());
+        Some n.n_entry
+    | None ->
+        t.misses <- t.misses + 1;
+        (match t.metrics with
+        | Some ms ->
+            Obs.Metrics.incr ms.m_misses;
+            (* How deep a cached prefix this guided run shares — the
+               resumed-depth a mid-run snapshot scheme would start from. *)
+            Obs.Metrics.observe ms.m_depth
+              (float_of_int (deepest_prefix_locked t decisions))
+        | None -> ());
+        None
+  in
+  Mutex.unlock t.m;
+  r
+
+let add t decisions entry =
+  let key = Checkpoint.schedule_key decisions in
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      (* Replays are deterministic: a re-add carries the same artifact.
+         Just refresh recency. *)
+      unlink t n;
+      push_front t n
+  | None ->
+      let cost = String.length (entry_line ~key entry) + 1 in
+      if cost <= t.budget then begin
+        let n =
+          { n_key = key; n_entry = entry; n_cost = cost; prev = None; next = None }
+        in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        t.bytes <- t.bytes + cost;
+        evict_over_budget t
+      end);
+  set_bytes_gauge t;
+  Mutex.unlock t.m
+
+let deepest_prefix t decisions =
+  Mutex.lock t.m;
+  let d = deepest_prefix_locked t decisions in
+  Mutex.unlock t.m;
+  d
+
+let stats t =
+  Mutex.lock t.m;
+  let r = (t.hits, t.misses, t.bytes, t.evictions) in
+  Mutex.unlock t.m;
+  r
+
+(* ---- sidecar persistence ---- *)
+
+let to_string t =
+  Mutex.lock t.m;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# DAMPI prefix cache\nversion 1\n";
+  Buffer.add_string b ("label " ^ Checkpoint.enc t.label ^ "\n");
+  (* Least-recent first, so re-adding in file order restores recency. *)
+  let rec emit = function
+    | None -> ()
+    | Some n ->
+        Buffer.add_string b (entry_line ~key:n.n_key n.n_entry);
+        Buffer.add_char b '\n';
+        emit n.prev
+  in
+  emit t.tail;
+  Mutex.unlock t.m;
+  Buffer.contents b
+
+let load_into t text =
+  match String.split_on_char '\n' text with
+  | "# DAMPI prefix cache" :: "version 1" :: label_line :: rest
+    when label_line = "label " ^ Checkpoint.enc t.label ->
+      List.iter
+        (fun line ->
+          if line <> "" then
+            match entry_of_line line with
+            | Some (key, e) -> (
+                match Checkpoint.schedule_of_key key with
+                | Some decisions -> add t decisions e
+                | None -> ())
+            | None -> ())
+        rest;
+      Ok ()
+  | "# DAMPI prefix cache" :: "version 1" :: line :: _
+    when String.length line >= 6 && String.sub line 0 6 = "label " ->
+      Error "prefix-cache label mismatch (different workload or config)"
+  | _ -> Error "not a DAMPI prefix-cache file"
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load t path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> load_into t text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,82 @@
+(** Memoized replay artifacts keyed by schedule, with an LRU byte budget.
+
+    Ranks are effect-based coroutines ({!Sim.Coroutine}) whose one-shot
+    continuations cannot be snapshotted, so "prefix resume" here does not
+    freeze a half-run program. Instead it leans on the property the whole
+    verifier is built on: guided replay is {e deterministic}, so the
+    complete artifact of a schedule — epoch summaries, errors, makespan,
+    wildcard count — is a pure function of its {!Checkpoint.schedule_key}.
+    The cache memoizes those artifacts; a hit skips the replay outright
+    (the entry suffices both for counting the run and for expanding its
+    children via {!Prune.expand}), and on a miss the deepest cached prefix
+    is recorded as the depth a snapshot-based scheme would have resumed
+    from ([cache.resume_depth]).
+
+    The big win is resume: {!Explorer} persists the cache as a sidecar
+    next to the checkpoint, so re-running expand-only work after a restart
+    becomes pure cache hits.
+
+    Thread-safe (internal mutex); metric writes happen under it, so give
+    the cache its own {!Obs.Metrics} shard. *)
+
+type entry = {
+  vtime : float;  (** simulated makespan of the replay *)
+  wildcards : int;  (** wildcard receives observed *)
+  errors : Report.error list;  (** errors this schedule exposes *)
+  epochs : Epoch.summary list;  (** completed epochs, in completion order *)
+}
+
+val entry_of_record : Report.run_record -> entry
+
+val bounded : entry -> int
+(** Epochs completed but not expandable (depth/alternative-bounded) — the
+    per-run delta {!Explorer} feeds its coverage counters. *)
+
+type t
+
+val default_budget_bytes : int
+(** 64 MiB — what a bare [--prefix-cache] means. *)
+
+val create :
+  ?metrics:Obs.Metrics.shard -> ?label:string -> budget_bytes:int -> unit -> t
+(** [metrics] gains [cache.hits], [cache.misses], [cache.evictions],
+    [cache.bytes] (gauge), and the [cache.resume_depth] histogram.
+
+    [label] (default [""]) is the workload+config identity — the checkpoint
+    label. Schedule keys carry no workload in them, so sidecar loads are
+    refused unless the stored label matches: a stale sidecar from another
+    workload must cost warmth, never correctness. *)
+
+val find : t -> Decisions.decision list -> entry option
+(** Lookup by full schedule; refreshes LRU recency and records hit/miss
+    plus the resumed-depth observation. *)
+
+val add : t -> Decisions.decision list -> entry -> unit
+(** Insert (refreshes recency if present — replays are deterministic, so
+    a re-add carries the same artifact). An entry's cost is its serialized
+    line length; entries are evicted least-recently-used until the budget
+    holds, and an entry larger than the whole budget is not admitted. *)
+
+val deepest_prefix : t -> Decisions.decision list -> int
+(** Length of the longest cached prefix of [decisions] (0 when none, the
+    full length when the schedule itself is cached). *)
+
+val stats : t -> int * int * int * int
+(** [(hits, misses, bytes, evictions)]. *)
+
+(** {1 Sidecar persistence}
+
+    A line-oriented text format reusing the {!Checkpoint} codecs.
+    {!Explorer} writes it next to the checkpoint (at
+    [checkpoint_path ^ ".cache"]) on every checkpoint write and reloads it
+    on resume. *)
+
+val to_string : t -> string
+val load_into : t -> string -> (unit, string) result
+
+val save : t -> string -> unit
+(** Atomic (tmp + rename), like checkpoint writes. *)
+
+val load : t -> string -> (unit, string) result
+(** [Error] on unreadable file or foreign format; entries on malformed
+    lines are skipped (a corrupt sidecar costs warmth, not correctness). *)

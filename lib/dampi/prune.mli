@@ -1,0 +1,67 @@
+(** Sleep-set / independence pruning of the schedule space, and the
+    frontier admission filter.
+
+    {b Independence.} Two completed epochs are {e independent} when their
+    match footprints are disjoint ({!footprint_disjoint}): same
+    communicator context, different owners, and no rank shared among
+    [{owner, matched source, alternate sources}]. Re-forcing one such
+    epoch cannot change what the other could have matched, so exploring
+    the alternatives of both — in both orders — replays equivalent
+    interleavings twice. This is the classic DPOR / sleep-set insight the
+    POE line descends from; the differential harness
+    ([test/test_pruning.ml]) asserts, for every registry workload, that
+    pruned and unpruned exploration reach the same canonical report.
+
+    {b Sleep sets.} Each frontier item carries the epochs whose
+    alternatives a sibling subtree already owns ({!Checkpoint.item}[.sleep]).
+    At expansion, an epoch rediscovered {e unchanged} (structural equality
+    on the whole summary — owner, kind, context, tag, match, alternatives,
+    expandability) is not expanded again; anything observed differently
+    escapes the sleep set and is explored in full. Sleep sets travel with
+    the items, so pruning decisions are identical across worker counts,
+    transports, and resumes.
+
+    {b Admission.} {!Seen} deduplicates frontier schedules by
+    {!Checkpoint.item_key} at enqueue time — the report layer's
+    duplicate-schedule detection hoisted to where it prevents the replay
+    instead of merely hiding its findings. In a normal tree walk every
+    key is unique (a child's key extends its parent's), so this fires on
+    degenerate paths only (resume overlap, re-leased work); it is cheap
+    insurance, not the pruning lever. *)
+
+val footprint_disjoint : Epoch.summary -> Epoch.summary -> bool
+(** Symmetric; conservatively false across communicator contexts. *)
+
+type expansion = {
+  items : Checkpoint.item list;
+      (** deepest epoch first, alternatives ascending — the historical
+          expansion order *)
+  suppressed : int;
+      (** alternatives not enqueued because their epoch slept *)
+}
+
+val expand :
+  prune:bool ->
+  sleep:Epoch.summary list ->
+  plan_decisions:Decisions.decision list ->
+  Epoch.summary list ->
+  expansion
+(** The child frontier of a completed replay, given its epochs in
+    completion order. [prune:false] reproduces the unpruned expansion
+    exactly (no suppression, empty child sleep sets), so every call site
+    shares one expansion function and cached or remote expansion is
+    bit-identical to local. *)
+
+(** Thread-safe schedule-key dedup for the enqueue paths. *)
+module Seen : sig
+  type t
+
+  val create : unit -> t
+
+  val admit : t -> Checkpoint.item -> bool
+  (** True the first time a schedule key is offered, false after. *)
+
+  val forget : t -> Checkpoint.item -> unit
+  (** Allow a key to be admitted again — used when an interrupted item is
+      requeued without having run. *)
+end

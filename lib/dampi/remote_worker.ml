@@ -8,6 +8,7 @@ type resolved = {
   np : int;
   runner : Executor.runner;
   rb : Executor.robustness;
+  prune : bool;
 }
 
 (* An unacknowledged results frame: the lease was computed but the send
@@ -85,6 +86,14 @@ let run_item ~(r : resolved) ~hb ~metrics (it : Checkpoint.item) : Wire.run_resu
   let payload =
     match outcome with
     | Executor.Completed record ->
+        (* Expansion is prune-aware: the leased item's sleep set travels
+           with it, so suppression decisions match the coordinator's
+           in-process pool exactly. *)
+        let exp =
+          Prune.expand ~prune:r.prune ~sleep:it.Checkpoint.sleep
+            ~plan_decisions:decisions
+            (List.map Epoch.summarize record.Report.new_epochs)
+        in
         Some
           {
             Wire.vtime = record.Report.makespan;
@@ -93,8 +102,9 @@ let run_item ~(r : resolved) ~hb ~metrics (it : Checkpoint.item) : Wire.run_resu
                 (List.filter
                    (fun (e : Epoch.t) -> not e.Epoch.expandable)
                    record.Report.new_epochs);
+            pruned = exp.Prune.suppressed;
             errors = record.Report.run_errors;
-            children = Executor.items_of_record record ~plan_decisions:decisions;
+            children = exp.Prune.items;
           }
     | Executor.Gave_up | Executor.Poisoned ->
         (* Poisoned is unreachable (the external poison always answers

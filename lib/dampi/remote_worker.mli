@@ -28,6 +28,10 @@ type resolved = {
       (** watchdog/retry envelope applied to every leased replay; the
           checkpoint/interrupt fields are coordinator business and ignored
           here *)
+  prune : bool;
+      (** sleep-set pruning at expansion ({!Prune.expand}); must match the
+          coordinator's setting (shipped in the job params by the CLI) so
+          both sides suppress identically *)
 }
 
 type session

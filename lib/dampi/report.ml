@@ -61,10 +61,7 @@ type finding = {
 (* Canonical total order on schedules: shallower forks first, then
    lexicographic on the forced decisions. Execution-order independent, so
    sequential and parallel exploration canonicalize findings identically. *)
-let compare_decision (a : Decisions.decision) (b : Decisions.decision) =
-  compare
-    (a.Decisions.owner, a.Decisions.epoch_id, a.Decisions.src, a.Decisions.kind)
-    (b.Decisions.owner, b.Decisions.epoch_id, b.Decisions.src, b.Decisions.kind)
+let compare_decision = Decisions.compare_decision
 
 let rec compare_schedule_lex a b =
   match (a, b) with
@@ -82,6 +79,40 @@ let compare_schedule a b =
 let compare_finding a b =
   let c = compare_schedule a.schedule b.schedule in
   if c <> 0 then c else compare (error_signature a.error) (error_signature b.error)
+
+(** The findings accumulator every merge path (explorer tables, resume
+    seeding, distributed ingestion) goes through.
+
+    Deduplication is by the error's {e structural value}, bucketed under
+    its signature: two structurally different errors that happen to render
+    to the same signature string (e.g. [Comm_leak] label lists whose
+    [", "]-joined forms collide) are both kept, where a signature-keyed
+    table would silently drop whichever merged second. Within one
+    structural error the canonically smallest reproduction schedule wins,
+    so merging is order-independent and reports canonicalize identically
+    at any worker count. *)
+module Merge = struct
+  type nonrec t = (string, finding list) Hashtbl.t
+  (** signature -> findings with structurally distinct errors *)
+
+  let create () : t = Hashtbl.create 16
+
+  let add (t : t) (f : finding) =
+    let s = error_signature f.error in
+    let bucket = Option.value (Hashtbl.find_opt t s) ~default:[] in
+    let rec ins = function
+      | [] -> [ f ]
+      | g :: rest ->
+          if g.error = f.error then
+            (if compare_finding f g < 0 then f else g) :: rest
+          else g :: ins rest
+    in
+    Hashtbl.replace t s (ins bucket)
+
+  let to_list (t : t) =
+    Hashtbl.fold (fun _ fs acc -> fs @ acc) t []
+    |> List.sort compare_finding
+end
 
 (** A failure of the exploration harness itself (a raising replay runner,
     not a finding about the target program): recorded so one broken replay
@@ -114,6 +145,10 @@ type t = {
   bounded_epochs : int;
       (** epochs whose exploration a heuristic suppressed (loop abstraction
           or bounded mixing) *)
+  runs_pruned : int;
+      (** schedules never enqueued because the sleep-set / independence
+          analysis proved them equivalent to an explored one; not counted
+          in [interleavings] *)
   host_seconds : float;  (** wall-clock cost of the exploration itself *)
   jobs : int;  (** worker domains the exploration ran on *)
   workers : worker_stat list;  (** per-worker counters, worker-id order *)
@@ -171,6 +206,8 @@ let pp ppf t =
     t.np t.interleavings t.wildcards_analyzed (List.length t.findings)
     (Format.pp_print_list pp_finding)
     t.findings t.first_run_makespan t.total_virtual_time t.host_seconds;
+  if t.runs_pruned > 0 then
+    Format.fprintf ppf "@ schedules pruned as equivalent: %d" t.runs_pruned;
   if t.runs_cancelled > 0 then
     Format.fprintf ppf "@ runs cancelled mid-replay: %d" t.runs_cancelled;
   if t.runs_timed_out > 0 then

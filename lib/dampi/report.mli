@@ -50,6 +50,21 @@ val compare_schedule :
 val compare_finding : finding -> finding -> int
 (** Orders by {!compare_schedule}, then by {!error_signature}. *)
 
+(** Order-independent findings accumulator shared by every merge path.
+    Dedup is by the error's structural value bucketed under its signature —
+    two different errors whose signatures collide are both kept (a
+    signature-keyed table would drop one) — and the canonically smallest
+    reproduction schedule wins per error. *)
+module Merge : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> finding -> unit
+
+  val to_list : t -> finding list
+  (** Sorted by {!compare_finding}. *)
+end
+
 (** A failure of the exploration harness itself (a raising replay runner,
     not a finding about the target program). *)
 type harness_failure = {
@@ -78,6 +93,9 @@ type t = {
   monitor_alerts : int;
   bounded_epochs : int;
       (** epochs a heuristic suppressed (loop abstraction / bounded mixing) *)
+  runs_pruned : int;
+      (** schedules never enqueued because the sleep-set / independence
+          analysis proved them equivalent to an explored one *)
   host_seconds : float;
   jobs : int;  (** worker domains the exploration ran on *)
   workers : worker_stat list;  (** per-worker counters, worker-id order *)

@@ -74,9 +74,14 @@ type 'a t = {
   wakeup : Condition.t;
   stats : worker_stats array;
   metrics : smetrics option;
+  admit : 'a -> bool;
+      (* enqueue filter: an item it rejects is never inserted (duplicate
+         schedules, in the explorer's use). Must be thread-safe — it runs
+         on whichever worker publishes. *)
 }
 
-let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics () =
+let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics
+    ?(admit = fun _ -> true) () =
   let jobs = max 1 jobs in
   {
     order;
@@ -121,6 +126,7 @@ let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics () =
             m_steals = Obs.Metrics.counter sh "sched.steals";
           })
         metrics;
+    admit;
   }
 
 let total_size t =
@@ -193,6 +199,7 @@ let pop_far_locked d =
    pool redistributes by stealing. This keeps the documented batch pop
    order exact for the jobs=1 sequential walk. *)
 let push_batch t items =
+  let items = List.filter t.admit items in
   let n = List.length items in
   if n > 0 then begin
     let d = t.deques.(0) in
@@ -364,6 +371,7 @@ let next t (ws : worker_stats) =
    those subtrees. *)
 let finish t ~worker children =
   let d = t.deques.(worker) in
+  let children = List.filter t.admit children in
   let n = List.length children in
   Mutex.lock d.lock;
   if n > 0 then insert_locked t t.deques.(worker) children n;

@@ -109,6 +109,7 @@ type run_result = {
 and run_payload = {
   vtime : float;
   bounded : int;
+  pruned : int;
   errors : Report.error list;
   children : Checkpoint.item list;
 }
@@ -139,13 +140,24 @@ type to_coord =
 (* ---- line building ---- *)
 
 let item_line (it : Checkpoint.item) =
-  Printf.sprintf "item %s %s"
-    (Checkpoint.schedule_key it.Checkpoint.prefix)
-    (Checkpoint.decision_to_key it.Checkpoint.choice)
+  if it.Checkpoint.sleep = [] then
+    Printf.sprintf "item %s %s"
+      (Checkpoint.schedule_key it.Checkpoint.prefix)
+      (Checkpoint.decision_to_key it.Checkpoint.choice)
+  else
+    Printf.sprintf "item %s %s %s"
+      (Checkpoint.schedule_key it.Checkpoint.prefix)
+      (Checkpoint.decision_to_key it.Checkpoint.choice)
+      (Checkpoint.sleep_key it.Checkpoint.sleep)
 
-let item_of_fields prefix choice =
-  match (Checkpoint.schedule_of_key prefix, Checkpoint.decision_of_key choice) with
-  | Some prefix, Some choice -> Some { Checkpoint.prefix; choice }
+let item_of_fields ?(sleep = "-") prefix choice =
+  match
+    ( Checkpoint.schedule_of_key prefix,
+      Checkpoint.decision_of_key choice,
+      Checkpoint.sleep_of_key sleep )
+  with
+  | Some prefix, Some choice, Some sleep ->
+      Some { Checkpoint.prefix; choice; sleep }
   | _ -> None
 
 let write_to_worker oc msg =
@@ -192,8 +204,9 @@ let write_to_coord oc msg =
           | Some p ->
               (* %h hex-floats round-trip virtual time exactly; canonical
                  equality with the in-process pool depends on it. *)
-              Printf.fprintf oc "run %s counted %h %d %d %d %d %d %d\n" r.key
-                p.vtime p.bounded r.timeouts r.retries r.transients
+              Printf.fprintf oc "run %s counted %h %d %d %d %d %d %d %d\n"
+                r.key p.vtime p.bounded p.pruned r.timeouts r.retries
+                r.transients
                 (List.length p.errors) (List.length p.children);
               List.iter
                 (fun e ->
@@ -246,6 +259,10 @@ let parse_item_line line =
       match item_of_fields prefix choice with
       | Some it -> Ok it
       | None -> Error (Printf.sprintf "malformed item line %S" line))
+  | [ "item"; prefix; choice; sleep ] -> (
+      match item_of_fields ~sleep prefix choice with
+      | Some it -> Ok it
+      | None -> Error (Printf.sprintf "malformed item line %S" line))
   | _ -> Error (Printf.sprintf "malformed item line %S" line)
 
 (* "err <tag> <payload>" | "err <tag>" (empty payload) *)
@@ -268,19 +285,20 @@ type run_header = { hdr : run_result; nerr : int; nchild : int }
 
 let parse_run_line line =
   match fields line with
-  | [ "run"; key; "counted"; vtime; bounded; timeouts; retries; transients;
-      nerr; nchild ] -> (
+  | [ "run"; key; "counted"; vtime; bounded; pruned; timeouts; retries;
+      transients; nerr; nchild ] -> (
       match
         ( float_of_string_opt vtime,
           int_of_string_opt bounded,
+          int_of_string_opt pruned,
           int_of_string_opt timeouts,
           int_of_string_opt retries,
           int_of_string_opt transients,
           int_of_string_opt nerr,
           int_of_string_opt nchild )
       with
-      | Some vtime, Some bounded, Some timeouts, Some retries, Some transients,
-        Some nerr, Some nchild
+      | Some vtime, Some bounded, Some pruned, Some timeouts, Some retries,
+        Some transients, Some nerr, Some nchild
         when nerr >= 0 && nchild >= 0 ->
           Ok
             {
@@ -288,7 +306,7 @@ let parse_run_line line =
                 {
                   key;
                   payload =
-                    Some { vtime; bounded; errors = []; children = [] };
+                    Some { vtime; bounded; pruned; errors = []; children = [] };
                   timeouts;
                   retries;
                   transients;

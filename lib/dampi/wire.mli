@@ -107,6 +107,8 @@ type run_result = {
 and run_payload = {
   vtime : float;  (** virtual makespan (exact: hex-float on the wire) *)
   bounded : int;  (** non-expandable epochs this replay produced *)
+  pruned : int;
+      (** alternatives the sleep-set analysis suppressed at expansion *)
   errors : Report.error list;
   children : Checkpoint.item list;
 }

@@ -161,8 +161,47 @@ pure re-report:
 A checkpoint only resumes under the configuration that wrote it:
 
   $ dampi verify matmult -q -k 1 --checkpoint mm.ck
-  cannot resume from mm.ck: it belongs to a different configuration (dampi matmult np=5 clock=lamport k=0 dual=false, this run is dampi matmult np=5 clock=lamport k=1 dual=false)
+  cannot resume from mm.ck: it belongs to a different configuration (dampi matmult np=5 clock=lamport k=0 dual=false prune=true, this run is dampi matmult np=5 clock=lamport k=1 dual=false prune=true)
   [2]
+
+Sleep-set pruning is on by default; --no-prune explores the full tree and
+the summary is identical (the differential harness proves the canonical
+report equal), and --prefix-cache memoizes replays without changing it
+either:
+
+  $ dampi verify matmult -q -k 0 --no-prune
+  matmult np=5: 7 interleavings, 0 findings
+
+  $ dampi verify matmult -q -k 0 --prefix-cache
+  matmult np=5: 7 interleavings, 0 findings
+
+  $ dampi verify fig3 -q --no-prune --prefix-cache
+  fig3 np=3: 2 interleavings, 1 findings
+  [1]
+
+The speed layers validate their inputs (exit 2):
+
+  $ dampi verify fig3 -q --prefix-cache=0
+  --prefix-cache needs a positive byte budget
+  [2]
+
+  $ dampi verify fig3 -q --engine isp --no-prune
+  --no-prune and --prefix-cache only apply to the dampi engine (the isp baseline explores unpruned by construction)
+  [2]
+
+  $ dampi verify fig3 -q --engine isp --prefix-cache
+  --no-prune and --prefix-cache only apply to the dampi engine (the isp baseline explores unpruned by construction)
+  [2]
+
+stats --explore runs a small pruned + cached exploration so the cache.*
+and prune.* series carry real traffic:
+
+  $ dampi stats adlb --explore | grep -E '^(cache\.(evictions|hits|misses)|prune\.)'
+  cache.evictions              0
+  cache.hits                   0
+  cache.misses                 500
+  prune.children_suppressed    0
+  prune.duplicates             0
 
 Corrupt or version-mismatched checkpoints are rejected with a clear error:
 

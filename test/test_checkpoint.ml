@@ -75,10 +75,27 @@ let sample_checkpoint =
     completed = [ "-"; Checkpoint.schedule_key [ sample_decision 1 ] ];
     frontier =
       [
-        { Checkpoint.prefix = []; choice = d 1 };
-        { Checkpoint.prefix = [ d 1; d 2 ]; choice = d 3 };
+        { Checkpoint.prefix = []; choice = d 1; sleep = [] };
+        {
+          Checkpoint.prefix = [ d 1; d 2 ];
+          choice = d 3;
+          sleep =
+            [
+              {
+                Dampi.Epoch.s_owner = 2;
+                s_id = 9;
+                s_kind = Dampi.Epoch.Wildcard_recv;
+                s_ctx = 0;
+                s_tag = 7;
+                s_matched = 1;
+                s_alternatives = [ 3; 4 ];
+                s_expandable = true;
+              };
+            ];
+        };
       ];
     epoch = 4;
+    pruned = 6;
   }
 
 let test_roundtrip () =

@@ -77,6 +77,7 @@ let resolve (job : Wire.job) =
                 { Explorer.default_config with state_config }
                 ~np (build ());
             rb = Explorer.default_robustness;
+            prune = false;
           }
 
 let signatures (report : Report.t) =
@@ -641,7 +642,13 @@ let test_zombie_fenced () =
             Wire.key = Checkpoint.item_key it;
             payload =
               Some
-                { Wire.vtime = 1e9; bounded = 0; errors = []; children = [] };
+                {
+                  Wire.vtime = 1e9;
+                  bounded = 0;
+                  errors = [];
+                  children = [];
+                  pruned = 0;
+                };
             timeouts = 0;
             retries = 0;
             transients = 0;
@@ -823,6 +830,19 @@ let test_assembler_byte_at_a_time () =
           src = 0;
           kind = Dampi.Epoch.Wildcard_probe;
         };
+      sleep =
+        [
+          {
+            Dampi.Epoch.s_owner = 2;
+            s_id = 5;
+            s_kind = Dampi.Epoch.Wildcard_recv;
+            s_ctx = 0;
+            s_tag = -1;
+            s_matched = 3;
+            s_alternatives = [ 0; 1 ];
+            s_expandable = true;
+          };
+        ];
     }
   in
   let msgs =
@@ -861,6 +881,7 @@ let test_assembler_byte_at_a_time () =
                       bounded = 2;
                       errors = [];
                       children = [ item ];
+                      pruned = 4;
                     };
                 timeouts = 1;
                 retries = 2;

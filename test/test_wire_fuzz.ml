@@ -35,11 +35,34 @@ let gen_decision =
         })
       (quad (0 -- 7) (0 -- 99) (0 -- 7) bool))
 
-let gen_item =
+let gen_summary =
   QCheck.Gen.(
     map
-      (fun (prefix, choice) -> { Checkpoint.prefix; choice })
-      (pair (list_size (0 -- 3) gen_decision) gen_decision))
+      (fun ((owner, id, k, ctx), (tag, matched, alts, expandable)) ->
+        {
+          Dampi.Epoch.s_owner = owner;
+          s_id = id;
+          s_kind =
+            (if k then Dampi.Epoch.Wildcard_recv
+             else Dampi.Epoch.Wildcard_probe);
+          s_ctx = ctx;
+          s_tag = tag;
+          s_matched = matched;
+          s_alternatives = List.sort_uniq compare alts;
+          s_expandable = expandable;
+        })
+      (pair
+         (quad (0 -- 7) (0 -- 99) bool (0 -- 3))
+         (quad (int_range (-1) 9) (0 -- 7) (list_size (0 -- 3) (0 -- 7)) bool)))
+
+let gen_item =
+  (* sleep lists exercise the 3-field item codec; [] keeps the legacy
+     2-field form in the mix *)
+  QCheck.Gen.(
+    map
+      (fun (prefix, choice, sleep) -> { Checkpoint.prefix; choice; sleep })
+      (triple (list_size (0 -- 3) gen_decision) gen_decision
+         (list_size (0 -- 2) gen_summary)))
 
 let gen_run =
   QCheck.Gen.(
@@ -58,10 +81,12 @@ let gen_run =
             [
               return None;
               map
-                (fun (vtime, bounded, children) ->
-                  Some { Wire.vtime; bounded; errors = []; children })
-                (triple (float_bound_inclusive 1e6) (0 -- 9)
-                   (list_size (0 -- 2) gen_item));
+                (fun ((vtime, bounded, children), pruned) ->
+                  Some { Wire.vtime; bounded; errors = []; children; pruned })
+                (pair
+                   (triple (float_bound_inclusive 1e6) (0 -- 9)
+                      (list_size (0 -- 2) gen_item))
+                   (0 -- 5));
             ])
          (triple (0 -- 3) (0 -- 3) (0 -- 3))))
 

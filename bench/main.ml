@@ -782,6 +782,9 @@ type prune_row = {
   pr_cached_wall : float;
   pr_warm_wall : float;
   pr_warm_hits : int;
+  pr_base_prps : float;  (* profiler-derived replays/s, unpruned *)
+  pr_pruned_prps : float;
+  pr_warm_prps : float;
   pr_depth : (string * int) list;  (* resume-depth histogram, bound -> count *)
 }
 
@@ -822,13 +825,27 @@ let prune_explore () =
     List.sort compare
       (List.map (fun (f : Report.finding) -> f.Report.error) r.Report.findings)
   in
-  pf "%-10s %-14s %14s %8s %9s %10s %11s %8s\n" "workload" "mode"
-    "interleavings" "pruned" "findings" "wall-s" "replays/s" "speedup";
+  pf "%-10s %-14s %14s %8s %9s %10s %11s %9s %8s\n" "workload" "mode"
+    "interleavings" "pruned" "findings" "wall-s" "replays/s" "prof-rps"
+    "speedup";
+  (* Profiler-derived throughput: replays over the summed per-replay wall
+     from the explorer.replay_wall_s histogram — excludes scheduler and
+     reporting overhead, so it is the per-replay cost the pruning saves. *)
+  let hist_rps (r : Report.t) =
+    match Obs.Metrics.find r.Report.metrics "explorer.replay_wall_s" with
+    | Some (Obs.Metrics.Histogram h) when h.Obs.Metrics.sum > 0.0 ->
+        float_of_int h.Obs.Metrics.count /. h.Obs.Metrics.sum
+    | _ -> 0.0
+  in
   let rows =
     List.map
       (fun (name, np, build) ->
         let cfg =
-          { Explorer.default_config with state_config = State.make_config () }
+          {
+            Explorer.default_config with
+            state_config = State.make_config ();
+            profile = true;
+          }
         in
         let base, base_wall =
           time (fun () -> Explorer.verify ~config:cfg ~np (build ()))
@@ -842,10 +859,10 @@ let prune_explore () =
           let rps =
             float_of_int base.Report.interleavings /. Float.max 1e-9 wall
           in
-          pf "%-10s %-14s %14d %8d %9d %10.3f %11.1f %7.2fx%s\n%!" name mode
-            r.Report.interleavings r.Report.runs_pruned
+          pf "%-10s %-14s %14d %8d %9d %10.3f %11.1f %9.1f %7.2fx%s\n%!" name
+            mode r.Report.interleavings r.Report.runs_pruned
             (List.length r.Report.findings)
-            wall rps
+            wall rps (hist_rps r)
             (rps /. Float.max 1e-9 base_rps)
             extra
         in
@@ -924,6 +941,9 @@ let prune_explore () =
           pr_cached_wall = cached_wall;
           pr_warm_wall = warm_wall;
           pr_warm_hits = warm_hits;
+          pr_base_prps = hist_rps base;
+          pr_pruned_prps = hist_rps pruned;
+          pr_warm_prps = hist_rps warm;
           pr_depth = depth;
         })
       scenarios
@@ -940,13 +960,15 @@ let prune_explore () =
          \"pruned_interleavings\": %d, \"runs_pruned\": %d, \"findings\": %d, \
          \"equal_findings\": %b, \"base_wall\": %.6f, \"pruned_wall\": %.6f, \
          \"pruned_speedup\": %.4f, \"cached_wall\": %.6f, \"warm_wall\": %.6f, \
-         \"warm_speedup\": %.4f, \"cache_hits\": %d}%s\n"
+         \"warm_speedup\": %.4f, \"cache_hits\": %d, \
+         \"base_profiled_rps\": %.2f, \"pruned_profiled_rps\": %.2f, \
+         \"warm_profiled_rps\": %.2f}%s\n"
         r.pr_workload r.pr_np r.pr_base_runs r.pr_pruned_runs r.pr_runs_pruned
         r.pr_pruned_findings r.pr_equal_findings r.pr_base_wall r.pr_pruned_wall
         (r.pr_base_wall /. Float.max 1e-9 r.pr_pruned_wall)
         r.pr_cached_wall r.pr_warm_wall
         (r.pr_base_wall /. Float.max 1e-9 r.pr_warm_wall)
-        r.pr_warm_hits
+        r.pr_warm_hits r.pr_base_prps r.pr_pruned_prps r.pr_warm_prps
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";

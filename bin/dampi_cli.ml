@@ -113,12 +113,13 @@ let write_file path contents =
    copy of the registry. Encoding and decoding live side by side so they
    cannot drift. *)
 
-let job_params ~clock_name ~mixing_bound ~dual ~prune ~replay_timeout
+let job_params ~clock_name ~mixing_bound ~dual ~prune ~profile ~replay_timeout
     ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed ~fault_spec =
   [
     ("clock", clock_name);
     ("dual", string_of_bool dual);
     ("prune", string_of_bool prune);
+    ("profile", string_of_bool profile);
     ("max-retries", string_of_int max_retries);
     ("retry-backoff", string_of_float retry_backoff);
   ]
@@ -197,7 +198,14 @@ let cli_resolve (job : Dampi.Wire.job) =
           }
         in
         let config =
-          { Explorer.default_config with state_config; robustness = rb }
+          {
+            Explorer.default_config with
+            state_config;
+            robustness = rb;
+            (* Rides in the job params so remote replays carry the same
+               profile.* histograms a local run would. *)
+            profile = p "profile" = Some "true";
+          }
         in
         Ok
           {
@@ -307,6 +315,7 @@ let supervise_respawns ~budget =
 let verify_run workload np clock_name mixing_bound max_runs engine dual
     no_prune prefix_cache stop_first quiet dump_schedule jobs distribute
     workers trace_out metrics_out
+    (progress, profile, metrics_format, log_level)
     (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
      max_retries, retry_backoff, fault_seed, fault_spec)
     (auth_token, fallback_local, join_timeout, heartbeat_timeout, rejoin_grace,
@@ -315,6 +324,16 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
     Printf.eprintf "--jobs must be at least 1\n";
     exit 2
   end;
+  (match Obs.Log.level_of_string log_level with
+  | Ok lvl -> Obs.Log.set_level lvl
+  | Error msg ->
+      Printf.eprintf "bad --log-level: %s\n" msg;
+      exit 2);
+  (match metrics_format with
+  | "json" | "openmetrics" -> ()
+  | other ->
+      Printf.eprintf "unknown --metrics-format %S (json|openmetrics)\n" other;
+      exit 2);
   (match prefix_cache with
   | Some n when n <= 0 ->
       Printf.eprintf "--prefix-cache needs a positive byte budget\n";
@@ -324,6 +343,10 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
     Printf.eprintf
       "--no-prune and --prefix-cache only apply to the dampi engine (the \
        isp baseline explores unpruned by construction)\n";
+    exit 2
+  end;
+  if engine <> "dampi" && (profile || progress) then begin
+    Printf.eprintf "--profile and --progress only apply to the dampi engine\n";
     exit 2
   end;
   (* The CLI explores pruned by default: the differential harness proves
@@ -490,6 +513,27 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       in
       let program = entry.build () in
       let trace = trace_out <> None in
+      (* The --progress ticker: one stderr line, redrawn in place (~2 Hz,
+         throttled by the explorer), never mixed into the report on
+         stdout. *)
+      let progress_cb =
+        if not progress then None
+        else
+          Some
+            (fun kvs ->
+              let v k = Option.value (List.assoc_opt k kvs) ~default:"-" in
+              let cache =
+                match List.assoc_opt "cache.hits" kvs with
+                | Some h -> Printf.sprintf "  cache %s/%s" h (v "cache.misses")
+                | None -> ""
+              in
+              Printf.eprintf "\r%-76s%!"
+                (Printf.sprintf
+                   "%s: runs %s  %s replays/s  frontier %s  pruned %s  \
+                    findings %s%s"
+                   entry.key (v "runs") (v "replays_per_s") (v "frontier")
+                   (v "pruned") (v "findings") cache))
+      in
       let children = ref [] in
       let distribute_setup =
         if not distributed then None
@@ -499,7 +543,7 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
               Dampi.Wire.workload = entry.key;
               np;
               params =
-                job_params ~clock_name ~mixing_bound ~dual ~prune
+                job_params ~clock_name ~mixing_bound ~dual ~prune ~profile
                   ~replay_timeout ~max_replay_steps ~max_retries
                   ~retry_backoff ~fault_seed ~fault_spec;
             }
@@ -557,12 +601,16 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                     trace;
                     prune;
                     prefix_cache;
+                    profile;
+                    progress = progress_cb;
                     robustness;
                   }
                 ?resume ?distribute:distribute_setup ~fallback_local ~np
                 program
             in
             reap_children !children;
+            (* leave the redrawn ticker line behind before the report *)
+            if progress then Printf.eprintf "\n%!";
             r
         | "isp" ->
             Isp.Engine.verify
@@ -592,7 +640,12 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
       | None -> ());
       (match metrics_out with
       | Some path ->
-          write_file path (Report.metrics_json report);
+          let body =
+            if metrics_format = "openmetrics" then
+              Report.metrics_openmetrics report
+            else Report.metrics_json report
+          in
+          write_file path body;
           Printf.printf "metrics written to %s\n" path
       | None -> ());
       (match (dump_schedule, report.Report.findings) with
@@ -836,6 +889,52 @@ let verify_cmd =
       $ checkpoint $ checkpoint_every $ replay_timeout $ max_replay_steps
       $ max_retries $ retry_backoff $ fault_seed $ fault_spec)
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Stream a live one-line progress ticker to stderr (runs, \
+             replays/s, frontier depth, pruned, findings; redrawn in place \
+             about twice a second). The canonical report on stdout is \
+             unchanged.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable the lightweight replay profiler: phase-timing histograms \
+             ($(b,profile.match_loop_s), $(b,profile.clock_merge_s), \
+             $(b,profile.sched_wait_s), $(b,profile.wire_io_s)) exported \
+             through $(b,--metrics-out). Remote workers spawned by this run \
+             inherit the flag through the job parameters.")
+  in
+  let metrics_format =
+    Arg.(
+      value & opt string "json"
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Format for $(b,--metrics-out): $(b,json) (default) or \
+             $(b,openmetrics) (Prometheus-scrapable text, one series per \
+             counter/gauge and the usual _bucket/_sum/_count triplet per \
+             histogram).")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "warn"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log verbosity on stderr: $(b,quiet), $(b,error), \
+             $(b,warn) (default), $(b,info) or $(b,debug). The default keeps \
+             today's loud behaviour for operational warnings (worker loss, \
+             fallback).")
+  in
+  let observability_opts =
+    Term.(
+      const (fun a b c d -> (a, b, c, d))
+      $ progress $ profile $ metrics_format $ log_level)
+  in
   let auth_token =
     Arg.(
       value
@@ -919,11 +1018,17 @@ let verify_cmd =
       const verify_run $ workload $ np $ clock $ mixing $ max_runs $ engine
       $ dual $ no_prune $ prefix_cache $ stop_first $ quiet $ dump_schedule
       $ jobs $ distribute $ workers $ trace_out $ metrics_out
-      $ robustness_opts $ distributed_opts)
+      $ observability_opts $ robustness_opts $ distributed_opts)
 
 (* ---- worker command ---- *)
 
-let worker_run connect listen auth_token max_redials redial_backoff =
+let worker_run connect listen auth_token max_redials redial_backoff
+    metrics_out trace_out log_level =
+  (match Obs.Log.level_of_string log_level with
+  | Ok lvl -> Obs.Log.set_level lvl
+  | Error msg ->
+      Printf.eprintf "bad --log-level: %s\n" msg;
+      exit 2);
   let parse s =
     match Dampi.Wire.addr_of_string s with
     | Ok a -> a
@@ -956,11 +1061,46 @@ let worker_run connect listen auth_token max_redials redial_backoff =
       backoff = redial_backoff;
     }
   in
-  match
-    Dampi.Remote_worker.serve_addr ?auth ~reconnect ~resolve:cli_resolve mode
-  with
-  | Ok () -> ()
+  (* The worker always keeps a local registry: it feeds the telemetry
+     deltas shipped to the coordinator, and --metrics-out snapshots it at
+     exit for offline debugging of a single worker. *)
+  let registry = Obs.Metrics.create ~shards:1 () in
+  let telemetry = Dampi.Remote_worker.telemetry registry in
+  let tracer =
+    if trace_out = None then None else Some (Obs.Trace.create ~shards:1 ())
+  in
+  let resolve job =
+    match cli_resolve job with
+    | Error _ as e -> e
+    | Ok resolved -> (
+        match tracer with
+        | None -> Ok resolved
+        | Some t ->
+            let sink = Obs.Trace.sink t 0 in
+            let inner = resolved.Dampi.Remote_worker.runner in
+            let runner ~ctx plan ~fork_index =
+              Obs.Trace.with_span sink "replay"
+                ~args:[ ("fork", Obs.Trace.Int fork_index) ]
+                (fun () -> inner ~ctx plan ~fork_index)
+            in
+            Ok { resolved with Dampi.Remote_worker.runner })
+  in
+  (* Written on every exit path — a worker that lost its coordinator still
+     leaves its metrics behind. *)
+  let finish () =
+    (match metrics_out with
+    | Some path ->
+        write_file path (Obs.Metrics.to_json (Obs.Metrics.snapshot registry))
+    | None -> ());
+    match (trace_out, tracer) with
+    | Some path, Some t ->
+        write_file path (Obs.Trace.to_chrome (Obs.Trace.events t))
+    | _ -> ()
+  in
+  match Dampi.Remote_worker.serve_addr ?auth ~reconnect ~telemetry ~resolve mode with
+  | Ok () -> finish ()
   | Error msg ->
+      finish ();
       Printf.eprintf "%s\n" msg;
       exit 1
 
@@ -1013,6 +1153,36 @@ let worker_cmd =
       & info [ "redial-backoff" ] ~docv:"SECONDS"
           ~doc:"Base delay of the redial backoff (doubles per attempt).")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot this worker's local metric registry as JSON to \
+             $(docv) at exit (on shutdown, rejection or a lost \
+             coordinator). The same counters also stream to the \
+             coordinator as telemetry deltas, so this is for offline \
+             single-worker debugging.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Collect one span per leased replay and write Chrome \
+             trace_event JSON to $(docv) at exit (open in \
+             ui.perfetto.dev).")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "warn"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log verbosity on stderr: $(b,quiet), $(b,error), \
+             $(b,warn) (default), $(b,info) or $(b,debug).")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
@@ -1021,7 +1191,147 @@ let worker_cmd =
           deltas back.")
     Term.(
       const worker_run $ connect $ listen $ auth_token $ max_redials
-      $ redial_backoff)
+      $ redial_backoff $ metrics_out $ trace_out $ log_level)
+
+(* ---- top command ---- *)
+
+(* A read-only observer of a live distributed run: hello with
+   role=observer, answer the HMAC challenge if the coordinator runs
+   authenticated, then render the Progress stream. No session is created
+   coordinator-side, so attaching and detaching cannot perturb the
+   exploration or its canonical report. *)
+let top_run connect auth_token once =
+  let addr =
+    match Dampi.Wire.addr_of_string connect with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "bad address %S: %s\n" connect msg;
+        exit 2
+  in
+  let secret =
+    match auth_token with
+    | None -> ""
+    | Some file -> (
+        match Dampi.Wire.load_token file with
+        | Ok s -> s
+        | Error msg ->
+            Printf.eprintf "cannot read --auth-token %s: %s\n" file msg;
+            exit 2)
+  in
+  let sa = Dampi.Wire.sockaddr_of_addr addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "cannot connect to %s: %s\n" connect
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Printf.sprintf "top-%d" (Unix.getpid ()) in
+  Dampi.Wire.write_to_coord oc
+    (Dampi.Wire.Hello
+       {
+         proto = Dampi.Wire.proto_version;
+         id = session;
+         session;
+         epoch = 0;
+         pending = None;
+         role = Some "observer";
+       });
+  let ticking = ref false in
+  let finish msg =
+    if !ticking && not once then Printf.eprintf "\n%!";
+    print_endline msg
+  in
+  let render kvs =
+    let v k = Option.value (List.assoc_opt k kvs) ~default:"-" in
+    let hb =
+      List.filter_map
+        (fun (k, value) ->
+          if String.length k > 7 && String.sub k 0 7 = "hb_age." then
+            Some
+              (Printf.sprintf "%s:%s"
+                 (String.sub k 7 (String.length k - 7))
+                 (if value = "lost" then value else value ^ "s"))
+          else None)
+        kvs
+    in
+    let line =
+      Printf.sprintf
+        "frontier %s  %s replays/s  runs %s  leases %s  workers %s%s"
+        (v "frontier") (v "replays_per_s") (v "runs") (v "leases")
+        (v "workers")
+        (match hb with [] -> "" | l -> "  hb " ^ String.concat " " l)
+    in
+    if once then print_endline line
+    else begin
+      ticking := true;
+      Printf.eprintf "\r%-78s%!" line
+    end
+  in
+  let rec loop () =
+    match Dampi.Wire.read_to_worker ic with
+    | Ok (Dampi.Wire.Challenge nonce) ->
+        Dampi.Wire.write_to_coord oc
+          (Dampi.Wire.Auth (Dampi.Wire.auth_mac ~secret ~nonce ~session));
+        loop ()
+    | Ok (Dampi.Wire.Welcome _) -> loop ()
+    | Ok (Dampi.Wire.Reject { reason; _ }) ->
+        Printf.eprintf "rejected: %s\n" reason;
+        exit 1
+    | Ok (Dampi.Wire.Progress kvs) ->
+        render kvs;
+        if not once then loop ()
+    | Ok Dampi.Wire.Detach -> finish "coordinator detached"
+    | Ok Dampi.Wire.Shutdown -> finish "run complete"
+    | Ok (Dampi.Wire.Job _ | Dampi.Wire.Lease _) ->
+        (* never sent to observers; ignore defensively *)
+        loop ()
+    | Error "connection closed" -> finish "coordinator gone"
+    | Error _ ->
+        (* the progress stream is advisory: skip a malformed line *)
+        loop ()
+  in
+  loop ();
+  close_in_noerr ic
+
+let top_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Coordinator address to observe ($(b,unix:PATH) or \
+             $(b,tcp:HOST:PORT)) — the address a $(b,verify --workers) run \
+             listens on.")
+  in
+  let auth_token =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "auth-token" ] ~docv:"FILE"
+          ~doc:
+            "Shared-secret file matching the coordinator's \
+             $(b,--auth-token), used to answer its HMAC challenge.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print a single progress snapshot to stdout and exit (for \
+             scripts); without it, a live ticker redraws on stderr until \
+             the run ends.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Attach to a live distributed $(b,verify) run as a read-only \
+          observer and stream its progress: frontier depth, replays/s, \
+          per-worker heartbeat ages. Observers never receive leases, so \
+          watching a run cannot change its canonical report.")
+    Term.(const top_run $ connect $ auth_token $ once)
 
 (* ---- replay command ---- *)
 
@@ -1412,6 +1722,6 @@ let main =
          "Distributed Analyzer for MPI programs — dynamic formal verification \
           over a simulated MPI runtime (SC'10 reproduction).")
     [ list_cmd; verify_cmd; replay_cmd; trace_cmd; stats_cmd; bench_cmd;
-      worker_cmd ]
+      worker_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -9,9 +9,9 @@
    epoch and lease id match the session's current ones — anything else is
    a zombie flush and is discarded whole. *)
 
-let src = Logs.Src.create "dampi.coordinator" ~doc:"distributed coordinator"
+let src = Obs.Log.src "dampi.coordinator"
 
-module Log = (val Logs.src_log src : Logs.LOG)
+module Log = (val Obs.Log.src_log src : Obs.Log.LOG)
 
 type attach =
   | Fds of Unix.file_descr list
@@ -65,6 +65,7 @@ type hello = {
   h_session : string;
   h_epoch : int;
   h_pending : int option;
+  h_role : string option;
 }
 
 type conn = {
@@ -76,7 +77,8 @@ type conn = {
     [ `Greeting  (* awaiting hello *)
     | `Challenged of string * hello  (* nonce sent, awaiting auth *)
     | `Jobbed of sess  (* welcomed + job sent, awaiting ready *)
-    | `Bound of sess  (* ready; leases flow *) ];
+    | `Bound of sess  (* ready; leases flow *)
+    | `Observer  (* read-only [dampi top] client; progress frames flow *) ];
   mutable last_seen : float;
   mutable alive : bool;
 }
@@ -87,6 +89,7 @@ type cmetrics = {
   m_reconnects : Obs.Metrics.counter;
   m_fenced : Obs.Metrics.counter;
   m_rtt : Obs.Metrics.histogram;
+  m_wire_io : Obs.Metrics.histogram option;  (* present under --profile *)
 }
 
 type t = {
@@ -109,6 +112,12 @@ type t = {
   admit : Checkpoint.item -> bool;
       (* enqueue filter on {!push} (seeds and ingested children); refunded
          leases bypass it — their items were admitted when first pushed. *)
+  telemetry : (string, Obs.Metrics.snapshot) Hashtbl.t;
+      (* session id -> accumulated worker metric deltas *)
+  progress : unit -> (string * string) list;
+      (* caller-supplied aggregate (explorer runs, rates, cache) appended
+         to the coordinator's own figures in observer progress frames *)
+  mutable last_progress : float;
 }
 
 let mkdirs_socket_fd addr =
@@ -120,7 +129,8 @@ let mkdirs_socket_fd addr =
   | Wire.Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ()));
   (fd, sa)
 
-let create ?metrics ?(first_epoch = 1) ?(admit = fun _ -> true) ~budget setup =
+let create ?metrics ?(profile = false) ?(first_epoch = 1)
+    ?(admit = fun _ -> true) ?(progress = fun () -> []) ~budget setup =
   let listen_fd, listen_path =
     match setup.attach with
     | Listen { addr; ready } ->
@@ -159,9 +169,15 @@ let create ?metrics ?(first_epoch = 1) ?(admit = fun _ -> true) ~budget setup =
             m_reconnects = Obs.Metrics.counter sh "coordinator.reconnects";
             m_fenced = Obs.Metrics.counter sh "coordinator.fenced";
             m_rtt = Obs.Metrics.histogram sh "coordinator.worker_rtt_s";
+            m_wire_io =
+              (if profile then Some (Obs.Metrics.histogram sh "profile.wire_io_s")
+               else None);
           })
         metrics;
     admit;
+    telemetry = Hashtbl.create 16;
+    progress;
+    last_progress = 0.0;
   }
 
 let push t items = t.frontier <- List.filter t.admit items @ t.frontier
@@ -176,6 +192,10 @@ let snapshot t = t.frontier @ outstanding t
 let pending t = List.length t.frontier
 let stats t = t.st
 let current_epoch t = t.next_epoch - 1
+
+let telemetry t =
+  Hashtbl.fold (fun sid snap acc -> (sid, snap) :: acc) t.telemetry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let next_epoch t =
   let e = t.next_epoch in
@@ -229,29 +249,40 @@ let drop_conn t c ~reason =
   end
 
 (* A worker connection died. Its session keeps the lease for the rejoin
-   grace period — the grace scan refunds it if the worker stays away. *)
+   grace period — the grace scan refunds it if the worker stays away.
+   A departing observer is only a dropped connection, not a lost worker. *)
 let lose t c ~reason =
-  if c.alive then begin
-    (match c.state with
-    | (`Jobbed s | `Bound s) when s.conn_fd = Some c.fd ->
-        s.conn_fd <- None;
-        s.lost_at <- Unix.gettimeofday ();
-        Log.warn (fun m ->
-            m "worker %s lost (%s)%s" c.name reason
-              (match s.lease with
-              | Some l ->
-                  Printf.sprintf "; lease %d held for %.3gs rejoin grace"
-                    l.lease_id t.setup.rejoin_grace
-              | None -> ""))
-    | _ -> Log.warn (fun m -> m "worker %s lost (%s)" c.name reason));
-    t.st <- { t.st with workers_lost = t.st.workers_lost + 1 };
-    c.alive <- false;
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
-  end
+  if c.alive then
+    match c.state with
+    | `Observer -> drop_conn t c ~reason
+    | state ->
+        (match state with
+        | (`Jobbed s | `Bound s) when s.conn_fd = Some c.fd ->
+            s.conn_fd <- None;
+            s.lost_at <- Unix.gettimeofday ();
+            Log.warn (fun m ->
+                m "worker %s lost (%s)%s" c.name reason
+                  (match s.lease with
+                  | Some l ->
+                      Printf.sprintf "; lease %d held for %.3gs rejoin grace"
+                        l.lease_id t.setup.rejoin_grace
+                  | None -> ""))
+        | _ -> Log.warn (fun m -> m "worker %s lost (%s)" c.name reason));
+        t.st <- { t.st with workers_lost = t.st.workers_lost + 1 };
+        c.alive <- false;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
 let send t c msg =
-  try Wire.write_to_worker c.oc msg
-  with Sys_error _ | Unix.Unix_error _ -> lose t c ~reason:"write failed"
+  match t.metrics with
+  | Some { m_wire_io = Some h; _ } -> (
+      let t0 = Unix.gettimeofday () in
+      match Wire.write_to_worker c.oc msg with
+      | () -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          lose t c ~reason:"write failed")
+  | _ -> (
+      try Wire.write_to_worker c.oc msg
+      with Sys_error _ | Unix.Unix_error _ -> lose t c ~reason:"write failed")
 
 (* ---- leasing ---- *)
 
@@ -289,8 +320,17 @@ let const_eq a b =
   String.iteri (fun i c -> d := !d lor (Char.code c lxor Char.code b.[i])) a;
   !d = 0
 
-(* The hello (and auth, when configured) checked out: bind the connection
-   to its session, deciding between lease resumption and fencing. *)
+(* The hello (and auth, when configured) checked out. Observers get a
+   welcome and then a stream of progress frames — no session, no job, no
+   lease, so their presence cannot perturb the exploration. *)
+let bind_observer t c (h : hello) =
+  c.name <- h.h_id;
+  c.state <- `Observer;
+  Log.info (fun m -> m "observer %s attached" c.name);
+  send t c (Wire.Welcome { epoch = 0 })
+
+(* Bind a worker connection to its session, deciding between lease
+   resumption and fencing. *)
 let bind t c (h : hello) =
   let sid =
     if h.h_session = "" then begin
@@ -367,7 +407,7 @@ let handle_msg t c ~on_run msg =
   c.last_seen <- Unix.gettimeofday ();
   match msg with
   | Error e -> lose t c ~reason:("protocol error: " ^ e)
-  | Ok (Wire.Hello { proto; id; session; epoch; pending }) -> (
+  | Ok (Wire.Hello { proto; id; session; epoch; pending; role }) -> (
       match c.state with
       | `Greeting ->
           if proto <> Wire.proto_version then
@@ -378,18 +418,25 @@ let handle_msg t c ~on_run msg =
                 (Printf.sprintf
                    "protocol version %d not supported (this build speaks %d)"
                    proto Wire.proto_version)
+          else if not (role = None || role = Some "observer") then
+            reject t c
+              ~reason:
+                (Printf.sprintf "unknown role %S"
+                   (Option.value role ~default:""))
           else begin
             c.name <- id;
             let h =
               { h_id = id; h_session = session; h_epoch = epoch;
-                h_pending = pending }
+                h_pending = pending; h_role = role }
             in
             match t.setup.auth with
             | Some _ ->
                 let nonce = Wire.gen_nonce () in
                 c.state <- `Challenged (nonce, h);
                 send t c (Wire.Challenge nonce)
-            | None -> bind t c h
+            | None ->
+                if h.h_role = Some "observer" then bind_observer t c h
+                else bind t c h
           end
       | _ -> lose t c ~reason:"hello out of sequence")
   | Ok (Wire.Auth mac) -> (
@@ -397,7 +444,9 @@ let handle_msg t c ~on_run msg =
       | `Challenged (nonce, h) ->
           let secret = Option.value t.setup.auth ~default:"" in
           if const_eq (Wire.auth_mac ~secret ~nonce ~session:h.h_session) mac
-          then bind t c h
+          then
+            if h.h_role = Some "observer" then bind_observer t c h
+            else bind t c h
           else reject t c ~reason:"authentication failed"
       | _ -> lose t c ~reason:"auth out of sequence")
   | Ok Wire.Ready -> (
@@ -411,6 +460,17 @@ let handle_msg t c ~on_run msg =
           Log.info (fun m -> m "worker %s ready" c.name)
       | _ -> lose t c ~reason:"ready out of sequence")
   | Ok Wire.Heartbeat -> ()
+  | Ok (Wire.Telemetry series) -> (
+      (* Advisory metric deltas: fold them into the session's accumulated
+         snapshot. Deltas from unbound or observer connections have no
+         session to account to and are dropped. *)
+      match c.state with
+      | `Jobbed s | `Bound s ->
+          let prev =
+            Option.value (Hashtbl.find_opt t.telemetry s.sid) ~default:[]
+          in
+          Hashtbl.replace t.telemetry s.sid (Obs.Metrics.merge_delta prev series)
+      | _ -> ())
   | Ok (Wire.Failed reason) -> lose t c ~reason:("worker failed: " ^ reason)
   | Ok (Wire.Results { epoch; lease_id; runs }) -> (
       match c.state with
@@ -475,7 +535,64 @@ let work_remains t =
   (t.frontier <> [] && t.claimed < t.budget)
   || Hashtbl.fold (fun _ s acc -> acc || s.lease <> None) t.sessions false
 
-let live_workers t = List.filter (fun c -> c.alive) t.conns
+let live_conns t = List.filter (fun c -> c.alive) t.conns
+
+(* Observers are connections but not workers: they take no leases, send
+   no heartbeats, and must not hold off the all-workers-lost verdict. *)
+let live_workers t =
+  List.filter
+    (fun c ->
+      c.alive && match c.state with `Observer -> false | _ -> true)
+    t.conns
+
+let observers t =
+  List.filter
+    (fun c ->
+      c.alive && match c.state with `Observer -> true | _ -> false)
+    t.conns
+
+(* ---- observer progress frames ---- *)
+
+let progress_kvs t now =
+  let base =
+    [
+      ("frontier", string_of_int (pending t));
+      ("claimed", string_of_int t.claimed);
+      ("budget", string_of_int t.budget);
+      ("leases", string_of_int t.st.leases);
+      ("results", string_of_int t.st.results);
+      ("workers", string_of_int (List.length (live_workers t)));
+      ("uptime_s", Printf.sprintf "%.3f" (now -. t.started));
+    ]
+  in
+  let per_worker =
+    Hashtbl.fold
+      (fun sid s acc ->
+        let v =
+          match s.conn_fd with
+          | Some fd -> (
+              match List.find_opt (fun c -> c.alive && c.fd = fd) t.conns with
+              | Some c -> Printf.sprintf "%.3f" (now -. c.last_seen)
+              | None -> "lost")
+          | None -> "lost"
+        in
+        (("hb_age." ^ sid), v) :: acc)
+      t.sessions []
+    |> List.sort compare
+  in
+  base @ per_worker @ t.progress ()
+
+let progress_interval = 0.5
+
+let stream_progress t now =
+  match observers t with
+  | [] -> ()
+  | obs ->
+      if now -. t.last_progress >= progress_interval then begin
+        t.last_progress <- now;
+        let kvs = progress_kvs t now in
+        List.iter (fun c -> send t c (Wire.Progress kvs)) obs
+      end
 
 (* Sessions disconnected within the grace window: their leases are still
    honoured and their return is still expected, so an all-workers-lost
@@ -586,7 +703,7 @@ let drive t ~on_run ~should_stop ~tick =
         List.iter (fun c -> maybe_lease t c) live;
         let fds =
           (match t.listen_fd with Some fd -> [ fd ] | None -> [])
-          @ List.map (fun c -> c.fd) (live_workers t)
+          @ List.map (fun c -> c.fd) (live_conns t)
         in
         let readable, _, _ =
           try Unix.select fds [] [] 0.2
@@ -606,7 +723,16 @@ let drive t ~on_run ~should_stop ~tick =
                   match Unix.read fd buf 0 (Bytes.length buf) with
                   | 0 -> lose t c ~reason:"connection closed"
                   | n ->
-                      List.iter (handle_msg t c ~on_run) (Wire.feed c.asm buf n)
+                      let msgs =
+                        match t.metrics with
+                        | Some { m_wire_io = Some h; _ } ->
+                            let t0 = Unix.gettimeofday () in
+                            let msgs = Wire.feed c.asm buf n in
+                            Obs.Metrics.observe h (Unix.gettimeofday () -. t0);
+                            msgs
+                        | _ -> Wire.feed c.asm buf n
+                      in
+                      List.iter (handle_msg t c ~on_run) msgs
                   | exception
                       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
                     ->
@@ -622,6 +748,7 @@ let drive t ~on_run ~should_stop ~tick =
             if c.alive && now -. c.last_seen > t.setup.heartbeat_timeout then
               lose t c ~reason:"missed heartbeat")
           (live_workers t);
+        stream_progress t now;
         tick ();
         loop ()
       end

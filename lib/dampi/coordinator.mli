@@ -26,6 +26,19 @@
     a shared secret is configured every connection must pass an
     HMAC challenge before it is admitted.
 
+    {b Observers.} A connection whose hello carries [role=observer]
+    ([dampi top]) is admitted (through the same auth challenge when one
+    is configured) as read-only: it gets no job and no leases, does not
+    count as a worker for the all-workers-lost verdict or the heartbeat
+    scan, and receives periodic [Progress] frames with the aggregate
+    (frontier depth, replays/sec, per-worker heartbeat age, ...).
+
+    {b Telemetry.} Workers ship {!Obs.Metrics} deltas piggybacked on
+    heartbeats and ahead of results frames; the coordinator folds them
+    into one accumulated snapshot per session ({!telemetry}), which the
+    explorer merges into the final report so distributed metric totals
+    match an in-process run.
+
     The event loop is single-threaded ([Unix.select]); every callback runs
     on the calling thread, which is what makes periodic checkpointing from
     [tick] race-free. *)
@@ -81,8 +94,10 @@ type t
 
 val create :
   ?metrics:Obs.Metrics.shard ->
+  ?profile:bool ->
   ?first_epoch:int ->
   ?admit:(Checkpoint.item -> bool) ->
+  ?progress:(unit -> (string * string) list) ->
   budget:int ->
   setup ->
   t
@@ -98,7 +113,11 @@ val create :
     detection at the frontier. [metrics] gains [coordinator.leases],
     [coordinator.releases], [coordinator.reconnects],
     [coordinator.fenced], [coordinator.worker_rtt_s] — written only from
-    the driving thread. *)
+    the driving thread. [profile] additionally records frame read/write
+    time in the [profile.wire_io_s] histogram. [progress] supplies
+    caller-level key/value pairs (runs, replays/sec, cache rates)
+    appended to the coordinator's own figures in the progress frames
+    streamed to attached observers. *)
 
 val push : t -> Checkpoint.item list -> unit
 (** Seed the frontier (before or during {!drive}). *)
@@ -116,6 +135,17 @@ val current_epoch : t -> int
 (** Highest fencing epoch granted so far (the [first_epoch - 1] floor
     before any admission) — what a checkpoint must record so a restarted
     coordinator fences every session this one admitted. *)
+
+val telemetry : t -> (string * Obs.Metrics.snapshot) list
+(** Accumulated worker metric deltas, one labeled snapshot per session id,
+    sorted. Workers ship deltas piggybacked on heartbeats and ahead of
+    every results frame, so after a clean (failure-free) drain these
+    totals account for every remote replay exactly once and the merged
+    report equals a [jobs = 1] run. Under crashes telemetry stays
+    best-effort: a delta in flight when a connection dies may be lost,
+    and a fenced zombie's deltas may double-count — findings and run
+    counts are never affected (they ride the exactly-once results
+    path). *)
 
 val drive :
   t ->

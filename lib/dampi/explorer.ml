@@ -21,6 +21,10 @@
 module Runtime = Mpi.Runtime
 module Coroutine = Sim.Coroutine
 
+let src = Obs.Log.src "dampi.explorer"
+
+module Log = (val Obs.Log.src_log src : Obs.Log.LOG)
+
 type checkpoint_cfg = Executor.checkpoint_cfg = {
   path : string;
   every : int;  (** completed replays between periodic writes; 0 = only on interrupt/finish *)
@@ -53,6 +57,17 @@ type config = {
   prefix_cache : int option;
       (** memoize replay artifacts by schedule ({!Prefix_cache}), with this
           LRU byte budget; persisted as a checkpoint sidecar *)
+  profile : bool;
+      (** phase-timing histograms ([profile.match_loop_s],
+          [profile.clock_merge_s], [profile.sched_wait_s],
+          [profile.wire_io_s]) in the metrics output; each timed phase
+          costs a clock read, so off by default *)
+  progress : ((string * string) list -> unit) option;
+      (** live-progress sink, called (throttled, ~2 Hz) with exploration
+          key/values: replays/sec, frontier depth, prune/cache rates,
+          per-worker figures. Drives [--progress]; in distributed mode the
+          run-level pairs also ride the [Progress] frames the coordinator
+          streams to observers ([dampi top]) *)
   robustness : robustness;
 }
 
@@ -67,6 +82,8 @@ let default_config =
     trace = false;
     prune = false;
     prefix_cache = None;
+    profile = false;
+    progress = None;
     robustness = default_robustness;
   }
 
@@ -160,10 +177,13 @@ let fault_of_ctx (ctx : run_ctx) = function
 let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
  fun ~ctx plan ~fork_index ->
   let fault = fault_of_ctx ctx config.robustness.fault in
-  let rt = Runtime.create ~cost:config.cost ?metrics:ctx.metrics ~fault ~np () in
+  let rt =
+    Runtime.create ~cost:config.cost ?metrics:ctx.metrics
+      ~profile:config.profile ~fault ~np ()
+  in
   let st =
     State.create ~config:config.state_config ?metrics:ctx.metrics
-      ?poison:ctx.poison ~np ~plan ~fork_index ()
+      ~profile:config.profile ?poison:ctx.poison ~np ~plan ~fork_index ()
   in
   (* An injected wedge spins on this hook; the watchdog's poison breaks the
      spin through the same [State.check_poison] path as [--stop-first]. *)
@@ -344,6 +364,13 @@ let explore ?(config = default_config) ?resume ?distribute
   let new_completed : string list ref = ref [] in
   let completed_since = ref 0 in
   let exec_ref : Executor.t option ref = ref None in
+  (* Accumulated worker telemetry from a distributed run, labeled by
+     session id — captured when the coordinator backend finishes driving
+     and folded into the final report so distributed metric totals match
+     an in-process run. *)
+  let remote_telemetry : (string * Obs.Metrics.snapshot) list ref =
+    ref []
+  in
   (* Highest fencing epoch known to this run: the checkpoint's floor,
      raised by whatever the coordinator grants. Persisted so a restarted
      coordinator starts above every pre-crash grant. *)
@@ -422,6 +449,62 @@ let explore ?(config = default_config) ?resume ?distribute
       errors
   in
   let sorted_findings () = Report.Merge.to_list findings in
+  (* ---- live progress: the [--progress] ticker and observer frames ---- *)
+  (* Caller holds [m]. Run-level figures — what the coordinator appends to
+     the frames it streams to observers (its own pairs already carry
+     frontier depth and per-worker heartbeat ages). *)
+  let run_kvs now =
+    let elapsed = now -. started in
+    let rps =
+      if elapsed > 0.0 then float_of_int !runs /. elapsed else 0.0
+    in
+    let cache_kvs =
+      match cache with
+      | None -> []
+      | Some pc ->
+          let hits, misses, bytes, _ = Prefix_cache.stats pc in
+          [
+            ("cache.hits", string_of_int hits);
+            ("cache.misses", string_of_int misses);
+            ("cache.bytes", string_of_int bytes);
+          ]
+    in
+    [
+      ("runs", string_of_int !runs);
+      ("replays_per_s", Printf.sprintf "%.1f" rps);
+      ("pruned", string_of_int !runs_pruned);
+      ("findings", string_of_int (List.length (sorted_findings ())));
+    ]
+    @ cache_kvs
+  in
+  (* Caller holds [m]. The local ticker additionally sees the frontier
+     depth and per-worker run counts (its "lag" signal: a straggler's
+     count stalls while its siblings advance). *)
+  let ticker_kvs now =
+    let frontier =
+      match !exec_ref with
+      | Some e -> List.length (e.Executor.snapshot ())
+      | None -> List.length !frontier_fallback
+    in
+    let per_worker =
+      List.init jobs (fun i ->
+          (Printf.sprintf "w%d.runs" i, string_of_int worker_runs.(i)))
+    in
+    (("frontier", string_of_int frontier) :: run_kvs now) @ per_worker
+  in
+  let last_tick = ref 0.0 in
+  (* Caller holds [m]. Throttled to ~2 Hz so a hot counting path never
+     pays for rendering. *)
+  let maybe_progress () =
+    match config.progress with
+    | None -> ()
+    | Some emit ->
+        let now = Unix.gettimeofday () in
+        if now -. !last_tick >= 0.5 then begin
+          last_tick := now;
+          emit (ticker_kvs now)
+        end
+  in
   (* Fold one counted replay into the canonical totals, wherever it ran —
      on a pool domain (from a full run record) or on a remote worker (from
      a wire delta). Everything here is a pure function of the run set, so
@@ -449,6 +532,7 @@ let explore ?(config = default_config) ?resume ?distribute
     (match rb.interrupt_after with
     | Some limit when !runs >= limit -> Atomic.set interrupt_requested true
     | _ -> ());
+    maybe_progress ();
     Mutex.unlock m
   in
   (* Serialize the current cut. [m] stays held through the file write: the
@@ -644,7 +728,7 @@ let explore ?(config = default_config) ?resume ?distribute
     let sched =
       Scheduler.create ~order:Scheduler.Lifo ~jobs ~budget ~admit
         ~metrics:(Obs.Metrics.shard registry jobs)
-        ()
+        ~profile:config.profile ()
     in
     Scheduler.push_batch sched initial_items;
     let drive () =
@@ -742,7 +826,13 @@ let explore ?(config = default_config) ?resume ?distribute
     let co =
       Coordinator.create
         ~metrics:(Obs.Metrics.shard registry jobs)
-        ~first_epoch:(!epoch_hi + 1) ~admit ~budget setup
+        ~profile:config.profile ~first_epoch:(!epoch_hi + 1) ~admit
+        ~progress:(fun () ->
+          Mutex.lock m;
+          let kvs = run_kvs (Unix.gettimeofday ()) in
+          Mutex.unlock m;
+          kvs)
+        ~budget setup
     in
     Coordinator.push co initial_items;
     let on_run ~(item : Checkpoint.item) (r : Wire.run_result) =
@@ -792,6 +882,11 @@ let explore ?(config = default_config) ?resume ?distribute
        most that much progress. *)
     let last_forced = ref (Unix.gettimeofday ()) in
     let tick () =
+      (* A stalled distributed run (all leases out, nothing completing)
+         should still tick the local --progress line. *)
+      Mutex.lock m;
+      maybe_progress ();
+      Mutex.unlock m;
       maybe_periodic_checkpoint ();
       match rb.checkpoint with
       | Some c when c.every > 0 ->
@@ -803,11 +898,13 @@ let explore ?(config = default_config) ?resume ?distribute
       | _ -> ()
     in
     let drive () =
-      match
+      let outcome =
         Coordinator.drive co ~on_run
           ~should_stop:(fun () -> Atomic.get interrupt_requested)
           ~tick
-      with
+      in
+      remote_telemetry := Coordinator.telemetry co;
+      match outcome with
       | Ok () -> Executor.Drained
       | Error msg ->
           (* The frontier still holds the unfinished work; hand it to the
@@ -921,11 +1018,9 @@ let explore ?(config = default_config) ?resume ?distribute
              can still replay. Drain the leftover cut on the in-process
              pool — the canonical report comes out identical, just
              slower. *)
-          Printf.eprintf
-            "dampi: %s — falling back to in-process execution of %d \
-             frontier item(s)\n\
-             %!"
-            reason (List.length leftover);
+          Log.warn (fun m ->
+              m "%s — falling back to in-process execution of %d frontier item(s)"
+                reason (List.length leftover));
           Obs.Metrics.incr
             (Obs.Metrics.counter
                (Obs.Metrics.shard registry jobs)
@@ -1007,10 +1102,27 @@ let explore ?(config = default_config) ?resume ?distribute
     runs_crashed = !runs_crashed;
     harness_failures = List.rev !harness_failures;
     interrupted;
-    metrics = Obs.Metrics.snapshot registry;
+    metrics =
+      (* Remote workers ship their registries as telemetry deltas; folding
+         the accumulated per-session snapshots into the local merge is what
+         makes a clean [--distribute N] run's totals equal a [jobs = 1]
+         run's (no name overlap: remote registries carry the replay-side
+         [mpi.*]/[dampi.*] series, the local shards the explorer-side
+         ones). *)
+      List.fold_left
+        (fun acc (_, s) -> Obs.Metrics.merge_delta acc s)
+        (Obs.Metrics.snapshot registry)
+        !remote_telemetry;
     worker_metrics =
-      List.init (jobs + 2) (fun i -> (i, Obs.Metrics.shard_snapshot registry i))
-      |> List.filter (fun (_, s) -> s <> []);
+      (List.init (jobs + 2) (fun i ->
+           let label =
+             if i < jobs then Printf.sprintf "w%d" i
+             else if i = jobs then "sched"
+             else "aux"
+           in
+           (label, Obs.Metrics.shard_snapshot registry i))
+      |> List.filter (fun (_, s) -> s <> []))
+      @ !remote_telemetry;
     events = (match tracer with Some tr -> Obs.Trace.events tr | None -> []);
   }
 

@@ -71,6 +71,22 @@ type config = {
           [.cache] sidecar — skip execution entirely. Replay determinism
           makes the memoized artifact indistinguishable from re-executing.
           [None] (default) disables caching. *)
+  profile : bool;
+      (** the lightweight replay profiler: wall-clock phase-timing
+          histograms — [profile.match_loop_s] (runtime match loop),
+          [profile.clock_merge_s] (verifier clock merges),
+          [profile.sched_wait_s] (pool queue waits), [profile.wire_io_s]
+          (coordinator frame I/O) — exported in the same metrics output
+          ([--metrics-out], OpenMetrics). Each timed phase costs a clock
+          read, so off by default. *)
+  progress : ((string * string) list -> unit) option;
+      (** live-progress sink, called (throttled, ~2 Hz, under the
+          explorer's counting lock — keep it quick) with key/value pairs:
+          [runs], [replays_per_s], [frontier], [pruned], [findings],
+          [cache.*] when caching, and per-worker [w<i>.runs]. Drives the
+          [--progress] ticker; in distributed mode the run-level pairs are
+          also appended to the [Progress] frames the coordinator streams
+          to observers ([dampi top]). *)
   robustness : robustness;
 }
 

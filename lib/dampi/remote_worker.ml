@@ -1,8 +1,8 @@
 (* Worker side of the distributed mode. See remote_worker.mli. *)
 
-let src = Logs.Src.create "dampi.worker" ~doc:"distributed worker"
+let src = Obs.Log.src "dampi.worker"
 
-module Log = (val Logs.src_log src : Logs.LOG)
+module Log = (val Obs.Log.src_log src : Obs.Log.LOG)
 
 type resolved = {
   np : int;
@@ -41,14 +41,44 @@ type reconnect = { max_redials : int; backoff : float; seed : int }
 
 let default_reconnect = { max_redials = 5; backoff = 0.1; seed = 0 }
 
+(* The worker's local metric registry plus the snapshot as of the last
+   telemetry frame known to have been written. The pair must share a
+   lifetime: deltas are computed against [t_prev], so a registry that
+   outlives a session (a redialling CLI worker) must carry its prev
+   snapshot along or re-ship — and double-count — old increments. *)
+type telemetry = {
+  t_registry : Obs.Metrics.t;
+  mutable t_prev : Obs.Metrics.snapshot;
+}
+
+let telemetry registry = { t_registry = registry; t_prev = [] }
+
+(* Ship the metric delta since the last successful ship. Best-effort by
+   design: a failed write leaves [t_prev] alone so the increments travel
+   with the next frame instead. *)
+let ship_telemetry tele oc =
+  let cur = Obs.Metrics.snapshot tele.t_registry in
+  match Obs.Metrics.to_delta ~prev:tele.t_prev cur with
+  | [] -> ()
+  | delta -> (
+      match Wire.write_to_coord oc (Wire.Telemetry delta) with
+      | () -> tele.t_prev <- cur
+      | exception (Sys_error _ | Unix.Unix_error _) -> ())
+
 (* Heartbeats ride the replay's poison hook: every [hb_poll_steps]
-   interposed calls, if [hb_interval] elapsed, send one [hb] line. The hook
-   answers false — a worker is never externally poisoned; cancellation is
-   the coordinator closing the connection, which the next write notices. *)
+   interposed calls, if [hb_interval] elapsed, send one [hb] line (plus
+   any accumulated telemetry delta). The hook answers false — a worker is
+   never externally poisoned; cancellation is the coordinator closing the
+   connection, which the next write notices. *)
 let hb_poll_steps = 4096
 let hb_interval = 0.25
 
-type hb = { oc : out_channel; mutable polls : int; mutable last : float }
+type hb = {
+  oc : out_channel;
+  mutable polls : int;
+  mutable last : float;
+  tele : telemetry;
+}
 
 let heartbeat hb () =
   hb.polls <- hb.polls + 1;
@@ -56,8 +86,9 @@ let heartbeat hb () =
     let now = Unix.gettimeofday () in
     if now -. hb.last > hb_interval then begin
       hb.last <- now;
-      try Wire.write_to_coord hb.oc Wire.Heartbeat
-      with Sys_error _ | Unix.Unix_error _ -> ()
+      (try Wire.write_to_coord hb.oc Wire.Heartbeat
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      ship_telemetry hb.tele hb.oc
     end
   end;
   false
@@ -114,8 +145,16 @@ let run_item ~(r : resolved) ~hb ~metrics (it : Checkpoint.item) : Wire.run_resu
   { Wire.key; payload; timeouts = !timeouts; retries = !retries;
     transients = !transients }
 
-let serve ?auth ?session ~resolve fd =
+let serve ?auth ?session ?telemetry:tele ~resolve fd =
   let sess = match session with Some s -> s | None -> make_session () in
+  (* The worker's metric shard is process-local (registry of one shard);
+     canonical counters travel in result deltas, while the registry's own
+     series (runtime, executor) ship as advisory telemetry frames. *)
+  let tele =
+    match tele with
+    | Some t -> t
+    | None -> telemetry (Obs.Metrics.create ~shards:1 ())
+  in
   let old_pipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
@@ -147,11 +186,8 @@ let serve ?auth ?session ~resolve fd =
     in
     drain ()
   in
-  let hb = { oc; polls = 0; last = Unix.gettimeofday () } in
-  (* The worker's metric shard is process-local (registry of one shard);
-     canonical counters travel in result deltas, not metrics. *)
-  let registry = Obs.Metrics.create ~shards:1 () in
-  let metrics = Some (Obs.Metrics.shard registry 0) in
+  let hb = { oc; polls = 0; last = Unix.gettimeofday (); tele } in
+  let metrics = Some (Obs.Metrics.shard tele.t_registry 0) in
   let id = Printf.sprintf "pid%d" (Unix.getpid ()) in
   (* Re-send the unacknowledged frame from a previous incarnation, tagged
      with its grant-time epoch. The coordinator either still holds that
@@ -181,6 +217,7 @@ let serve ?auth ?session ~resolve fd =
            session = sess.id;
            epoch = sess.epoch;
            pending = Option.map (fun p -> p.p_lease_id) sess.pending;
+           role = None;
          })
   with
   | exception (Sys_error _ | Unix.Unix_error _) -> disconnected ()
@@ -208,6 +245,10 @@ let serve ?auth ?session ~resolve fd =
             Log.err (fun m ->
                 m "coordinator (proto=%d) rejected us: %s" proto reason);
             `Rejected reason
+        | Ok (Wire.Progress _) ->
+            (* Progress frames are observer fare; a worker receiving one
+               (a confused coordinator) just ignores it. *)
+            loop r
         | Ok Wire.Detach ->
             Log.info (fun m -> m "coordinator detached; session over");
             `Disconnected
@@ -235,10 +276,13 @@ let serve ?auth ?session ~resolve fd =
             | Some rr ->
                 let runs = List.map (run_item ~r:rr ~hb ~metrics) items in
                 (* Stash before sending: if the write dies part-way the
-                   next session re-delivers the whole frame. *)
+                   next session re-delivers the whole frame. Telemetry for
+                   these replays ships first, so a drain right after the
+                   final results frame cannot strand their metrics. *)
                 sess.pending <-
                   Some { p_epoch = sess.epoch; p_lease_id = lease_id;
                          p_runs = runs };
+                ship_telemetry tele oc;
                 if flush_pending () then loop r else disconnected ())
       in
       loop None
@@ -258,9 +302,16 @@ let dial sa =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       `Err (Unix.error_message e)
 
-let serve_addr ?auth ?session ?(reconnect = default_reconnect) ?stop ~resolve
-    mode =
+let serve_addr ?auth ?session ?telemetry:tele ?(reconnect = default_reconnect)
+    ?stop ~resolve mode =
   let sess = match session with Some s -> s | None -> make_session () in
+  (* One registry across every (re)connection of this worker, so the
+     shipped deltas stay monotone over reconnects. *)
+  let tele =
+    match tele with
+    | Some t -> t
+    | None -> telemetry (Obs.Metrics.create ~shards:1 ())
+  in
   let stopping () =
     Atomic.get sigterm_seen
     || match stop with Some f -> f () | None -> false
@@ -282,7 +333,7 @@ let serve_addr ?auth ?session ?(reconnect = default_reconnect) ?stop ~resolve
         else
           match dial sa with
           | `Connected fd -> (
-              match serve ?auth ~session:sess ~resolve fd with
+              match serve ?auth ~session:sess ~telemetry:tele ~resolve fd with
               | `Shutdown -> Ok ()
               | `Rejected reason ->
                   Error ("rejected by coordinator: " ^ reason)
@@ -378,7 +429,9 @@ let serve_addr ?auth ?session ?(reconnect = default_reconnect) ?stop ~resolve
                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
                 | exception Unix.Unix_error _ -> accept_loop ()
                 | afd, _ -> (
-                    match serve ?auth ~session:sess ~resolve afd with
+                    match
+                      serve ?auth ~session:sess ~telemetry:tele ~resolve afd
+                    with
                     | `Shutdown -> Ok ()
                     | `Rejected reason ->
                         Error ("rejected by coordinator: " ^ reason)

@@ -42,6 +42,18 @@ val make_session : ?id:string -> unit -> session
 (** A fresh session (never admitted, nothing pending). [id] defaults to a
     unique [w<pid>-<hex>] string. *)
 
+type telemetry
+(** The worker's local metric registry paired with its shipped-so-far
+    snapshot. Metric deltas ({!Obs.Metrics.to_delta}) are shipped to the
+    coordinator piggybacked on heartbeats and ahead of every results
+    frame; the pair must outlive the connection (a redialling worker
+    reuses it) so deltas stay monotone across sessions. *)
+
+val telemetry : Obs.Metrics.t -> telemetry
+(** Wrap a caller-owned registry (shard 0 is the worker's write shard).
+    The caller keeps the registry handle — [dampi worker --metrics-out]
+    snapshots it at exit for offline debugging. *)
+
 type reconnect = {
   max_redials : int;  (** consecutive failed dials before giving up *)
   backoff : float;  (** base delay, doubled per attempt, capped at 5 s *)
@@ -57,6 +69,7 @@ val default_reconnect : reconnect
 val serve :
   ?auth:string ->
   ?session:session ->
+  ?telemetry:telemetry ->
   resolve:(Wire.job -> (resolved, string) result) ->
   Unix.file_descr ->
   [ `Shutdown | `Disconnected | `Rejected of string ]
@@ -73,6 +86,7 @@ val serve :
 val serve_addr :
   ?auth:string ->
   ?session:session ->
+  ?telemetry:telemetry ->
   ?reconnect:reconnect ->
   ?stop:(unit -> bool) ->
   resolve:(Wire.job -> (resolved, string) result) ->

@@ -166,12 +166,17 @@ type t = {
       (** exploration stopped early by SIGINT/SIGTERM with the outstanding
           frontier checkpointed; counters cover the completed portion only *)
   metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
-  worker_metrics : (int * Obs.Metrics.snapshot) list;
-      (** per-worker-shard views (present when jobs > 1) *)
+  worker_metrics : (string * Obs.Metrics.snapshot) list;
+      (** labeled per-shard views: ["w0".."wN"] worker domains, ["sched"],
+          ["aux"], plus one label per remote session in distributed mode *)
   events : Obs.Trace.event list;  (** span stream; empty unless traced *)
 }
 
 let metrics_json t = Obs.Metrics.to_json ~workers:t.worker_metrics t.metrics
+
+let metrics_openmetrics t =
+  Obs.Metrics.to_openmetrics ~workers:t.worker_metrics t.metrics
+
 let trace_json t = Obs.Trace.to_chrome t.events
 
 let has_errors t =

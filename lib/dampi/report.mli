@@ -111,12 +111,18 @@ type t = {
       (** stopped early by SIGINT/SIGTERM; the outstanding frontier was
           checkpointed and the counters cover the completed portion only *)
   metrics : Obs.Metrics.snapshot;  (** merged over all worker shards *)
-  worker_metrics : (int * Obs.Metrics.snapshot) list;
+  worker_metrics : (string * Obs.Metrics.snapshot) list;
+      (** labeled per-shard views: ["w0".."wN"] worker domains, ["sched"],
+          ["aux"], plus one label per remote session in distributed mode *)
   events : Obs.Trace.event list;  (** span stream; empty unless traced *)
 }
 
 val metrics_json : t -> string
 (** The [--metrics-out] document: merged series plus per-worker shards. *)
+
+val metrics_openmetrics : t -> string
+(** The same data in OpenMetrics text format
+    ({!Obs.Metrics.to_openmetrics}). *)
 
 val trace_json : t -> string
 (** The [--trace-out] document: Chrome [trace_event] JSON. *)

@@ -43,6 +43,9 @@ type smetrics = {
   m_queue_wait : Obs.Metrics.histogram;
   m_frontier : Obs.Metrics.histogram;
   m_steals : Obs.Metrics.counter;
+  m_sched_wait : Obs.Metrics.histogram option;
+      (* [--profile]: same observations as [sched.queue_wait_s], published
+         under the uniform [profile.*] namespace the profiler exports *)
 }
 
 (* One worker's deque. The logical sequence is [front @ List.rev back]; the
@@ -81,7 +84,7 @@ type 'a t = {
 }
 
 let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics
-    ?(admit = fun _ -> true) () =
+    ?(profile = false) ?(admit = fun _ -> true) () =
   let jobs = max 1 jobs in
   {
     order;
@@ -124,6 +127,10 @@ let create ?(order = Lifo) ~jobs ?(budget = max_int) ?metrics
               Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
                 "sched.frontier_size";
             m_steals = Obs.Metrics.counter sh "sched.steals";
+            m_sched_wait =
+              (if profile then
+                 Some (Obs.Metrics.histogram sh "profile.sched_wait_s")
+               else None);
           })
         metrics;
     admit;
@@ -315,7 +322,11 @@ let idle_wait t (ws : worker_stats) =
       let waited = Unix.gettimeofday () -. t0 in
       ws.wait_seconds <- ws.wait_seconds +. waited;
       (match t.metrics with
-      | Some ms -> Obs.Metrics.observe ms.m_queue_wait waited
+      | Some ms ->
+          Obs.Metrics.observe ms.m_queue_wait waited;
+          (match ms.m_sched_wait with
+          | Some h -> Obs.Metrics.observe h waited
+          | None -> ())
       | None -> ());
       await ()
     end

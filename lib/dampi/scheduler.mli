@@ -46,6 +46,7 @@ val create :
   jobs:int ->
   ?budget:int ->
   ?metrics:Obs.Metrics.shard ->
+  ?profile:bool ->
   ?admit:('a -> bool) ->
   unit ->
   'a t
@@ -55,7 +56,8 @@ val create :
     are reported by {!pending}. [metrics] attaches an observability shard
     ([sched.queue_wait_s], [sched.frontier_size], [sched.steals]); every
     write to it happens under a scheduler-owned mutex, so pass a shard no
-    worker owns. [admit] filters every enqueue path ({!push}, {!push_batch},
+    worker owns. [profile] mirrors the queue-wait observations into
+    [profile.sched_wait_s], the uniform namespace [--profile] exports. [admit] filters every enqueue path ({!push}, {!push_batch},
     and children published by {!run}): an item it rejects is never inserted.
     It runs on whichever thread publishes, so it must be thread-safe; the
     explorer uses it for duplicate-schedule detection at the frontier. *)

@@ -53,6 +53,8 @@ type smetrics = {
   m_clock_merges : Obs.Metrics.counter;
   m_epochs_recorded : Obs.Metrics.counter;
   m_epochs_completed : Obs.Metrics.counter;
+  m_clock_merge_t : Obs.Metrics.histogram option;
+      (* [--profile]: wall time of each clock merge *)
 }
 
 type monitor_warning = {
@@ -92,8 +94,8 @@ type t = {
       (** polled at every interposed call; [true] cancels the replay *)
 }
 
-let create ?(config = default_config) ?metrics ?poison ~np ~plan ~fork_index
-    () =
+let create ?(config = default_config) ?metrics ?(profile = false) ?poison ~np
+    ~plan ~fork_index () =
   let module C = (val config.clock) in
   let zero = C.encode (C.make ~np) in
   {
@@ -124,6 +126,10 @@ let create ?(config = default_config) ?metrics ?poison ~np ~plan ~fork_index
             m_epochs_recorded = Obs.Metrics.counter sh "dampi.epochs_recorded";
             m_epochs_completed =
               Obs.Metrics.counter sh "dampi.epochs_completed";
+            m_clock_merge_t =
+              (if profile then
+                 Some (Obs.Metrics.histogram sh "profile.clock_merge_s")
+               else None);
           })
         metrics;
     poison;
@@ -167,14 +173,19 @@ let merge_in st me enc =
   (match st.obs with
   | Some m -> Obs.Metrics.incr m.m_clock_merges
   | None -> ());
-  let module C = (val st.config.clock) in
-  let theirs = C.decode ~np:st.np enc in
-  let mine = C.decode ~np:st.np st.clocks.(me) in
-  st.clocks.(me) <- C.encode (C.merge mine theirs);
-  if st.config.dual_clock then begin
-    let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
-    st.xmit_clocks.(me) <- C.encode (C.merge xmit theirs)
-  end
+  let merge () =
+    let module C = (val st.config.clock) in
+    let theirs = C.decode ~np:st.np enc in
+    let mine = C.decode ~np:st.np st.clocks.(me) in
+    st.clocks.(me) <- C.encode (C.merge mine theirs);
+    if st.config.dual_clock then begin
+      let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
+      st.xmit_clocks.(me) <- C.encode (C.merge xmit theirs)
+    end
+  in
+  match st.obs with
+  | Some { m_clock_merge_t = Some h; _ } -> Obs.Metrics.time h merge
+  | _ -> merge ()
 
 (* Dual-clock synchronization point ("when a Wait/Test is encountered",
    §V): the transmitted clock catches up with the analysis clock. *)

@@ -67,12 +67,15 @@ type t = {
 val create :
   ?config:config ->
   ?metrics:Obs.Metrics.shard ->
+  ?profile:bool ->
   ?poison:(unit -> bool) ->
   np:int ->
   plan:Decisions.plan ->
   fork_index:int ->
   unit ->
   t
+(** [profile] (with [metrics]) wall-clocks every clock merge into the
+    [profile.clock_merge_s] histogram — the [--profile] phase timing. *)
 
 val check_poison : t -> unit
 (** Raises {!Replay_cancelled} when the poison closure reports true. Called

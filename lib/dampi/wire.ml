@@ -120,6 +120,7 @@ type to_worker =
   | Reject of { proto : int; reason : string }
   | Job of job
   | Lease of { lease_id : int; items : Checkpoint.item list }
+  | Progress of (string * string) list
   | Detach
   | Shutdown
 
@@ -130,10 +131,12 @@ type to_coord =
       session : string;
       epoch : int;
       pending : int option;
+      role : string option;
     }
   | Auth of string
   | Ready
   | Heartbeat
+  | Telemetry of (string * Obs.Metrics.sample) list
   | Results of { epoch : int; lease_id : int; runs : run_result list }
   | Failed of string
 
@@ -180,21 +183,39 @@ let write_to_worker oc msg =
       Printf.fprintf oc "lease %d %d\n" lease_id (List.length items);
       List.iter (fun it -> output_string oc (item_line it ^ "\n")) items;
       output_string oc "end\n"
+  | Progress kvs ->
+      Printf.fprintf oc "top %d\n" (List.length kvs);
+      List.iter
+        (fun (k, v) ->
+          Printf.fprintf oc "s %s %s\n" (Checkpoint.enc k) (Checkpoint.enc v))
+        kvs;
+      output_string oc "end\n"
   | Detach -> output_string oc "detach\n"
   | Shutdown -> output_string oc "shutdown\n");
   flush oc
 
 let write_to_coord oc msg =
   (match msg with
-  | Hello { proto; id; session; epoch; pending } ->
-      Printf.fprintf oc "hello proto=%d id=%s session=%s epoch=%d%s\n" proto
+  | Hello { proto; id; session; epoch; pending; role } ->
+      Printf.fprintf oc "hello proto=%d id=%s session=%s epoch=%d%s%s\n" proto
         (Checkpoint.enc id) (Checkpoint.enc session) epoch
         (match pending with
         | Some l -> Printf.sprintf " pending=%d" l
         | None -> "")
+        (match role with
+        | Some r -> Printf.sprintf " role=%s" (Checkpoint.enc r)
+        | None -> "")
   | Auth mac -> Printf.fprintf oc "auth %s\n" (Checkpoint.enc mac)
   | Ready -> output_string oc "ready\n"
   | Heartbeat -> output_string oc "hb\n"
+  | Telemetry series ->
+      Printf.fprintf oc "telemetry %d\n" (List.length series);
+      List.iter
+        (fun (name, s) ->
+          Printf.fprintf oc "t %s %s\n" (Checkpoint.enc name)
+            (Obs.Metrics.sample_to_wire s))
+        series;
+      output_string oc "end\n"
   | Failed reason -> Printf.fprintf oc "fail %s\n" (Checkpoint.enc reason)
   | Results { epoch; lease_id; runs } ->
       Printf.fprintf oc "results %d %d %d\n" epoch lease_id (List.length runs);
@@ -384,6 +405,29 @@ let read_to_worker ic =
               | Ok items -> Ok (Lease { lease_id; items })
               | Error e -> Error e)
           | _ -> Error (Printf.sprintf "malformed lease line %S" line))
+      | [ "top"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> (
+              let rec kvs acc k =
+                if k = 0 then
+                  match read_line_opt ic with
+                  | Some "end" -> Ok (List.rev acc)
+                  | _ -> Error "top frame not closed by end"
+                else
+                  match read_line_opt ic with
+                  | None -> Error "connection closed mid-frame"
+                  | Some l -> (
+                      match fields l with
+                      | [ "s"; key; v ] ->
+                          kvs
+                            ((Checkpoint.dec key, Checkpoint.dec v) :: acc)
+                            (k - 1)
+                      | _ -> Error (Printf.sprintf "malformed top line %S" l))
+              in
+              match kvs [] n with
+              | Ok kvs -> Ok (Progress kvs)
+              | Error e -> Error e)
+          | _ -> Error (Printf.sprintf "malformed top line %S" line))
       | [ "detach" ] -> Ok Detach
       | [ "shutdown" ] -> Ok Shutdown
       | _ -> Error (Printf.sprintf "unexpected coordinator line %S" line))
@@ -401,12 +445,26 @@ type partial = {
   mutable p_children : Checkpoint.item list;
 }
 
+(* Mid-frame state of a telemetry frame. Unlike results frames, telemetry
+   is advisory: malformed samples are skipped and a corrupt or truncated
+   frame is dropped whole — it never poisons the connection. *)
+type tpartial = {
+  mutable t_want : int;
+  mutable t_series : (string * Obs.Metrics.sample) list;  (* reversed *)
+}
+
+type frame_state = F_results of partial | F_telemetry of tpartial
+
 type assembler = {
   buf : Buffer.t;
-  mutable frame : partial option;
+  mutable frame : frame_state option;
 }
 
 let assembler () = { buf = Buffer.create 256; frame = None }
+
+(* Bound what a single telemetry frame may claim, so a hostile header
+   cannot make the assembler loop forever waiting for samples. *)
+let max_telemetry_series = 4096
 
 let close_group p (h : run_header) =
   let hdr = h.hdr in
@@ -427,9 +485,30 @@ let close_group p (h : run_header) =
   p.p_want <- p.p_want - 1
 
 (* One complete line, inside or outside a frame. *)
-let line_msg a line =
+let rec line_msg a line =
   match a.frame with
-  | Some p -> (
+  | Some (F_telemetry tp) -> (
+      match fields line with
+      | [ "end" ] ->
+          a.frame <- None;
+          Some (Ok (Telemetry (List.rev tp.t_series)))
+      | "t" :: rest ->
+          (match rest with
+          | [ name; token ] when tp.t_want > 0 -> (
+              tp.t_want <- tp.t_want - 1;
+              match Obs.Metrics.sample_of_wire token with
+              | Some s -> tp.t_series <- (Checkpoint.dec name, s) :: tp.t_series
+              | None -> () (* malformed sample: skip it *))
+          | _ -> () (* malformed or surplus sample: skip it *));
+          None
+      | ("hello" | "auth" | "ready" | "hb" | "fail" | "results" | "telemetry")
+        :: _ ->
+          (* The frame was truncated: drop it whole and let this line be
+             whatever it claims to be at the top level. *)
+          a.frame <- None;
+          line_msg a line
+      | _ -> None (* corrupt telemetry content: skip the line *))
+  | Some (F_results p) -> (
       (* Inside a results frame: run headers, their err/child lines, end. *)
       let fill_cur () =
         match p.p_cur with
@@ -513,7 +592,8 @@ let line_msg a line =
               let pending =
                 Option.bind (List.assoc_opt "pending" kvs) int_of_string_opt
               in
-              Some (Ok (Hello { proto; id; session; epoch; pending }))
+              let role = List.assoc_opt "role" kvs in
+              Some (Ok (Hello { proto; id; session; epoch; pending; role }))
           | _ -> Some (Error (Printf.sprintf "malformed hello %S" line)))
       | [ "auth"; mac ] -> Some (Ok (Auth (Checkpoint.dec mac)))
       | [ "ready" ] -> Some (Ok Ready)
@@ -528,17 +608,29 @@ let line_msg a line =
                  unconditionally so the closing line is consumed there. *)
               a.frame <-
                 Some
-                  {
-                    p_epoch = epoch;
-                    p_lease_id = lease_id;
-                    p_want = n;
-                    p_runs = [];
-                    p_cur = None;
-                    p_errs = [];
-                    p_children = [];
-                  };
+                  (F_results
+                     {
+                       p_epoch = epoch;
+                       p_lease_id = lease_id;
+                       p_want = n;
+                       p_runs = [];
+                       p_cur = None;
+                       p_errs = [];
+                       p_children = [];
+                     });
               None
           | _ -> Some (Error (Printf.sprintf "malformed results line %S" line)))
+      | "telemetry" :: rest -> (
+          (* Telemetry is best-effort: a malformed header is dropped
+             silently rather than poisoning the connection. *)
+          match rest with
+          | [ n ] -> (
+              match int_of_string_opt n with
+              | Some n when n >= 0 && n <= max_telemetry_series ->
+                  a.frame <- Some (F_telemetry { t_want = n; t_series = [] });
+                  None
+              | _ -> None)
+          | _ -> None)
       | _ -> Some (Error (Printf.sprintf "unexpected worker line %S" line)))
 
 let line_msg a line =

@@ -18,6 +18,7 @@
       worker: ready                      (or: fail <enc reason>)
       coord:  lease <id> <n> / n x item ... / end
       worker: hb                         (heartbeats, during long replays)
+      worker: telemetry <n> / n x t <name> <sample> / end   (optional)
       worker: results <epoch> <id> <n> / n x run-groups / end
       ...                                (more leases)
       coord:  shutdown                   (exploration complete: exit)
@@ -121,6 +122,10 @@ type to_worker =
           speaks. The connection closes after this line. *)
   | Job of job
   | Lease of { lease_id : int; items : Checkpoint.item list }
+  | Progress of (string * string) list
+      (** periodic aggregate progress, streamed to [role=observer]
+          connections ([dampi top]): a [top <n>] frame of percent-encoded
+          key/value pairs. Never sent to workers. *)
   | Detach
       (** this session is over but the exploration is not (coordinator
           interrupted or erroring out): reconnecting later may succeed *)
@@ -136,10 +141,20 @@ type to_coord =
           (** lease id of an unacknowledged results frame the worker still
               holds, if any — the coordinator uses it to decide between
               resuming the lease and fencing *)
+      role : string option;
+          (** [Some "observer"]: a read-only client ([dampi top]) that
+              receives [Progress] frames and no leases. [None] (the
+              default, and what older peers send) means worker. *)
     }
   | Auth of string  (** response to [Challenge] *)
   | Ready
   | Heartbeat
+  | Telemetry of (string * Obs.Metrics.sample) list
+      (** metric deltas ({!Obs.Metrics.to_delta}) shipped piggybacked on
+          heartbeats and ahead of results frames. Advisory: malformed
+          samples are skipped and corrupt or truncated frames dropped
+          whole by the assembler — telemetry never poisons a
+          connection. *)
   | Results of { epoch : int; lease_id : int; runs : run_result list }
   | Failed of string
 
@@ -168,4 +183,5 @@ val assembler : unit -> assembler
 val feed : assembler -> bytes -> int -> (to_coord, string) result list
 (** [feed a buf n] consumes [n] bytes read from a worker's socket and
     returns every message completed by them, in order. A malformed line or
-    frame yields [Error] (the coordinator drops the worker). *)
+    frame yields [Error] (the coordinator drops the worker) — except
+    telemetry, which is dropped silently (see {!to_coord.Telemetry}). *)

@@ -93,6 +93,8 @@ type rmetrics = {
   m_wildcard_candidates : Obs.Metrics.histogram;
   m_queue_depth : Obs.Metrics.histogram;
   m_deadlock_checks : Obs.Metrics.counter;
+  m_match_loop : Obs.Metrics.histogram option;
+      (* [--profile]: wall time of each match-loop entry *)
 }
 
 type t = {
@@ -133,7 +135,7 @@ let register_comm rt comm =
   record
 
 let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
-    ?metrics ?(fault = Fault.none) ~np () =
+    ?metrics ?(profile = false) ?(fault = Fault.none) ~np () =
   if np <= 0 then invalid_arg "Runtime.create: np must be positive";
   let comm_world =
     Comm.make ~ctx:0 ~ranks:(Array.init np Fun.id) ~internal:false
@@ -177,6 +179,10 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
                 Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
                   "mpi.queue_depth";
               m_deadlock_checks = Obs.Metrics.counter sh "mpi.deadlock_checks";
+              m_match_loop =
+                (if profile then
+                   Some (Obs.Metrics.histogram sh "profile.match_loop_s")
+                 else None);
             })
           metrics;
     }
@@ -230,6 +236,13 @@ let count_match_attempt rt =
   match rt.metrics with
   | Some m -> Obs.Metrics.incr m.m_match_attempts
   | None -> ()
+
+(* Phase timing behind [--profile]: a transparent call unless the runtime
+   was created with [profile] and a metrics shard. *)
+let timed_match rt f =
+  match rt.metrics with
+  | Some { m_match_loop = Some h; _ } -> Obs.Metrics.time h f
+  | _ -> f ()
 
 let observe_queue_depth rt dst =
   match rt.metrics with
@@ -408,9 +421,10 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
            sync;
          });
   count_match_attempt rt;
-  (match Matching.on_arrival rt.mailboxes.(dst) env with
-  | Matching.Delivered rreq -> complete_recv rt rreq env
-  | Matching.Queued -> ());
+  timed_match rt (fun () ->
+      match Matching.on_arrival rt.mailboxes.(dst) env with
+      | Matching.Delivered rreq -> complete_recv rt rreq env
+      | Matching.Queued -> ());
   observe_queue_depth rt dst;
   (* Always nudge the destination: it may be parked in a blocking probe. *)
   Coroutine.wake rt.sched dst;
@@ -445,7 +459,8 @@ let post_recv rt ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
          { t = Vtime.now rt.vt me; pid = me; src = src_pid; tag; ctx = Comm.ctx comm });
   count_match_attempt rt;
   (match
-     Matching.post_recv rt.mailboxes.(me) req ~choose:(consult_oracle rt)
+     timed_match rt (fun () ->
+         Matching.post_recv rt.mailboxes.(me) req ~choose:(consult_oracle rt))
    with
   | Some env -> complete_recv rt req env
   | None -> ());

@@ -34,7 +34,9 @@ type t
     log (default off — a trace-off runtime allocates no event records at
     all). [metrics] attaches an observability shard: the runtime then counts
     match attempts and deadlock re-checks and observes wildcard-candidate
-    widths and destination queue depths ([mpi.*] series). [fault] installs a
+    widths and destination queue depths ([mpi.*] series); with [profile]
+    it additionally wall-clocks every match-loop entry into the
+    [profile.match_loop_s] histogram. [fault] installs a
     per-run fault-injection instance ({!Fault.make}); the runtime consults it
     on every posted send (delivery delay / transient failure) and at every
     blocking call site (injected crash / wedge). *)
@@ -43,6 +45,7 @@ val create :
   ?oracle:oracle ->
   ?trace:bool ->
   ?metrics:Obs.Metrics.shard ->
+  ?profile:bool ->
   ?fault:Fault.t ->
   np:int ->
   unit ->

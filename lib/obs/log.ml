@@ -1,0 +1,123 @@
+(* Leveled logger with a bounded ring and optional JSONL mirror. All
+   state sits behind one mutex: logging is off the replay hot path (the
+   distributed layer logs per-connection events, not per-message), so a
+   single lock is cheaper than getting lock-free publication right. *)
+
+type level = Error | Warn | Info | Debug
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" | "off" | "none" -> Ok None
+  | "error" | "err" -> Ok (Some Error)
+  | "warn" | "warning" -> Ok (Some Warn)
+  | "info" -> Ok (Some Info)
+  | "debug" -> Ok (Some Debug)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad log level %S (expected quiet, error, warn, info or debug)" s)
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+type src = { name : string }
+
+let src name = { name }
+let src_name s = s.name
+
+type record = { ts : float; r_level : level; r_src : string; r_msg : string }
+
+let ring_cap = 256
+
+type state = {
+  mutable lvl : level option;
+  mutable ring : record array; (* circular; [filled] valid entries *)
+  mutable next : int;
+  mutable filled : int;
+  mutable jsonl : out_channel option;
+  lock : Mutex.t;
+}
+
+let st =
+  {
+    lvl = Some Warn;
+    ring = [||];
+    next = 0;
+    filled = 0;
+    jsonl = None;
+    lock = Mutex.create ();
+  }
+
+let set_level l = st.lvl <- l
+let current_level () = st.lvl
+
+let set_jsonl oc =
+  Mutex.protect st.lock (fun () -> st.jsonl <- oc)
+
+let enabled lvl =
+  match st.lvl with Some l -> severity lvl <= severity l | None -> false
+
+let record_jsonl b r =
+  Printf.bprintf b "{\"ts\":%s,\"level\":\"%s\",\"src\":\"%s\",\"msg\":\"%s\"}\n"
+    (Metrics.json_float r.ts)
+    (level_to_string r.r_level)
+    (Metrics.json_escape r.r_src)
+    (Metrics.json_escape r.r_msg)
+
+let to_jsonl records =
+  let b = Buffer.create 512 in
+  List.iter (record_jsonl b) records;
+  Buffer.contents b
+
+let emit s lvl text =
+  let r =
+    { ts = Unix.gettimeofday (); r_level = lvl; r_src = s.name; r_msg = text }
+  in
+  Mutex.protect st.lock (fun () ->
+      if Array.length st.ring = 0 then
+        st.ring <- Array.make ring_cap r
+      else st.ring.(st.next) <- r;
+      st.next <- (st.next + 1) mod ring_cap;
+      if st.filled < ring_cap then st.filled <- st.filled + 1;
+      (match st.jsonl with
+      | Some oc ->
+          (try
+             let b = Buffer.create 128 in
+             record_jsonl b r;
+             output_string oc (Buffer.contents b);
+             flush oc
+           with Sys_error _ -> ())
+      | None -> ());
+      Printf.eprintf "dampi [%s] %s: %s\n%!" (level_to_string lvl) s.name text)
+
+let msg s lvl k =
+  if enabled lvl then
+    k (fun fmt -> Format.kasprintf (fun text -> emit s lvl text) fmt)
+
+module type LOG = sig
+  val err : ((('a, Format.formatter, unit, unit) format4 -> 'a) -> unit) -> unit
+  val warn : ((('a, Format.formatter, unit, unit) format4 -> 'a) -> unit) -> unit
+  val info : ((('a, Format.formatter, unit, unit) format4 -> 'a) -> unit) -> unit
+
+  val debug :
+    ((('a, Format.formatter, unit, unit) format4 -> 'a) -> unit) -> unit
+end
+
+let src_log s : (module LOG) =
+  (module struct
+    let err k = msg s Error k
+    let warn k = msg s Warn k
+    let info k = msg s Info k
+    let debug k = msg s Debug k
+  end)
+
+let recent () =
+  Mutex.protect st.lock (fun () ->
+      let n = st.filled in
+      let start = (st.next - n + ring_cap) mod ring_cap in
+      List.init n (fun i -> st.ring.((start + i) mod ring_cap)))

@@ -47,6 +47,11 @@ val histogram : shard -> ?bounds:float array -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] and observes its wall-clock duration (seconds)
+    into [h] — the phase-timing helper behind [--profile]. Nothing is
+    recorded if [f] raises. *)
+
 val seconds_bounds : float array
 (** Decades from 1µs to 10s — for wall/virtual durations. *)
 
@@ -79,12 +84,48 @@ val counter_value : snapshot -> string -> int
 
 val find : snapshot -> string -> sample option
 
+(** {1 Deltas}
+
+    A delta is itself a {!snapshot}: counters and histogram buckets hold
+    the monotone increase since the previous snapshot (clamped at 0),
+    gauges hold the current value. Deltas are what workers ship over the
+    wire; the receiving side folds them in with {!merge_delta}. *)
+
+val to_delta : prev:snapshot -> snapshot -> snapshot
+(** [to_delta ~prev cur] — series whose delta carries no information
+    (zero counters, empty histogram increments) are dropped, so a quiet
+    interval yields [[]]. *)
+
+val merge_delta : snapshot -> snapshot -> snapshot
+(** [merge_delta base delta] adds counter/histogram increments into
+    [base]; gauges take the delta's (latest) value. Mismatched kinds or
+    histogram bounds keep [base]'s series — never raises. *)
+
+(** {1 Wire encoding}
+
+    Space-free sample tokens for line-oriented protocols: [c:N],
+    [g:HEXFLOAT], [h:COUNT:SUM:MAX:B0,B1,..:C0,C1,..] (floats as OCaml
+    hex floats for exact round-trips). *)
+
+val sample_to_wire : sample -> string
+
+val sample_of_wire : string -> sample option
+(** [None] on any malformed token — telemetry parsing never raises. *)
+
 (** {1 Export} *)
 
-val to_json : ?workers:(int * snapshot) list -> snapshot -> string
+val to_json : ?workers:(string * snapshot) list -> snapshot -> string
 (** A single JSON object: [{"metrics": {...}, "workers": [...]}]. Counters
     as integers, histograms with per-bucket counts ([le] upper bounds, the
-    overflow bucket as ["+inf"]). *)
+    overflow bucket as ["+inf"]). [workers] entries are labeled snapshots
+    (["w0"], ["sched"], a remote session id, ...). *)
+
+val to_openmetrics : ?workers:(string * snapshot) list -> snapshot -> string
+(** OpenMetrics text format: metric names sanitized to
+    [[a-zA-Z0-9_:]], counters as [name_total], histograms as cumulative
+    [name_bucket{le="..."}] plus [name_sum]/[name_count], terminated by
+    [# EOF]. Worker-labeled series ride along as
+    [name{worker="..."} ...] within the same family. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Deterministic one-line-per-metric listing (for [dampi stats]). *)

@@ -298,3 +298,66 @@ already finished (socket gone) is a clean no-op, not an error:
   [2]
 
   $ dampi worker --connect unix:definitely-gone.sock
+
+Cluster telemetry. The observability flags validate their inputs, and
+--profile/--progress are dampi-engine concepts:
+
+  $ dampi verify fig3 -q --metrics-out m.json --metrics-format yaml
+  unknown --metrics-format "yaml" (json|openmetrics)
+  [2]
+
+  $ dampi verify fig3 -q --log-level shout
+  bad --log-level: bad log level "shout" (expected quiet, error, warn, info or debug)
+  [2]
+
+  $ dampi verify fig3 -q --engine isp --profile
+  --profile and --progress only apply to the dampi engine
+  [2]
+
+OpenMetrics export: counters as _total series, histograms as
+_bucket/_sum/_count, per-worker series labeled, and the mandatory # EOF
+terminator — ready for a Prometheus scrape:
+
+  $ dampi verify fig3 -q --profile --metrics-out fig3.om --metrics-format openmetrics
+  fig3 np=3: 2 interleavings, 1 findings
+  metrics written to fig3.om
+  [1]
+
+  $ grep -c '^# TYPE' fig3.om > /dev/null && tail -1 fig3.om
+  # EOF
+
+  $ grep '^mpi_match_attempts_total ' fig3.om | wc -l
+  1
+
+  $ grep -q 'mpi_match_attempts_total{worker="w0"}' fig3.om && echo labeled
+  labeled
+
+  $ grep -q '^profile_match_loop_s_count' fig3.om && echo profiled
+  profiled
+
+The --progress ticker draws on stderr only; the canonical report and
+exit code are untouched:
+
+  $ dampi verify fig3 -q --progress 2> /dev/null
+  fig3 np=3: 2 interleavings, 1 findings
+  [1]
+
+A worker leaves its local metrics snapshot behind on every exit path,
+even when the coordinator is already gone:
+
+  $ dampi worker --connect unix:also-gone.sock --metrics-out worker-metrics.json
+  $ cat worker-metrics.json
+  {
+    "metrics": {}
+  }
+
+The top observer validates its address and reports an unreachable
+coordinator rather than hanging:
+
+  $ dampi top --connect nonsense
+  bad address "nonsense": bad address "nonsense" (expected unix:PATH or tcp:HOST:PORT)
+  [2]
+
+  $ dampi top --connect unix:no-coordinator.sock --once
+  cannot connect to unix:no-coordinator.sock: No such file or directory
+  [1]

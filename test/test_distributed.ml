@@ -596,6 +596,7 @@ let test_zombie_fenced () =
            session = "zombie-session";
            epoch = 0;
            pending = None;
+           role = None;
          });
     let old_epoch =
       match expect "welcome" (Wire.read_to_worker ic) with
@@ -625,6 +626,7 @@ let test_zombie_fenced () =
            session = "zombie-session";
            epoch = old_epoch;
            pending = Some lease_id;
+           role = None;
          });
     (match expect "re-welcome" (Wire.read_to_worker ic2) with
     | Wire.Welcome { epoch } ->
@@ -854,6 +856,7 @@ let test_assembler_byte_at_a_time () =
           session = "sess one";
           epoch = 3;
           pending = Some 7;
+          role = None;
         };
       Wire.Hello
         {
@@ -862,6 +865,7 @@ let test_assembler_byte_at_a_time () =
           session = "";
           epoch = 0;
           pending = None;
+          role = None;
         };
       Wire.Auth "deadbeefdeadbeefdeadbeefdeadbeef";
       Wire.Ready;

@@ -97,7 +97,14 @@ let gen_msg =
         map
           (fun (id, session, epoch, pending) ->
             Wire.Hello
-              { proto = Wire.proto_version; id; session; epoch; pending })
+              {
+                proto = Wire.proto_version;
+                id;
+                session;
+                epoch;
+                pending;
+                role = None;
+              })
           (quad gen_text gen_text (0 -- 9)
              (oneof [ return None; map Option.some (0 -- 9) ]));
         map (fun mac -> Wire.Auth mac) gen_text;

@@ -576,6 +576,8 @@ let distributed_explore () =
                       join_timeout = Dampi.Coordinator.default_join_timeout;
                       rejoin_grace = Dampi.Coordinator.default_rejoin_grace;
                       auth = None;
+                      net_fault = None;
+                      outq_budget = Dampi.Coordinator.default_outq_budget;
                     }
                   in
                   let r =

@@ -114,7 +114,8 @@ let write_file path contents =
    cannot drift. *)
 
 let job_params ~clock_name ~mixing_bound ~dual ~prune ~profile ~replay_timeout
-    ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed ~fault_spec =
+    ~max_replay_steps ~max_retries ~retry_backoff ~fault_seed ~fault_spec
+    ~net_fault_seed ~net_fault_spec =
   [
     ("clock", clock_name);
     ("dual", string_of_bool dual);
@@ -133,7 +134,12 @@ let job_params ~clock_name ~mixing_bound ~dual ~prune ~profile ~replay_timeout
   @ (match fault_seed with
     | Some s -> [ ("fault-seed", string_of_int s) ]
     | None -> [])
-  @ match fault_spec with Some s -> [ ("fault-spec", s) ] | None -> []
+  @ (match fault_spec with Some s -> [ ("fault-spec", s) ] | None -> [])
+  @ (match net_fault_seed with
+    | Some s -> [ ("net-fault-seed", string_of_int s) ]
+    | None -> [])
+  @
+  match net_fault_spec with Some s -> [ ("net-fault-spec", s) ] | None -> []
 
 exception Bad_job of string
 
@@ -182,6 +188,16 @@ let cli_resolve (job : Dampi.Wire.job) =
               | Ok spec -> Some spec
               | Error msg -> raise (Bad_job ("bad fault spec: " ^ msg)))
         in
+        let net_fault =
+          match (int_p "net-fault-seed", p "net-fault-spec") with
+          | None, None -> None
+          | seed, text -> (
+              match
+                Mpi.Fault.Net.of_string ?seed (Option.value text ~default:"")
+              with
+              | Ok spec -> Some spec
+              | Error msg -> raise (Bad_job ("bad net-fault spec: " ^ msg)))
+        in
         let d = Explorer.default_robustness in
         let rb =
           {
@@ -193,6 +209,7 @@ let cli_resolve (job : Dampi.Wire.job) =
               Option.value (float_p "retry-backoff")
                 ~default:d.Explorer.retry_backoff;
             fault;
+            net_fault;
             checkpoint = None;
             interrupt_after = None;
           }
@@ -260,6 +277,10 @@ let list_cmd =
 
 (* ---- verify command ---- *)
 
+let cli_src = Obs.Log.src "dampi.cli"
+
+module Cli_log = (val Obs.Log.src_log cli_src : Obs.Log.LOG)
+
 (* Re-exec this verify without --coordinator-respawn, restarting it from
    its checkpoint each time it dies to a signal (up to [budget] times). A
    SIGKILLed coordinator thus costs the run one resume, not the run. *)
@@ -297,16 +318,16 @@ let supervise_respawns ~budget =
     | Unix.WEXITED code -> exit code
     | Unix.WSIGNALED sg | Unix.WSTOPPED sg ->
         if restarts >= budget then begin
-          Printf.eprintf
-            "coordinator died (%s); respawn budget exhausted after %d \
-             restart(s)\n"
-            (signal_name sg) restarts;
+          Cli_log.err (fun m ->
+              m "coordinator died (%s); respawn budget exhausted after %d \
+                 restart(s)"
+                (signal_name sg) restarts);
           exit 1
         end
         else begin
-          Printf.eprintf
-            "coordinator died (%s); respawning from checkpoint (%d/%d)\n"
-            (signal_name sg) (restarts + 1) budget;
+          Cli_log.warn (fun m ->
+              m "coordinator died (%s); respawning from checkpoint (%d/%d)"
+                (signal_name sg) (restarts + 1) budget);
           go (restarts + 1)
         end
   in
@@ -317,7 +338,8 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
     workers trace_out metrics_out
     (progress, profile, metrics_format, log_level)
     (checkpoint_path, checkpoint_every, replay_timeout, max_replay_steps,
-     max_retries, retry_backoff, fault_seed, fault_spec)
+     max_retries, retry_backoff, fault_seed, fault_spec, net_fault_seed,
+     net_fault_spec)
     (auth_token, fallback_local, join_timeout, heartbeat_timeout, rejoin_grace,
      coordinator_respawn) =
   if jobs < 1 then begin
@@ -456,6 +478,18 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                 Printf.eprintf "bad fault spec: %s\n" msg;
                 exit 2)
       in
+      let net_fault =
+        match (net_fault_seed, net_fault_spec) with
+        | None, None -> None
+        | seed, text -> (
+            match
+              Mpi.Fault.Net.of_string ?seed (Option.value text ~default:"")
+            with
+            | Ok spec -> Some spec
+            | Error msg ->
+                Printf.eprintf "bad net-fault spec: %s\n" msg;
+                exit 2)
+      in
       (* The label pins everything that shapes the exploration; resuming
          under a different configuration would silently diverge, so it is
          rejected instead. *)
@@ -504,6 +538,7 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
           max_retries;
           retry_backoff;
           fault;
+          net_fault;
           checkpoint =
             Option.map
               (fun path -> { Explorer.path; every = checkpoint_every; label })
@@ -545,7 +580,8 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
               params =
                 job_params ~clock_name ~mixing_bound ~dual ~prune ~profile
                   ~replay_timeout ~max_replay_steps ~max_retries
-                  ~retry_backoff ~fault_seed ~fault_spec;
+                  ~retry_backoff ~fault_seed ~fault_spec ~net_fault_seed
+                  ~net_fault_spec;
             }
           in
           let attach =
@@ -583,6 +619,8 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
               join_timeout;
               rejoin_grace;
               auth;
+              net_fault;
+              outq_budget = Dampi.Coordinator.default_outq_budget;
             }
         end
       in
@@ -883,11 +921,40 @@ let verify_cmd =
              $(b,crash), $(b,wedge), $(b,rank)), e.g. \
              $(b,seed=7,delay=0.1,sendfail=0.05).")
   in
+  let net_fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "net-fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Enable deterministic transport chaos with the default \
+             (stall-free) rates under $(docv): wire-level delay, duplicate \
+             and reorder injection on every distributed connection, both \
+             directions. The same seed reproduces the same injection \
+             schedule, and the canonical report stays identical to a clean \
+             run — the point of the flag is rehearsing degraded networks.")
+  in
+  let net_fault_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "net-fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Transport-chaos spec as comma-separated key=value pairs (keys: \
+             $(b,seed), $(b,drop), $(b,delay), $(b,max-delay), $(b,dup), \
+             $(b,reorder), $(b,corrupt), $(b,truncate), $(b,partition), \
+             $(b,partition-frames), $(b,bandwidth), $(b,write-fail)), e.g. \
+             $(b,seed=7,drop=0.1,dup=0.2). $(b,write-fail) injects ENOSPC \
+             into checkpoint writes (local too); under drop/partition set \
+             $(b,--heartbeat-timeout) low enough that recovery beats your \
+             patience.")
+  in
   let robustness_opts =
     Term.(
-      const (fun a b c d e f g h -> (a, b, c, d, e, f, g, h))
+      const (fun a b c d e f g h i j -> (a, b, c, d, e, f, g, h, i, j))
       $ checkpoint $ checkpoint_every $ replay_timeout $ max_replay_steps
-      $ max_retries $ retry_backoff $ fault_seed $ fault_spec)
+      $ max_retries $ retry_backoff $ fault_seed $ fault_spec $ net_fault_seed
+      $ net_fault_spec)
   in
   let progress =
     Arg.(
@@ -1218,13 +1285,20 @@ let top_run connect auth_token once =
             Printf.eprintf "cannot read --auth-token %s: %s\n" file msg;
             exit 2)
   in
-  let sa = Dampi.Wire.sockaddr_of_addr addr in
+  (* A coordinator that never listened (wrong path, run already over, DNS
+     miss) must be one readable line and exit 2, not a raw backtrace. *)
+  let sa =
+    try Dampi.Wire.sockaddr_of_addr addr
+    with Not_found | Failure _ | Unix.Unix_error _ ->
+      Printf.eprintf "cannot resolve %s: no such host or address\n" connect;
+      exit 2
+  in
   let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
   (try Unix.connect fd sa
    with Unix.Unix_error (e, _, _) ->
-     Printf.eprintf "cannot connect to %s: %s\n" connect
-       (Unix.error_message e);
-     exit 1);
+     Printf.eprintf "cannot connect to %s: %s (is the coordinator running?)\n"
+       connect (Unix.error_message e);
+     exit 2);
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let session = Printf.sprintf "top-%d" (Unix.getpid ()) in

@@ -472,15 +472,46 @@ let of_string text =
 
 (* ---- atomic file I/O ---- *)
 
-let save t path =
+type write_outcome = Written | Degraded of string
+
+let atomic_write ?fault path text =
   (* Temp file in the same directory so the rename is a same-filesystem
      atomic replace: a reader (or a crash) only ever sees a complete
-     checkpoint — the previous one or this one, never a torn write. *)
+     checkpoint — the previous one or this one, never a torn write. The
+     fsync before the rename makes the replace durable, not just atomic: a
+     power cut after the rename cannot resurrect a zero-length file. Every
+     failure mode (ENOSPC, EIO, EDQUOT, a read-only remount…) is classified
+     into [Degraded] rather than raised — losing one checkpoint cut degrades
+     the resume point, it must not kill the exploration that is making
+     progress. [?fault] is the chaos layer's injected-ENOSPC hook. *)
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (to_string t);
-  close_out oc;
-  Sys.rename tmp path
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    (match fault with
+    | Some f when f () -> raise (Sys_error (tmp ^ ": No space left on device (injected)"))
+    | _ -> ());
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc text;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> Written
+  | exception Sys_error msg ->
+      cleanup ();
+      Degraded msg
+  | exception Unix.Unix_error (e, fn, arg) ->
+      cleanup ();
+      Degraded
+        (Printf.sprintf "%s%s: %s"
+           (if arg = "" then fn else arg)
+           (if arg = "" then "" else " (" ^ fn ^ ")")
+           (Unix.error_message e))
+
+let save ?fault t path = atomic_write ?fault path (to_string t)
 
 let load path =
   match

@@ -105,8 +105,21 @@ val error_of_line : string -> string -> Report.error option
 val to_string : t -> string
 val of_string : string -> (t, string) result
 
-val save : t -> string -> unit
-(** Atomic: writes [path ^ ".tmp"] then renames over [path], so a reader or
-    a crash mid-write only ever observes a complete document. *)
+type write_outcome =
+  | Written
+  | Degraded of string
+      (** the write failed (ENOSPC, EIO, …); the previous on-disk document,
+          if any, is intact, and the temp file has been cleaned up *)
+
+val atomic_write : ?fault:(unit -> bool) -> string -> string -> write_outcome
+(** [atomic_write path text]: tempfile + fsync + rename in [path]'s
+    directory, so a reader or a crash mid-write only ever observes a
+    complete document and the replace is durable. Never raises: every I/O
+    failure is classified into [Degraded]. [?fault] is consulted before the
+    write; returning [true] simulates an ENOSPC (chaos testing). Also used
+    by {!Prefix_cache.save} for the sidecar. *)
+
+val save : ?fault:(unit -> bool) -> t -> string -> write_outcome
+(** {!atomic_write} of {!to_string}. *)
 
 val load : string -> (t, string) result

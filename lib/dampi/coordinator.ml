@@ -26,12 +26,15 @@ type setup = {
   join_timeout : float;
   rejoin_grace : float;
   auth : string option;
+  net_fault : Mpi.Fault.Net.spec option;
+  outq_budget : int;
 }
 
 let default_lease_size = 4
 let default_heartbeat_timeout = 30.0
 let default_join_timeout = 30.0
 let default_rejoin_grace = 1.0
+let default_outq_budget = 262144
 
 type stats = {
   leases : int;
@@ -41,6 +44,8 @@ type stats = {
   results : int;
   reconnects : int;
   fenced : int;
+  dup_results : int;
+  backpressured : int;
 }
 
 type lease = {
@@ -57,6 +62,10 @@ type sess = {
   mutable conn_fd : Unix.file_descr option;  (* bound connection, if any *)
   mutable lost_at : float;  (* when conn_fd went None *)
   mutable seen_ready : bool;  (* first ready counted in workers_seen *)
+  mutable last_settled : (int * int) option;
+      (* (epoch, lease_id) of the most recently ingested results frame:
+         a second arrival of the same frame is duplicate delivery, not a
+         zombie, and is counted separately *)
 }
 
 (* Hello fields carried across the auth round-trip. *)
@@ -72,6 +81,7 @@ type conn = {
   fd : Unix.file_descr;
   oc : out_channel;
   asm : Wire.assembler;
+  net : Mpi.Fault.Net.t;  (* chaos injector for this connection instance *)
   mutable name : string;
   mutable state :
     [ `Greeting  (* awaiting hello *)
@@ -81,6 +91,20 @@ type conn = {
     | `Observer  (* read-only [dampi top] client; progress frames flow *) ];
   mutable last_seen : float;
   mutable alive : bool;
+  mutable outq : (float * string) list;
+      (* due-time × serialized frame, FIFO. Delays are head-of-line (a
+         TCP stream does not overtake itself); only an injected Hold_back
+         reorders. Empty except under chaos or a genuinely slow peer. *)
+  mutable outq_bytes : int;
+  mutable held : string option;  (* injected reorder: flushed behind the
+                                    next frame, or at the next loop tick *)
+  mutable sever : bool;  (* injected truncation: cut the link once the
+                            truncated prefix has been written *)
+  mutable gap_ewma : float;
+      (* smoothed inter-frame arrival gap, the RTT proxy behind the
+         adaptive heartbeat grace: a slow link with long-but-regular gaps
+         earns a longer silence allowance than a fast one going quiet *)
+  mutable hb_extended : bool;  (* grace extension logged once per episode *)
 }
 
 type cmetrics = {
@@ -88,6 +112,9 @@ type cmetrics = {
   m_releases : Obs.Metrics.counter;
   m_reconnects : Obs.Metrics.counter;
   m_fenced : Obs.Metrics.counter;
+  m_dup_results : Obs.Metrics.counter;
+  m_backpressure : Obs.Metrics.counter;
+  m_hb_grace : Obs.Metrics.counter;
   m_rtt : Obs.Metrics.histogram;
   m_wire_io : Obs.Metrics.histogram option;  (* present under --profile *)
 }
@@ -98,6 +125,8 @@ type t = {
   mutable claimed : int;  (* items ever leased, net of re-leases *)
   mutable frontier : Checkpoint.item list;  (* stack *)
   mutable conns : conn list;
+  mutable conn_seq : int;  (* salt stream for per-connection chaos *)
+  net_count : string -> unit;  (* net_fault.<kind> injection counters *)
   sessions : (string, sess) Hashtbl.t;
   mutable next_epoch : int;
   mutable anon : int;  (* synthetic ids for proto peers without a session *)
@@ -148,6 +177,12 @@ let create ?metrics ?(profile = false) ?(first_epoch = 1)
     claimed = 0;
     frontier = [];
     conns = [];
+    conn_seq = 0;
+    net_count =
+      (match metrics with
+      | Some sh ->
+          fun kind -> Obs.Metrics.incr (Obs.Metrics.counter sh ("net_fault." ^ kind))
+      | None -> ignore);
     sessions = Hashtbl.create 16;
     next_epoch = max 1 first_epoch;
     anon = 0;
@@ -157,7 +192,8 @@ let create ?metrics ?(profile = false) ?(first_epoch = 1)
     next_lease = 0;
     st =
       { leases = 0; releases = 0; workers_seen = 0; workers_lost = 0;
-        results = 0; reconnects = 0; fenced = 0 };
+        results = 0; reconnects = 0; fenced = 0; dup_results = 0;
+        backpressured = 0 };
     ran = false;
     finish = `Abort;
     metrics =
@@ -168,6 +204,9 @@ let create ?metrics ?(profile = false) ?(first_epoch = 1)
             m_releases = Obs.Metrics.counter sh "coordinator.releases";
             m_reconnects = Obs.Metrics.counter sh "coordinator.reconnects";
             m_fenced = Obs.Metrics.counter sh "coordinator.fenced";
+            m_dup_results = Obs.Metrics.counter sh "coordinator.dup_results";
+            m_backpressure = Obs.Metrics.counter sh "coordinator.backpressure";
+            m_hb_grace = Obs.Metrics.counter sh "coordinator.hb_grace_extends";
             m_rtt = Obs.Metrics.histogram sh "coordinator.worker_rtt_s";
             m_wire_io =
               (if profile then Some (Obs.Metrics.histogram sh "profile.wire_io_s")
@@ -208,15 +247,32 @@ let next_epoch t =
    readable (so they return whatever is buffered without blocking), and
    writes are small frames a socket buffer absorbs. *)
 let add_conn t fd =
+  t.conn_seq <- t.conn_seq + 1;
+  let net =
+    match t.setup.net_fault with
+    | Some sp when not (Mpi.Fault.Net.wire_inert sp) ->
+        (* Salted by the connection counter: a redialed worker gets a fresh
+           instance with fresh one-shot draws, which is what makes a lossy
+           link converge under retry. *)
+        Mpi.Fault.Net.make ~on_inject:t.net_count sp ~salt:t.conn_seq
+    | _ -> Mpi.Fault.Net.none
+  in
   let c =
     {
       fd;
       oc = Unix.out_channel_of_descr fd;
       asm = Wire.assembler ();
+      net;
       name = "?";
       state = `Greeting;
       last_seen = Unix.gettimeofday ();
       alive = true;
+      outq = [];
+      outq_bytes = 0;
+      held = None;
+      sever = false;
+      gap_ewma = 0.0;
+      hb_extended = false;
     }
   in
   t.conns <- t.conns @ [ c ];
@@ -272,17 +328,99 @@ let lose t c ~reason =
         c.alive <- false;
         (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
-let send t c msg =
+let raw_write t c data =
   match t.metrics with
   | Some { m_wire_io = Some h; _ } -> (
       let t0 = Unix.gettimeofday () in
-      match Wire.write_to_worker c.oc msg with
+      match
+        output_string c.oc data;
+        flush c.oc
+      with
       | () -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)
       | exception (Sys_error _ | Unix.Unix_error _) ->
           lose t c ~reason:"write failed")
   | _ -> (
-      try Wire.write_to_worker c.oc msg
+      try
+        output_string c.oc data;
+        flush c.oc
       with Sys_error _ | Unix.Unix_error _ -> lose t c ~reason:"write failed")
+
+(* Write every due frame, oldest first. A delayed head holds back the rest:
+   only an injected Hold_back reorders, the queue itself models a slow pipe.
+   Once a truncated frame has drained, the injected sever cuts the link. *)
+let flush_outq t c now =
+  let rec go () =
+    match c.outq with
+    | (due, data) :: rest when c.alive && due <= now ->
+        c.outq <- rest;
+        c.outq_bytes <- c.outq_bytes - String.length data;
+        raw_write t c data;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if c.sever && c.outq = [] && c.alive then
+    lose t c ~reason:"injected: link severed after truncated frame"
+
+let enqueue c ~due data =
+  c.outq <- c.outq @ [ (due, data) ];
+  c.outq_bytes <- c.outq_bytes + String.length data
+
+let klass_of_to_worker = function
+  | Wire.Lease _ -> Mpi.Fault.Net.Payload
+  | Wire.Progress _ -> Mpi.Fault.Net.Chatter
+  | Wire.Challenge _ | Wire.Welcome _ | Wire.Reject _ | Wire.Job _
+  | Wire.Detach | Wire.Shutdown ->
+      Mpi.Fault.Net.Control
+
+let send t c msg =
+  if (not (Mpi.Fault.Net.active c.net)) && c.outq = [] then
+    (* No chaos on this connection: write straight through, as before. *)
+    raw_write t c (Wire.to_worker_string msg)
+  else begin
+    let data = Wire.to_worker_string msg in
+    let now = Unix.gettimeofday () in
+    (match
+       Mpi.Fault.Net.on_frame c.net ~klass:(klass_of_to_worker msg)
+         ~size:(String.length data)
+     with
+    | Mpi.Fault.Net.Deliver { delay; copies } ->
+        enqueue c ~due:(now +. delay) data;
+        if copies > 1 then enqueue c ~due:(now +. delay) data;
+        (* An injected reorder resolves here: the held frame goes out
+           behind the one that overtook it. *)
+        (match c.held with
+        | Some h ->
+            c.held <- None;
+            enqueue c ~due:(now +. delay) h
+        | None -> ())
+    | Mpi.Fault.Net.Drop_frame -> ()
+    | Mpi.Fault.Net.Corrupt_frame ->
+        enqueue c ~due:now (Mpi.Fault.Net.corrupt_bytes data)
+    | Mpi.Fault.Net.Truncate_sever ->
+        enqueue c ~due:now (String.sub data 0 (Mpi.Fault.Net.truncate_len data));
+        c.sever <- true
+    | Mpi.Fault.Net.Hold_back -> (
+        match c.held with
+        | None -> c.held <- Some data
+        | Some h ->
+            (* Only one frame is ever held; a second hold flushes the
+               first in arrival order. *)
+            enqueue c ~due:now h;
+            c.held <- Some data));
+    flush_outq t c now
+  end
+
+(* Called once per event-loop turn: due frames drain, and a held frame that
+   nothing overtook within the turn is released — reordering is bounded by
+   the select timeout, never a stall. *)
+let pump_out t c now =
+  (match c.held with
+  | Some h when c.outq = [] ->
+      c.held <- None;
+      enqueue c ~due:now h
+  | _ -> ());
+  if c.outq <> [] || c.sever then flush_outq t c now
 
 (* ---- leasing ---- *)
 
@@ -293,6 +431,17 @@ let rec take_front n acc = function
 
 let maybe_lease t c =
   match c.state with
+  | `Bound s
+    when c.alive && s.lease = None && t.frontier <> []
+         && t.claimed < t.budget
+         && c.outq_bytes > t.setup.outq_budget ->
+      (* Backpressure: this session's link is backed up past its write
+         budget — leasing more work to it would only deepen the queue.
+         The items stay in the frontier for a less congested worker. *)
+      t.st <- { t.st with backpressured = t.st.backpressured + 1 };
+      (match t.metrics with
+      | Some ms -> Obs.Metrics.incr ms.m_backpressure
+      | None -> ())
   | `Bound s
     when c.alive && s.lease = None && t.frontier <> []
          && t.claimed < t.budget ->
@@ -351,6 +500,7 @@ let bind t c (h : hello) =
             conn_fd = None;
             lost_at = 0.0;
             seen_ready = false;
+            last_settled = None;
           }
         in
         Hashtbl.add t.sessions sid s;
@@ -404,7 +554,14 @@ let reject t c ~reason =
 (* ---- message handling ---- *)
 
 let handle_msg t c ~on_run msg =
-  c.last_seen <- Unix.gettimeofday ();
+  let now = Unix.gettimeofday () in
+  (* Inter-frame gap EWMA: the pace this peer actually talks at, feeding
+     the adaptive heartbeat grace. Seeded by the first gap, then smoothed. *)
+  let gap = now -. c.last_seen in
+  c.gap_ewma <-
+    (if c.gap_ewma <= 0.0 then gap else (0.7 *. c.gap_ewma) +. (0.3 *. gap));
+  c.hb_extended <- false;
+  c.last_seen <- now;
   match msg with
   | Error e -> lose t c ~reason:("protocol error: " ^ e)
   | Ok (Wire.Hello { proto; id; session; epoch; pending; role }) -> (
@@ -503,6 +660,7 @@ let handle_msg t c ~on_run msg =
                   (Unix.gettimeofday () -. l.sent_at)
             | None -> ());
             s.lease <- None;
+            s.last_settled <- Some (epoch, lease_id);
             t.st <- { t.st with results = t.st.results + 1 };
             List.iter
               (fun (it, r) ->
@@ -513,11 +671,26 @@ let handle_msg t c ~on_run msg =
                 on_run ~item r)
               matched
           end)
+      | `Bound s when s.last_settled = Some (epoch, lease_id) ->
+          (* Duplicate delivery of a frame this session already settled at
+             its *current* epoch — a retransmission or an injected wire
+             duplicate, not a zombie. Same discard (the first arrival was
+             counted, exactly once), separate ledger: dedup is cheaper to
+             reason about when it is distinguishable from fencing. *)
+          t.st <- { t.st with dup_results = t.st.dup_results + 1 };
+          (match t.metrics with
+          | Some ms -> Obs.Metrics.incr ms.m_dup_results
+          | None -> ());
+          Log.warn (fun m ->
+              m
+                "worker %s: discarding duplicate results frame (epoch %d, \
+                 lease %d already ingested for session %s)"
+                c.name epoch lease_id s.sid)
       | `Bound s ->
           (* Stale epoch, or a lease this session no longer holds: a fenced
-             zombie (or a TCP redelivery) flushing work that was re-leased
-             or already ingested. The frame arrived whole through the
-             assembler; acknowledge by discarding it, never by counting. *)
+             zombie flushing work that was re-leased at a later epoch. The
+             frame arrived whole through the assembler; acknowledge by
+             discarding it, never by counting. *)
           t.st <- { t.st with fenced = t.st.fenced + 1 };
           (match t.metrics with
           | Some ms -> Obs.Metrics.incr ms.m_fenced
@@ -624,7 +797,15 @@ let close_all t =
   List.iter
     (fun c ->
       if c.alive then begin
-        send t c farewell;
+        (* Drain anything the chaos queue still holds (held or delayed
+           frames) so the farewell is not overtaken by stale traffic. *)
+        (match c.held with
+        | Some h ->
+            c.held <- None;
+            enqueue c ~due:0.0 h
+        | None -> ());
+        if c.outq <> [] then flush_outq t c infinity;
+        if c.alive then raw_write t c (Wire.to_worker_string farewell);
         c.alive <- false;
         try Unix.close c.fd with Unix.Unix_error _ -> ()
       end)
@@ -701,6 +882,13 @@ let drive t ~on_run ~should_stop ~tick =
                t.st.workers_seen)
       else begin
         List.iter (fun c -> maybe_lease t c) live;
+        (* Chaos-queue pump: due delayed frames drain, held (reordered)
+           frames release, pending severs cut. A no-op without chaos. *)
+        List.iter
+          (fun c ->
+            if c.outq <> [] || c.held <> None || c.sever then
+              pump_out t c now)
+          (live_conns t);
         let fds =
           (match t.listen_fd with Some fd -> [ fd ] | None -> [])
           @ List.map (fun c -> c.fd) (live_conns t)
@@ -741,12 +929,34 @@ let drive t ~on_run ~should_stop ~tick =
                       lose t c ~reason:(Unix.error_message e)))
           readable;
         (* Heartbeat scan: a worker silent past the timeout is dead even if
-           its socket is technically open (wedged process, dead host). *)
+           its socket is technically open (wedged process, dead host). The
+           timeout adapts to the link: a peer whose frames already arrive
+           with long (but regular) gaps — a slow or shaped link — earns up
+           to 4x the configured silence allowance before being declared
+           dead, so degradation is not misclassified as death. *)
         let now = Unix.gettimeofday () in
+        let base = t.setup.heartbeat_timeout in
         List.iter
           (fun c ->
-            if c.alive && now -. c.last_seen > t.setup.heartbeat_timeout then
-              lose t c ~reason:"missed heartbeat")
+            let effective =
+              if c.gap_ewma <= 0.0 then base
+              else Float.min (4.0 *. base) (Float.max base (4.0 *. c.gap_ewma))
+            in
+            let silent = now -. c.last_seen in
+            if c.alive && silent > effective then
+              lose t c ~reason:"missed heartbeat"
+            else if c.alive && silent > base && not c.hb_extended then begin
+              c.hb_extended <- true;
+              (match t.metrics with
+              | Some ms -> Obs.Metrics.incr ms.m_hb_grace
+              | None -> ());
+              Log.info (fun m ->
+                  m
+                    "worker %s: %.2fs silent exceeds the %.2fs heartbeat \
+                     timeout, but its link paces at %.2fs/frame — extending \
+                     grace to %.2fs"
+                    c.name silent base c.gap_ewma effective)
+            end)
           (live_workers t);
         stream_progress t now;
         tick ();

@@ -72,12 +72,23 @@ type setup = {
   auth : string option;
       (** shared secret: when set, every connection must answer the HMAC
           challenge ({!Wire.auth_mac}) before admission *)
+  net_fault : Mpi.Fault.Net.spec option;
+      (** deterministic transport chaos: every outgoing frame on every
+          connection passes through a per-connection {!Mpi.Fault.Net}
+          instance (salted by a connection counter, so redials re-draw).
+          Injections are counted in [net_fault.<kind>] metrics. [None] or
+          a wire-inert spec leaves the send path exactly as before. *)
+  outq_budget : int;
+      (** backpressure threshold in bytes: a session whose outbound queue
+          holds more than this is not leased further work until it drains
+          ([coordinator.backpressure] counts the skips) *)
 }
 
 val default_lease_size : int
 val default_heartbeat_timeout : float
 val default_join_timeout : float
 val default_rejoin_grace : float
+val default_outq_budget : int
 
 type stats = {
   leases : int;  (** lease frames sent *)
@@ -88,6 +99,11 @@ type stats = {
   reconnects : int;  (** rebinds of an existing session (lease resumed
                          or fenced) *)
   fenced : int;  (** stale results frames discarded whole *)
+  dup_results : int;
+      (** duplicate deliveries of an already-settled results frame,
+          discarded — distinguished from [fenced] (zombie work at a
+          superseded epoch) because the sender is a live, current worker *)
+  backpressured : int;  (** lease offers withheld from backed-up sessions *)
 }
 
 type t
@@ -112,8 +128,10 @@ val create :
     when first pushed — the explorer uses it for duplicate-schedule
     detection at the frontier. [metrics] gains [coordinator.leases],
     [coordinator.releases], [coordinator.reconnects],
-    [coordinator.fenced], [coordinator.worker_rtt_s] — written only from
-    the driving thread. [profile] additionally records frame read/write
+    [coordinator.fenced], [coordinator.dup_results],
+    [coordinator.backpressure], [coordinator.hb_grace_extends],
+    [coordinator.worker_rtt_s], and — under chaos — [net_fault.<kind>]
+    injection counters, all written only from the driving thread. [profile] additionally records frame read/write
     time in the [profile.wire_io_s] histogram. [progress] supplies
     caller-level key/value pairs (runs, replays/sec, cache rates)
     appended to the coordinator's own figures in the progress frames

@@ -11,6 +11,7 @@ type robustness = {
   max_retries : int;
   retry_backoff : float;
   fault : Mpi.Fault.spec option;
+  net_fault : Mpi.Fault.Net.spec option;
   checkpoint : checkpoint_cfg option;
   interrupt_after : int option;
 }
@@ -22,6 +23,7 @@ let default_robustness =
     max_retries = 0;
     retry_backoff = 0.0;
     fault = None;
+    net_fault = None;
     checkpoint = None;
     interrupt_after = None;
   }

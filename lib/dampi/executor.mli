@@ -27,6 +27,10 @@ type robustness = {
   max_retries : int;
   retry_backoff : float;
   fault : Mpi.Fault.spec option;
+  net_fault : Mpi.Fault.Net.spec option;
+      (** transport + persistence chaos ([--net-fault-seed]/
+          [--net-fault-spec]): wire-level injection on distributed
+          connections, plus [write_fail] for checkpoint writes *)
   checkpoint : checkpoint_cfg option;
   interrupt_after : int option;
 }

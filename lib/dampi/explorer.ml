@@ -37,6 +37,7 @@ type robustness = Executor.robustness = {
   max_retries : int;
   retry_backoff : float;
   fault : Mpi.Fault.spec option;
+  net_fault : Mpi.Fault.Net.spec option;
   checkpoint : checkpoint_cfg option;
   interrupt_after : int option;
 }
@@ -541,6 +542,29 @@ let explore ?(config = default_config) ?resume ?distribute
      a replay's children and count moves under [m] too), and checkpoint
      writes are rare enough that stalling workers briefly is cheaper than a
      torn cut. *)
+  (* Injected-ENOSPC stream for persistence writes, from the chaos spec.
+     A degraded write must never abort the exploration: the failure is
+     classified, counted, and logged loudly, and the run continues on the
+     previous intact checkpoint. *)
+  let fs_fault =
+    match rb.net_fault with
+    | Some ns when ns.Mpi.Fault.Net.write_fail > 0.0 ->
+        Some (Mpi.Fault.Net.fs_fault ns ~salt:1)
+    | _ -> None
+  in
+  let ck_write_failures =
+    Obs.Metrics.counter aux_shard "checkpoint.write_failures"
+  in
+  let degraded_write what path = function
+    | Checkpoint.Written -> ()
+    | Checkpoint.Degraded msg ->
+        Obs.Metrics.incr ck_write_failures;
+        Log.warn (fun m ->
+            m
+              "%s write to %s failed (%s) — continuing without this cut; \
+               the previous on-disk snapshot, if any, is intact"
+              what path msg)
+  in
   let write_checkpoint () =
     match rb.checkpoint with
     | None -> ()
@@ -561,31 +585,34 @@ let explore ?(config = default_config) ?resume ?distribute
               Hashtbl.fold (fun k () acc -> k :: acc) resume_completed []
               @ !new_completed
             in
-            Checkpoint.save
-              {
-                Checkpoint.label = c.label;
-                np;
-                complete =
-                  frontier = [] && not (Atomic.get interrupt_requested);
-                runs = !runs;
-                runs_cancelled = !runs_cancelled;
-                runs_timed_out = !runs_timed_out;
-                runs_retried = !runs_retried;
-                runs_crashed = !runs_crashed;
-                monitor_alerts = !monitor_alerts;
-                bounded_epochs = !bounded;
-                pruned = !runs_pruned;
-                wildcards_analyzed = !wildcards_analyzed;
-                first_run_makespan = !first_makespan;
-                total_virtual_time = !total_vtime;
-                findings = sorted_findings ();
-                completed;
-                frontier;
-                epoch = !epoch_hi;
-              }
-              c.path;
+            degraded_write "checkpoint" c.path
+              (Checkpoint.save ?fault:fs_fault
+                 {
+                   Checkpoint.label = c.label;
+                   np;
+                   complete =
+                     frontier = [] && not (Atomic.get interrupt_requested);
+                   runs = !runs;
+                   runs_cancelled = !runs_cancelled;
+                   runs_timed_out = !runs_timed_out;
+                   runs_retried = !runs_retried;
+                   runs_crashed = !runs_crashed;
+                   monitor_alerts = !monitor_alerts;
+                   bounded_epochs = !bounded;
+                   pruned = !runs_pruned;
+                   wildcards_analyzed = !wildcards_analyzed;
+                   first_run_makespan = !first_makespan;
+                   total_virtual_time = !total_vtime;
+                   findings = sorted_findings ();
+                   completed;
+                   frontier;
+                   epoch = !epoch_hi;
+                 }
+                 c.path);
             match cache with
-            | Some pc -> Prefix_cache.save pc (c.path ^ ".cache")
+            | Some pc ->
+                degraded_write "prefix-cache sidecar" (c.path ^ ".cache")
+                  (Prefix_cache.save ?fault:fs_fault pc (c.path ^ ".cache"))
             | None -> ())
   in
   let maybe_periodic_checkpoint () =

@@ -29,6 +29,10 @@ type robustness = Executor.robustness = {
   retry_backoff : float;  (** base backoff in seconds; 0 retries immediately *)
   fault : Mpi.Fault.spec option;
       (** deterministic fault injection for every replay's runtime *)
+  net_fault : Mpi.Fault.Net.spec option;
+      (** deterministic transport + persistence chaos: wire-level fault
+          injection on distributed connections, plus injected ENOSPC on
+          checkpoint writes ([write_fail]) *)
   checkpoint : checkpoint_cfg option;
       (** serialize the frontier periodically and on SIGINT/SIGTERM *)
   interrupt_after : int option;

@@ -288,12 +288,7 @@ let load_into t text =
       Error "prefix-cache label mismatch (different workload or config)"
   | _ -> Error "not a DAMPI prefix-cache file"
 
-let save t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (to_string t);
-  close_out oc;
-  Sys.rename tmp path
+let save ?fault t path = Checkpoint.atomic_write ?fault path (to_string t)
 
 let load t path =
   match

@@ -74,8 +74,9 @@ val stats : t -> int * int * int * int
 val to_string : t -> string
 val load_into : t -> string -> (unit, string) result
 
-val save : t -> string -> unit
-(** Atomic (tmp + rename), like checkpoint writes. *)
+val save : ?fault:(unit -> bool) -> t -> string -> Checkpoint.write_outcome
+(** {!Checkpoint.atomic_write} of {!to_string}: tempfile + fsync + rename,
+    write failures classified into [Degraded] rather than raised. *)
 
 val load : t -> string -> (unit, string) result
 (** [Error] on unreadable file or foreign format; entries on malformed

@@ -11,6 +11,10 @@ type resolved = {
   prune : bool;
 }
 
+(* The worker's chaos spec rides in [rb.net_fault] (the CLI decodes it from
+   the job params, tests set it directly), so both ends of every link
+   inject deterministically under the same seed. *)
+
 (* An unacknowledged results frame: the lease was computed but the send
    failed (or never happened) before the connection died. It is re-sent on
    the next session, stamped with the epoch of the grant it answers — the
@@ -25,6 +29,7 @@ type session = {
   id : string;
   mutable epoch : int;  (* last granted fencing epoch; 0 = never admitted *)
   mutable pending : pending option;
+  mutable conns : int;  (* serve invocations: the chaos salt stream *)
 }
 
 let make_session ?id () =
@@ -35,7 +40,7 @@ let make_session ?id () =
         Printf.sprintf "w%d-%s" (Unix.getpid ())
           (String.sub (Wire.gen_nonce ()) 0 8)
   in
-  { id; epoch = 0; pending = None }
+  { id; epoch = 0; pending = None; conns = 0 }
 
 type reconnect = { max_redials : int; backoff : float; seed : int }
 
@@ -53,15 +58,91 @@ type telemetry = {
 
 let telemetry registry = { t_registry = registry; t_prev = [] }
 
+(* The worker end of the chaos boundary: every outgoing frame funnels
+   through a sender, which consults the per-connection injector. Writes are
+   synchronous (this side has no event loop), so a delay is a sleep, a drop
+   pretends success, and a truncation writes half the frame and shuts the
+   socket down — the very next operation then fails the way a real
+   mid-stream link death would, engaging the pending-stash recovery. *)
+type sender = {
+  s_fd : Unix.file_descr;
+  s_oc : out_channel;
+  mutable s_net : Mpi.Fault.Net.t;
+  mutable s_held : string option;  (* injected reorder holdback *)
+}
+
+let make_sender fd oc = { s_fd = fd; s_oc = oc; s_net = Mpi.Fault.Net.none; s_held = None }
+
+let klass_of_to_coord = function
+  | Wire.Results _ -> Mpi.Fault.Net.Payload
+  | Wire.Heartbeat | Wire.Telemetry _ -> Mpi.Fault.Net.Chatter
+  | Wire.Hello _ | Wire.Auth _ | Wire.Ready | Wire.Failed _ ->
+      Mpi.Fault.Net.Control
+
+(* Raises [Sys_error]/[Unix_error] exactly like a plain [write_to_coord]
+   would, so every existing call-site recovery path applies unchanged. *)
+let send_frame snd msg =
+  if not (Mpi.Fault.Net.active snd.s_net) then Wire.write_to_coord snd.s_oc msg
+  else begin
+    let data = Wire.to_coord_string msg in
+    let write s =
+      output_string snd.s_oc s;
+      flush snd.s_oc
+    in
+    match
+      Mpi.Fault.Net.on_frame snd.s_net ~klass:(klass_of_to_coord msg)
+        ~size:(String.length data)
+    with
+    | Mpi.Fault.Net.Deliver { delay; copies } ->
+        if delay > 0.0 then Unix.sleepf delay;
+        write data;
+        if copies > 1 then write data;
+        (match snd.s_held with
+        | Some h ->
+            snd.s_held <- None;
+            write h
+        | None -> ())
+    | Mpi.Fault.Net.Drop_frame -> ()
+    | Mpi.Fault.Net.Corrupt_frame -> write (Mpi.Fault.Net.corrupt_bytes data)
+    | Mpi.Fault.Net.Truncate_sever ->
+        write (String.sub data 0 (Mpi.Fault.Net.truncate_len data));
+        (try Unix.shutdown snd.s_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        raise (Sys_error "injected: link severed after truncated frame")
+    | Mpi.Fault.Net.Hold_back -> (
+        match snd.s_held with
+        | None -> snd.s_held <- Some data
+        | Some h ->
+            (* One frame held at a time; a second hold releases the first
+               in arrival order. *)
+            write h;
+            snd.s_held <- Some data)
+  end
+
+(* A held frame that nothing overtook must not outlive the send burst:
+   release it before blocking on the next read, so reordering is bounded
+   and never a stall. *)
+let flush_held snd =
+  match snd.s_held with
+  | None -> true
+  | Some h -> (
+      snd.s_held <- None;
+      match
+        output_string snd.s_oc h;
+        flush snd.s_oc
+      with
+      | () -> true
+      | exception (Sys_error _ | Unix.Unix_error _) -> false)
+
 (* Ship the metric delta since the last successful ship. Best-effort by
    design: a failed write leaves [t_prev] alone so the increments travel
    with the next frame instead. *)
-let ship_telemetry tele oc =
+let ship_telemetry tele snd =
   let cur = Obs.Metrics.snapshot tele.t_registry in
   match Obs.Metrics.to_delta ~prev:tele.t_prev cur with
   | [] -> ()
   | delta -> (
-      match Wire.write_to_coord oc (Wire.Telemetry delta) with
+      match send_frame snd (Wire.Telemetry delta) with
       | () -> tele.t_prev <- cur
       | exception (Sys_error _ | Unix.Unix_error _) -> ())
 
@@ -74,7 +155,7 @@ let hb_poll_steps = 4096
 let hb_interval = 0.25
 
 type hb = {
-  oc : out_channel;
+  snd : sender;
   mutable polls : int;
   mutable last : float;
   tele : telemetry;
@@ -86,9 +167,12 @@ let heartbeat hb () =
     let now = Unix.gettimeofday () in
     if now -. hb.last > hb_interval then begin
       hb.last <- now;
-      (try Wire.write_to_coord hb.oc Wire.Heartbeat
+      (* An injected sever raises here mid-replay; swallowing it is right —
+         the replay finishes, the stash is taken, and the next flush
+         notices the dead socket and redials with the frame intact. *)
+      (try send_frame hb.snd Wire.Heartbeat
        with Sys_error _ | Unix.Unix_error _ -> ());
-      ship_telemetry hb.tele hb.oc
+      ship_telemetry hb.tele hb.snd
     end
   end;
   false
@@ -169,6 +253,8 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
   @@ fun () ->
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  sess.conns <- sess.conns + 1;
+  let snd = make_sender fd oc in
   (* A write can fail because the coordinator already said its goodbye and
      closed — a drained run shuts down the instant the frontier empties,
      racing our hello/ready/results. The farewell is still sitting in the
@@ -186,7 +272,7 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
     in
     drain ()
   in
-  let hb = { oc; polls = 0; last = Unix.gettimeofday (); tele } in
+  let hb = { snd; polls = 0; last = Unix.gettimeofday (); tele } in
   let metrics = Some (Obs.Metrics.shard tele.t_registry 0) in
   let id = Printf.sprintf "pid%d" (Unix.getpid ()) in
   (* Re-send the unacknowledged frame from a previous incarnation, tagged
@@ -199,7 +285,7 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
     | None -> true
     | Some p -> (
         match
-          Wire.write_to_coord oc
+          send_frame snd
             (Wire.Results
                { epoch = p.p_epoch; lease_id = p.p_lease_id; runs = p.p_runs })
         with
@@ -209,7 +295,7 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
         | exception (Sys_error _ | Unix.Unix_error _) -> false)
   in
   match
-    Wire.write_to_coord oc
+    send_frame snd
       (Wire.Hello
          {
            proto = Wire.proto_version;
@@ -223,6 +309,10 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
   | exception (Sys_error _ | Unix.Unix_error _) -> disconnected ()
   | () ->
       let rec loop (r : resolved option) =
+        (* Bounded reorder: anything still held back must go out before we
+           block waiting on the coordinator. *)
+        if not (flush_held snd) then disconnected ()
+        else
         match Wire.read_to_worker ic with
         | Error e ->
             Log.debug (fun m -> m "session over: %s" e);
@@ -230,7 +320,7 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
         | Ok (Wire.Challenge nonce) -> (
             let secret = Option.value auth ~default:"" in
             match
-              Wire.write_to_coord oc
+              send_frame snd
                 (Wire.Auth (Wire.auth_mac ~secret ~nonce ~session:sess.id))
             with
             | () -> loop r
@@ -256,21 +346,36 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
         | Ok (Wire.Job job) -> (
             match resolve job with
             | Ok r -> (
-                match Wire.write_to_coord oc Wire.Ready with
+                (* The chaos spec arrives with the job, so the handshake up
+                   to here always went out clean; from Ready on, this
+                   connection injects under a salt that redraws per redial
+                   (fresh schedule ⇒ eventual convergence). *)
+                (match r.rb.Executor.net_fault with
+                | Some ns when not (Mpi.Fault.Net.wire_inert ns) ->
+                    let sh = Obs.Metrics.shard tele.t_registry 0 in
+                    let count kind =
+                      Obs.Metrics.incr
+                        (Obs.Metrics.counter sh ("net_fault." ^ kind))
+                    in
+                    snd.s_net <-
+                      Mpi.Fault.Net.make ~on_inject:count ns
+                        ~salt:(Hashtbl.hash (sess.id, sess.conns))
+                | _ -> ());
+                match send_frame snd Wire.Ready with
                 | () ->
                     if flush_pending () then loop (Some r) else disconnected ()
                 | exception (Sys_error _ | Unix.Unix_error _) ->
                     disconnected ())
             | Error reason ->
                 Log.err (fun m -> m "cannot resolve job: %s" reason);
-                (try Wire.write_to_coord oc (Wire.Failed reason)
+                (try send_frame snd (Wire.Failed reason)
                  with Sys_error _ | Unix.Unix_error _ -> ());
                 (* Redialling cannot fix an unresolvable job; end cleanly. *)
                 `Shutdown)
         | Ok (Wire.Lease { lease_id; items }) -> (
             match r with
             | None ->
-                (try Wire.write_to_coord oc (Wire.Failed "lease before job")
+                (try send_frame snd (Wire.Failed "lease before job")
                  with Sys_error _ | Unix.Unix_error _ -> ());
                 `Shutdown
             | Some rr ->
@@ -282,7 +387,7 @@ let serve ?auth ?session ?telemetry:tele ~resolve fd =
                 sess.pending <-
                   Some { p_epoch = sess.epoch; p_lease_id = lease_id;
                          p_runs = runs };
-                ship_telemetry tele oc;
+                ship_telemetry tele snd;
                 if flush_pending () then loop r else disconnected ())
       in
       loop None

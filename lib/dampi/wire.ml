@@ -163,12 +163,19 @@ let item_of_fields ?(sleep = "-") prefix choice =
       Some { Checkpoint.prefix; choice; sleep }
   | _ -> None
 
-let write_to_worker oc msg =
+(* Frames are serialized to strings before hitting the socket so the
+   chaos layer ([Mpi.Fault.Net]) can drop, duplicate, corrupt or truncate a
+   whole frame at the send boundary on either side. *)
+
+let to_worker_string msg =
+  let b = Buffer.create 128 in
   (match msg with
-  | Challenge nonce -> Printf.fprintf oc "challenge %s\n" (Checkpoint.enc nonce)
-  | Welcome { epoch } -> Printf.fprintf oc "welcome epoch=%d\n" epoch
+  | Challenge nonce ->
+      Buffer.add_string b (Printf.sprintf "challenge %s\n" (Checkpoint.enc nonce))
+  | Welcome { epoch } -> Buffer.add_string b (Printf.sprintf "welcome epoch=%d\n" epoch)
   | Reject { proto; reason } ->
-      Printf.fprintf oc "reject proto=%d %s\n" proto (Checkpoint.enc reason)
+      Buffer.add_string b
+        (Printf.sprintf "reject proto=%d %s\n" proto (Checkpoint.enc reason))
   | Job j ->
       let params =
         String.concat " "
@@ -176,71 +183,86 @@ let write_to_worker oc msg =
              (fun (k, v) -> Printf.sprintf "%s=%s" k (Checkpoint.enc v))
              j.params)
       in
-      Printf.fprintf oc "job workload=%s np=%d%s\n"
-        (Checkpoint.enc j.workload) j.np
-        (if params = "" then "" else " " ^ params)
+      Buffer.add_string b
+        (Printf.sprintf "job workload=%s np=%d%s\n" (Checkpoint.enc j.workload)
+           j.np
+           (if params = "" then "" else " " ^ params))
   | Lease { lease_id; items } ->
-      Printf.fprintf oc "lease %d %d\n" lease_id (List.length items);
-      List.iter (fun it -> output_string oc (item_line it ^ "\n")) items;
-      output_string oc "end\n"
+      Buffer.add_string b (Printf.sprintf "lease %d %d\n" lease_id (List.length items));
+      List.iter (fun it -> Buffer.add_string b (item_line it ^ "\n")) items;
+      Buffer.add_string b "end\n"
   | Progress kvs ->
-      Printf.fprintf oc "top %d\n" (List.length kvs);
+      Buffer.add_string b (Printf.sprintf "top %d\n" (List.length kvs));
       List.iter
         (fun (k, v) ->
-          Printf.fprintf oc "s %s %s\n" (Checkpoint.enc k) (Checkpoint.enc v))
+          Buffer.add_string b
+            (Printf.sprintf "s %s %s\n" (Checkpoint.enc k) (Checkpoint.enc v)))
         kvs;
-      output_string oc "end\n"
-  | Detach -> output_string oc "detach\n"
-  | Shutdown -> output_string oc "shutdown\n");
-  flush oc
+      Buffer.add_string b "end\n"
+  | Detach -> Buffer.add_string b "detach\n"
+  | Shutdown -> Buffer.add_string b "shutdown\n");
+  Buffer.contents b
 
-let write_to_coord oc msg =
+let to_coord_string msg =
+  let b = Buffer.create 256 in
   (match msg with
   | Hello { proto; id; session; epoch; pending; role } ->
-      Printf.fprintf oc "hello proto=%d id=%s session=%s epoch=%d%s%s\n" proto
-        (Checkpoint.enc id) (Checkpoint.enc session) epoch
-        (match pending with
-        | Some l -> Printf.sprintf " pending=%d" l
-        | None -> "")
-        (match role with
-        | Some r -> Printf.sprintf " role=%s" (Checkpoint.enc r)
-        | None -> "")
-  | Auth mac -> Printf.fprintf oc "auth %s\n" (Checkpoint.enc mac)
-  | Ready -> output_string oc "ready\n"
-  | Heartbeat -> output_string oc "hb\n"
+      Buffer.add_string b
+        (Printf.sprintf "hello proto=%d id=%s session=%s epoch=%d%s%s\n" proto
+           (Checkpoint.enc id) (Checkpoint.enc session) epoch
+           (match pending with
+           | Some l -> Printf.sprintf " pending=%d" l
+           | None -> "")
+           (match role with
+           | Some r -> Printf.sprintf " role=%s" (Checkpoint.enc r)
+           | None -> ""))
+  | Auth mac -> Buffer.add_string b (Printf.sprintf "auth %s\n" (Checkpoint.enc mac))
+  | Ready -> Buffer.add_string b "ready\n"
+  | Heartbeat -> Buffer.add_string b "hb\n"
   | Telemetry series ->
-      Printf.fprintf oc "telemetry %d\n" (List.length series);
+      Buffer.add_string b (Printf.sprintf "telemetry %d\n" (List.length series));
       List.iter
         (fun (name, s) ->
-          Printf.fprintf oc "t %s %s\n" (Checkpoint.enc name)
-            (Obs.Metrics.sample_to_wire s))
+          Buffer.add_string b
+            (Printf.sprintf "t %s %s\n" (Checkpoint.enc name)
+               (Obs.Metrics.sample_to_wire s)))
         series;
-      output_string oc "end\n"
-  | Failed reason -> Printf.fprintf oc "fail %s\n" (Checkpoint.enc reason)
+      Buffer.add_string b "end\n"
+  | Failed reason ->
+      Buffer.add_string b (Printf.sprintf "fail %s\n" (Checkpoint.enc reason))
   | Results { epoch; lease_id; runs } ->
-      Printf.fprintf oc "results %d %d %d\n" epoch lease_id (List.length runs);
+      Buffer.add_string b
+        (Printf.sprintf "results %d %d %d\n" epoch lease_id (List.length runs));
       List.iter
         (fun r ->
           (match r.payload with
           | Some p ->
               (* %h hex-floats round-trip virtual time exactly; canonical
                  equality with the in-process pool depends on it. *)
-              Printf.fprintf oc "run %s counted %h %d %d %d %d %d %d %d\n"
-                r.key p.vtime p.bounded p.pruned r.timeouts r.retries
-                r.transients
-                (List.length p.errors) (List.length p.children);
+              Buffer.add_string b
+                (Printf.sprintf "run %s counted %h %d %d %d %d %d %d %d\n" r.key
+                   p.vtime p.bounded p.pruned r.timeouts r.retries r.transients
+                   (List.length p.errors) (List.length p.children));
               List.iter
                 (fun e ->
-                  Printf.fprintf oc "err %s\n" (Checkpoint.error_to_line e))
+                  Buffer.add_string b
+                    (Printf.sprintf "err %s\n" (Checkpoint.error_to_line e)))
                 p.errors;
-              List.iter
-                (fun it -> output_string oc (item_line it ^ "\n"))
-                p.children
+              List.iter (fun it -> Buffer.add_string b (item_line it ^ "\n")) p.children
           | None ->
-              Printf.fprintf oc "run %s gaveup %d %d %d\n" r.key r.timeouts
-                r.retries r.transients))
+              Buffer.add_string b
+                (Printf.sprintf "run %s gaveup %d %d %d\n" r.key r.timeouts
+                   r.retries r.transients)))
         runs;
-      output_string oc "end\n");
+      Buffer.add_string b "end\n");
+  Buffer.contents b
+
+let write_to_worker oc msg =
+  output_string oc (to_worker_string msg);
+  flush oc
+
+let write_to_coord oc msg =
+  output_string oc (to_coord_string msg);
   flush oc
 
 (* ---- parsing helpers ---- *)

@@ -160,6 +160,13 @@ type to_coord =
 
 (** {2 Writing} *)
 
+val to_worker_string : to_worker -> string
+(** The full serialized frame (newline-terminated, possibly multi-line).
+    Exposed so the chaos layer can drop/duplicate/corrupt/truncate whole
+    frames at the send boundary. *)
+
+val to_coord_string : to_coord -> string
+
 val write_to_worker : out_channel -> to_worker -> unit
 (** Writes the full frame and flushes. *)
 

@@ -222,3 +222,319 @@ let on_call t ~pid =
    salt, is what goes on disk). *)
 let salt_of_schedule ~attempt schedule =
   Hashtbl.hash (attempt, schedule)
+
+(* ---- transport-layer faults ---- *)
+
+module Net = struct
+  type spec = {
+    seed : int;
+    drop : float;
+    delay : float;
+    max_delay : float;
+    dup : float;
+    reorder : float;
+    corrupt : float;
+    truncate : float;
+    partition : float;
+    partition_frames : int;
+    bandwidth : int;
+    write_fail : float;
+  }
+
+  let inert =
+    {
+      seed = 0;
+      drop = 0.0;
+      delay = 0.0;
+      max_delay = 0.01;
+      dup = 0.0;
+      reorder = 0.0;
+      corrupt = 0.0;
+      truncate = 0.0;
+      partition = 0.0;
+      partition_frames = 8;
+      bandwidth = 0;
+      write_fail = 0.0;
+    }
+
+  (* The default mix behind [--net-fault-seed] alone is stall-free: delays,
+     duplicates and reorders are absorbed inline by the protocol, whereas
+     drops / truncations / partitions recover through heartbeat timeouts and
+     redials, which under the default 30s heartbeat would make a smoke run
+     crawl. The aggressive kinds are opt-in via the spec text. *)
+  let default_spec ~seed =
+    { inert with seed; delay = 0.2; max_delay = 0.02; dup = 0.15; reorder = 0.1 }
+
+  let wire_inert spec =
+    spec.drop = 0.0 && spec.delay = 0.0 && spec.dup = 0.0 && spec.reorder = 0.0
+    && spec.corrupt = 0.0 && spec.truncate = 0.0 && spec.partition = 0.0
+    && spec.bandwidth = 0
+
+  let is_inert spec = wire_inert spec && spec.write_fail = 0.0
+
+  let to_string spec =
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "seed=%d" spec.seed);
+    let fld name v = if v > 0.0 then Buffer.add_string b (Printf.sprintf ",%s=%g" name v) in
+    fld "drop" spec.drop;
+    fld "delay" spec.delay;
+    if spec.delay > 0.0 then
+      Buffer.add_string b (Printf.sprintf ",max-delay=%g" spec.max_delay);
+    fld "dup" spec.dup;
+    fld "reorder" spec.reorder;
+    fld "corrupt" spec.corrupt;
+    fld "truncate" spec.truncate;
+    fld "partition" spec.partition;
+    if spec.partition > 0.0 then
+      Buffer.add_string b (Printf.sprintf ",partition-frames=%d" spec.partition_frames);
+    if spec.bandwidth > 0 then
+      Buffer.add_string b (Printf.sprintf ",bandwidth=%d" spec.bandwidth);
+    fld "write-fail" spec.write_fail;
+    Buffer.contents b
+
+  let of_string ?seed text =
+    let text = String.trim text in
+    let base = match seed with Some s -> default_spec ~seed:s | None -> inert in
+    if text = "" then
+      if seed = None then Error "empty net fault spec (and no net fault seed given)"
+      else Ok base
+    else begin
+      let spec = ref { inert with seed = base.seed } in
+      let err = ref None in
+      let prob name v =
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 && p <= 1.0 -> Some p
+        | _ ->
+            err := Some (Printf.sprintf "%s must be a probability in [0,1], got %S" name v);
+            None
+      in
+      let set_prob name v f =
+        match prob name v with Some p -> spec := f !spec p | None -> ()
+      in
+      List.iter
+        (fun pair ->
+          if !err = None then
+            match String.split_on_char '=' (String.trim pair) with
+            | [ "seed"; v ] -> (
+                match int_of_string_opt v with
+                | Some s when seed = None -> spec := { !spec with seed = s }
+                | Some _ -> () (* --net-fault-seed wins over seed= in the spec *)
+                | None -> err := Some (Printf.sprintf "bad seed %S" v))
+            | [ "drop"; v ] -> set_prob "drop" v (fun s p -> { s with drop = p })
+            | [ "delay"; v ] -> set_prob "delay" v (fun s p -> { s with delay = p })
+            | [ "max-delay"; v ] -> (
+                match float_of_string_opt v with
+                | Some d when d >= 0.0 -> spec := { !spec with max_delay = d }
+                | _ -> err := Some (Printf.sprintf "bad max-delay %S" v))
+            | [ "dup"; v ] -> set_prob "dup" v (fun s p -> { s with dup = p })
+            | [ "reorder"; v ] -> set_prob "reorder" v (fun s p -> { s with reorder = p })
+            | [ "corrupt"; v ] -> set_prob "corrupt" v (fun s p -> { s with corrupt = p })
+            | [ "truncate"; v ] -> set_prob "truncate" v (fun s p -> { s with truncate = p })
+            | [ "partition"; v ] ->
+                set_prob "partition" v (fun s p -> { s with partition = p })
+            | [ "partition-frames"; v ] -> (
+                match int_of_string_opt v with
+                | Some n when n > 0 -> spec := { !spec with partition_frames = n }
+                | _ -> err := Some (Printf.sprintf "bad partition-frames %S" v))
+            | [ "bandwidth"; v ] -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> spec := { !spec with bandwidth = n }
+                | _ -> err := Some (Printf.sprintf "bad bandwidth %S" v))
+            | [ "write-fail"; v ] ->
+                set_prob "write-fail" v (fun s p -> { s with write_fail = p })
+            | _ ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "bad net fault spec entry %S (expected key=value with key in \
+                        seed|drop|delay|max-delay|dup|reorder|corrupt|truncate|\
+                        partition|partition-frames|bandwidth|write-fail)"
+                       pair))
+        (String.split_on_char ',' text);
+      match !err with Some e -> Error e | None -> Ok !spec
+    end
+
+  (* ---- per-connection instances ----
+
+     Mirrors the replay-fault idiom above: each one-shot kind pre-draws a
+     single consultation index at [make], bounded by a small horizon, so every
+     connection instance suffers at most one injection per kind and chaos
+     quiesces — a redial is a fresh instance under a fresh salt, which re-draws
+     independently, so with probabilities < 1 a lossy link makes progress with
+     probability 1 while staying a pure function of (spec, salt).
+
+     Frame classes gate which kinds may strike where:
+     - [Control] (handshake, job setup, shutdown): only delayed or swallowed by
+       a partition window. Dropping or corrupting exactly one of these in
+       isolation would not add coverage — the recovery path (connection death,
+       redial) is the same one a partition already exercises — while silently
+       breaking invariants the protocol state machine is entitled to (e.g. a
+       reordered lease-before-job is a permanent protocol error, not a fault).
+     - [Chatter] (heartbeats, telemetry, progress): additionally corruptible —
+       they parse-fail loudly and poison the connection, exercising detection.
+     - [Payload] (leases, results): the frames exactly-once delivery is about;
+       drop/dup/reorder/truncate target these. *)
+
+  let payload_horizon = 4
+  let frame_horizon = 16
+
+  type klass = Control | Chatter | Payload
+
+  type action =
+    | Deliver of { delay : float; copies : int }
+    | Drop_frame
+    | Corrupt_frame
+    | Truncate_sever
+    | Hold_back
+
+  type t = {
+    spec : spec;
+    rng : Sim.Splitmix.t;
+    on_inject : string -> unit;
+    drop_at : int;      (* payload-frame index; -1 = never *)
+    dup_at : int;
+    hold_at : int;
+    corrupt_at : int;   (* non-control-frame index *)
+    truncate_at : int;
+    part_start : int;   (* any-frame index; -1 = never *)
+    part_len : int;
+    mutable payloads : int;
+    mutable noncontrol : int;
+    mutable frames : int;
+  }
+
+  let none =
+    {
+      spec = inert;
+      rng = Sim.Splitmix.create 0;
+      on_inject = ignore;
+      drop_at = -1;
+      dup_at = -1;
+      hold_at = -1;
+      corrupt_at = -1;
+      truncate_at = -1;
+      part_start = -1;
+      part_len = 0;
+      payloads = 0;
+      noncontrol = 0;
+      frames = 0;
+    }
+
+  let make ?(on_inject = ignore) spec ~salt =
+    if wire_inert spec then none
+    else begin
+      let rng = Sim.Splitmix.derive spec.seed ~salt in
+      let draw p horizon =
+        if p > 0.0 && Sim.Splitmix.float rng 1.0 < p then Sim.Splitmix.int rng horizon
+        else -1
+      in
+      let drop_at = draw spec.drop payload_horizon in
+      let dup_at = draw spec.dup payload_horizon in
+      let hold_at = draw spec.reorder payload_horizon in
+      let corrupt_at = draw spec.corrupt frame_horizon in
+      let truncate_at = draw spec.truncate frame_horizon in
+      let part_start = draw spec.partition frame_horizon in
+      {
+        spec;
+        rng;
+        on_inject;
+        drop_at;
+        dup_at;
+        hold_at;
+        corrupt_at;
+        truncate_at;
+        part_start;
+        part_len = spec.partition_frames;
+        payloads = 0;
+        noncontrol = 0;
+        frames = 0;
+      }
+    end
+
+  let active t = not (wire_inert t.spec)
+
+  let on_frame t ~klass ~size =
+    if not (active t) then Deliver { delay = 0.0; copies = 1 }
+    else begin
+      let f = t.frames in
+      t.frames <- f + 1;
+      let nc =
+        match klass with
+        | Control -> -1
+        | Chatter | Payload ->
+            let n = t.noncontrol in
+            t.noncontrol <- n + 1;
+            n
+      in
+      let p =
+        match klass with
+        | Payload ->
+            let n = t.payloads in
+            t.payloads <- n + 1;
+            n
+        | Control | Chatter -> -1
+      in
+      (* The delay coin is flipped unconditionally so the consultation stream
+         stays aligned across frame classes. *)
+      let coin =
+        t.spec.delay > 0.0 && Sim.Splitmix.float t.rng 1.0 < t.spec.delay
+      in
+      let jitter = if coin then Sim.Splitmix.float t.rng t.spec.max_delay else 0.0 in
+      if t.part_start >= 0 && f >= t.part_start && f < t.part_start + t.part_len
+      then begin
+        t.on_inject "partition";
+        Drop_frame
+      end
+      else if nc >= 0 && nc = t.truncate_at then begin
+        t.on_inject "truncate";
+        Truncate_sever
+      end
+      else if nc >= 0 && nc = t.corrupt_at then begin
+        t.on_inject "corrupt";
+        Corrupt_frame
+      end
+      else if p >= 0 && p = t.drop_at then begin
+        t.on_inject "drop";
+        Drop_frame
+      end
+      else if p >= 0 && p = t.hold_at then begin
+        t.on_inject "reorder";
+        Hold_back
+      end
+      else begin
+        let copies = if p >= 0 && p = t.dup_at then 2 else 1 in
+        if copies = 2 then t.on_inject "dup";
+        let shaping =
+          if t.spec.bandwidth > 0 then float_of_int size /. float_of_int t.spec.bandwidth
+          else 0.0
+        in
+        let delay = jitter +. shaping in
+        if delay > 0.0 then t.on_inject "delay";
+        Deliver { delay; copies }
+      end
+    end
+
+  (* A detectably-corrupt frame: the leading verb byte becomes an unprintable
+     control character, so the receiver's line parser rejects the frame
+     ("unexpected … line") instead of silently ingesting mangled payload.
+     Undetectable mid-payload corruption is out of scope until the wire grows
+     checksummed framing (see ROADMAP: transport security). *)
+  let corrupt_bytes frame =
+    if String.length frame = 0 then frame
+    else begin
+      let b = Bytes.of_string frame in
+      Bytes.set b 0 '\x01';
+      Bytes.to_string b
+    end
+
+  let truncate_len frame =
+    let n = String.length frame in
+    if n <= 1 then n else n / 2
+
+  let fs_fault spec ~salt =
+    if spec.write_fail <= 0.0 then fun () -> false
+    else begin
+      let rng = Sim.Splitmix.derive spec.seed ~salt:(salt lxor 0x5f5f) in
+      fun () -> Sim.Splitmix.float rng 1.0 < spec.write_fail
+    end
+end

@@ -96,3 +96,97 @@ val on_call : t -> pid:int -> call_action
 val salt_of_schedule : attempt:int -> 'a -> int
 (** Deterministic salt for {!make} from a replay's forced schedule (any
     immutable structural value) and retry attempt number. *)
+
+(** Transport-layer fault injection for the coordinator/worker wire protocol.
+
+    Where the parent module perturbs the {e simulated} MPI runtime, [Net]
+    perturbs the {e real} sockets between a coordinator and its workers:
+    frames are dropped, delayed, duplicated, reordered, corrupted or
+    truncated at the send boundary, one-way partition windows swallow
+    everything for a stretch, and bandwidth shaping slows a link down.
+    Same determinism contract: a [t] is a pure function of [(spec, salt)],
+    with each one-shot kind pre-drawn at a bounded frame index so every
+    connection instance injects at most one fault per kind — a redial is a
+    fresh instance, so lossy links converge under retry. *)
+module Net : sig
+  (** Per-connection probabilities. [drop]/[dup]/[reorder] strike payload
+      frames (leases, results); [corrupt]/[truncate] any non-control frame;
+      [partition] opens a one-way window of [partition_frames] swallowed
+      frames; [delay] is a per-frame coin; [bandwidth] (bytes/s, 0 =
+      unshaped) adds size-proportional latency; [write_fail] is consumed by
+      the persistence layer (injected ENOSPC), not the wire. *)
+  type spec = {
+    seed : int;
+    drop : float;
+    delay : float;
+    max_delay : float;
+    dup : float;
+    reorder : float;
+    corrupt : float;
+    truncate : float;
+    partition : float;
+    partition_frames : int;
+    bandwidth : int;
+    write_fail : float;
+  }
+
+  val inert : spec
+  val default_spec : seed:int -> spec
+  (** The stall-free default mix behind [--net-fault-seed] alone: delays,
+      duplicates and reorders, which the protocol absorbs inline without
+      waiting out heartbeat timeouts. *)
+
+  val is_inert : spec -> bool
+  val wire_inert : spec -> bool
+  (** No wire-level kind enabled ([write_fail] may still be set). *)
+
+  val of_string : ?seed:int -> string -> (spec, string) result
+  (** Parse a comma-separated [key=value] spec with keys
+      [seed|drop|delay|max-delay|dup|reorder|corrupt|truncate|partition|
+       partition-frames|bandwidth|write-fail]. [?seed] (the CLI's
+      [--net-fault-seed]) overrides [seed=] in the text; an empty string
+      with a seed yields {!default_spec}. *)
+
+  val to_string : spec -> string
+
+  (** {1 Per-connection instances} *)
+
+  (** How a frame is classified at the send boundary. [Control] frames
+      (handshake, job setup, shutdown) are only ever delayed or partitioned;
+      [Chatter] (heartbeats, telemetry, progress) may additionally be
+      corrupted or truncated; [Payload] (leases, results) is eligible for
+      every kind. *)
+  type klass = Control | Chatter | Payload
+
+  type action =
+    | Deliver of { delay : float; copies : int }
+        (** write [copies] times after [delay] seconds of pacing *)
+    | Drop_frame  (** swallow silently, pretend success *)
+    | Corrupt_frame  (** write {!corrupt_bytes} of the frame instead *)
+    | Truncate_sever
+        (** write only {!truncate_len} bytes, then sever the connection *)
+    | Hold_back
+        (** reorder: hold the frame, deliver it after the next one *)
+
+  type t
+
+  val none : t
+  val make : ?on_inject:(string -> unit) -> spec -> salt:int -> t
+  (** [salt] must identify the connection instance (e.g. a connection
+      counter), so a redial re-draws. [on_inject] is called with the kind
+      name each time a fault actually fires (for metrics). *)
+
+  val active : t -> bool
+  val on_frame : t -> klass:klass -> size:int -> action
+  (** Consulted once per outgoing frame, in send order. *)
+
+  val corrupt_bytes : string -> string
+  (** Detectably-corrupt copy: the leading verb byte becomes an unprintable
+      control character so the receiver's parser rejects the frame. *)
+
+  val truncate_len : string -> int
+
+  val fs_fault : spec -> salt:int -> unit -> bool
+  (** Deterministic injected-ENOSPC coin stream for persistence writes,
+      driven by [write_fail]. *)
+end

@@ -358,6 +358,13 @@ coordinator rather than hanging:
   bad address "nonsense": bad address "nonsense" (expected unix:PATH or tcp:HOST:PORT)
   [2]
 
+A never-listening address is a usage-class failure (exit 2), one line, no
+backtrace:
+
   $ dampi top --connect unix:no-coordinator.sock --once
-  cannot connect to unix:no-coordinator.sock: No such file or directory
-  [1]
+  cannot connect to unix:no-coordinator.sock: No such file or directory (is the coordinator running?)
+  [2]
+
+  $ dampi top --connect tcp:no-such-host.invalid:9999 --once
+  cannot resolve tcp:no-such-host.invalid:9999: no such host or address
+  [2]

@@ -114,6 +114,8 @@ let setup_of ~name ~np ~fds ?(lease_size = 2) ?(rejoin_grace = 0.05) ?auth ()
     join_timeout = Coordinator.default_join_timeout;
     rejoin_grace;
     auth;
+    net_fault = None;
+    outq_budget = Coordinator.default_outq_budget;
   }
 
 let check_same name (seq : Report.t) (dist : Report.t) =
@@ -309,6 +311,8 @@ let test_listen_attach () =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.05;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let dist =
@@ -353,6 +357,8 @@ let test_dial_attach () =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.05;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let dist =
@@ -490,6 +496,8 @@ let test_join_timeout () =
       join_timeout = 0.2;
       rejoin_grace = 0.0;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -690,6 +698,8 @@ let test_zombie_fenced () =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.0;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let dist =
@@ -758,6 +768,8 @@ let test_coordinator_restart () =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.5;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   (* First life: explore a few replays, then die (interrupt), leaving the

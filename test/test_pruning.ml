@@ -136,6 +136,8 @@ let verify_distributed ~name ~np ~state_config m build =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.05;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let r =
@@ -369,7 +371,9 @@ let test_sidecar_label_guard () =
       in
       let a = Prefix_cache.create ~label:"twin np=8" ~budget_bytes:4096 () in
       Prefix_cache.add a [ d ] entry;
-      Prefix_cache.save a path;
+      (match Prefix_cache.save a path with
+      | Checkpoint.Written -> ()
+      | Checkpoint.Degraded msg -> Alcotest.failf "cache save degraded: %s" msg);
       let b = Prefix_cache.create ~label:"adlb np=6" ~budget_bytes:4096 () in
       (match Prefix_cache.load b path with
       | Error msg ->

@@ -87,6 +87,8 @@ let check_totals_equal (name, np, build) () =
       join_timeout = Coordinator.default_join_timeout;
       rejoin_grace = 0.05;
       auth = None;
+      net_fault = None;
+      outq_budget = Coordinator.default_outq_budget;
     }
   in
   let dist = Explorer.verify ~distribute:setup ~np (build ()) in

@@ -239,6 +239,101 @@ let prop_flips_never_raise =
           QCheck.Test.fail_reportf "assembler raised %s"
             (Printexc.to_string e))
 
+(* ---- transport-chaos coverage: what Fault.Net makes the receiver see ----
+
+   Under injected duplication the assembler gets the same complete frame
+   twice back-to-back; under chunked delivery it gets buffers mixing the
+   tail of one frame with the head of the next. Both must parse
+   losslessly: duplicate *parsing* is correct wire behaviour —
+   deduplication belongs to the coordinator (fencing / last-settled), not
+   the parser. *)
+
+let frames msgs = List.map Wire.to_coord_string msgs
+
+let prop_string_matches_writer =
+  QCheck.Test.make
+    ~name:"to_coord_string matches the channel writer byte-for-byte"
+    ~count:300
+    (QCheck.make gen_conversation ~print:(fun m ->
+         string_of_int (List.length m) ^ " message(s)"))
+    (fun msgs -> String.concat "" (frames msgs) = serialize msgs)
+
+let dup_raw msgs i =
+  String.concat ""
+    (List.concat
+       (List.mapi (fun j f -> if j = i then [ f; f ] else [ f ]) (frames msgs)))
+
+let arb_dup_frame =
+  QCheck.make
+    ~print:(fun (msgs, i, cuts) ->
+      Printf.sprintf "%d message(s), frame %d duplicated, %d cut(s)"
+        (List.length msgs) i (List.length cuts))
+    QCheck.Gen.(
+      gen_conversation >>= fun msgs ->
+      0 -- (List.length msgs - 1) >>= fun i ->
+      let n = String.length (dup_raw msgs i) in
+      map
+        (fun cuts -> (msgs, i, List.sort_uniq compare cuts))
+        (list_size (0 -- 12) (0 -- n)))
+
+let prop_duplicated_frame_parses_twice =
+  QCheck.Test.make
+    ~name:"a duplicated complete frame parses as two identical messages"
+    ~count:300 arb_dup_frame (fun (msgs, i, cuts) ->
+      let raw = dup_raw msgs i in
+      let expected =
+        List.concat
+          (List.mapi (fun j m -> if j = i then [ m; m ] else [ m ]) msgs)
+      in
+      let out = feed_chunks raw cuts in
+      List.length out = List.length expected
+      && List.for_all2
+           (fun got want -> match got with Ok m -> m = want | Error _ -> false)
+           out expected)
+
+let gen_results_msg =
+  QCheck.Gen.(
+    map
+      (fun (epoch, lease_id, runs) -> Wire.Results { epoch; lease_id; runs })
+      (triple (0 -- 9) (0 -- 99) (list_size (1 -- 4) gen_run)))
+
+let arb_interleaved =
+  QCheck.make
+    ~print:(fun (msgs, cuts) ->
+      Printf.sprintf "%d message(s), %d mid-frame cut(s)" (List.length msgs)
+        (List.length cuts))
+    QCheck.Gen.(
+      (* lead with a multi-line Results frame so cuts can land inside a
+         frame body (between its lines), not merely inside a line *)
+      pair gen_results_msg gen_conversation >>= fun (r, rest) ->
+      let msgs = r :: rest in
+      let boundaries =
+        List.fold_left
+          (fun acc f -> (List.hd acc + String.length f) :: acc)
+          [ 0 ] (frames msgs)
+      in
+      let n = List.hd boundaries in
+      map
+        (fun cuts ->
+          ( msgs,
+            List.sort_uniq compare
+              (List.filter (fun c -> not (List.mem c boundaries)) cuts) ))
+        (list_size (1 -- 12) (1 -- max 1 (n - 1))))
+
+let prop_interleaved_partials =
+  QCheck.Test.make
+    ~name:"chunks mixing adjacent frames' partial bytes reassemble"
+    ~count:300 arb_interleaved (fun (msgs, cuts) ->
+      (* every cut lies strictly inside a frame, so each chunk past the
+         first begins with the partial tail of a frame already under
+         assembly — the shape duplicated/reordered delivery produces *)
+      let raw = String.concat "" (frames msgs) in
+      let out = feed_chunks raw cuts in
+      List.length out = List.length msgs
+      && List.for_all2
+           (fun got want -> match got with Ok m -> m = want | Error _ -> false)
+           out msgs)
+
 let () =
   Alcotest.run "wire-fuzz"
     [
@@ -247,5 +342,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_splits_reassemble;
           QCheck_alcotest.to_alcotest prop_corruption_is_an_error;
           QCheck_alcotest.to_alcotest prop_flips_never_raise;
+          QCheck_alcotest.to_alcotest prop_string_matches_writer;
+          QCheck_alcotest.to_alcotest prop_duplicated_frame_parses_twice;
+          QCheck_alcotest.to_alcotest prop_interleaved_partials;
         ] );
     ]

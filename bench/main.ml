@@ -784,9 +784,9 @@ type prune_row = {
   pr_cached_wall : float;
   pr_warm_wall : float;
   pr_warm_hits : int;
-  pr_base_prps : float;  (* profiler-derived replays/s, unpruned *)
-  pr_pruned_prps : float;
-  pr_warm_prps : float;
+  pr_base_prps : float option;  (* profiler-derived replays/s, unpruned *)
+  pr_pruned_prps : float option;
+  pr_warm_prps : float option;  (* None when the walk replayed nothing *)
   pr_depth : (string * int) list;  (* resume-depth histogram, bound -> count *)
 }
 
@@ -832,13 +832,17 @@ let prune_explore () =
     "speedup";
   (* Profiler-derived throughput: replays over the summed per-replay wall
      from the explorer.replay_wall_s histogram — excludes scheduler and
-     reporting overhead, so it is the per-replay cost the pruning saves. *)
+     reporting overhead, so it is the per-replay cost the pruning saves.
+     A walk that replayed nothing (e.g. a warm cache-hit re-run) has an
+     empty histogram: that is [None], not a misleading 0.00. *)
   let hist_rps (r : Report.t) =
     match Obs.Metrics.find r.Report.metrics "explorer.replay_wall_s" with
-    | Some (Obs.Metrics.Histogram h) when h.Obs.Metrics.sum > 0.0 ->
-        float_of_int h.Obs.Metrics.count /. h.Obs.Metrics.sum
-    | _ -> 0.0
+    | Some (Obs.Metrics.Histogram h)
+      when h.Obs.Metrics.sum > 0.0 && h.Obs.Metrics.count > 0 ->
+        Some (float_of_int h.Obs.Metrics.count /. h.Obs.Metrics.sum)
+    | _ -> None
   in
+  let prps_str = function Some v -> Printf.sprintf "%9.1f" v | None -> Printf.sprintf "%9s" "-" in
   let rows =
     List.map
       (fun (name, np, build) ->
@@ -861,10 +865,11 @@ let prune_explore () =
           let rps =
             float_of_int base.Report.interleavings /. Float.max 1e-9 wall
           in
-          pf "%-10s %-14s %14d %8d %9d %10.3f %11.1f %9.1f %7.2fx%s\n%!" name
+          pf "%-10s %-14s %14d %8d %9d %10.3f %11.1f %s %7.2fx%s\n%!" name
             mode r.Report.interleavings r.Report.runs_pruned
             (List.length r.Report.findings)
-            wall rps (hist_rps r)
+            wall rps
+            (prps_str (hist_rps r))
             (rps /. Float.max 1e-9 base_rps)
             extra
         in
@@ -955,6 +960,12 @@ let prune_explore () =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"bench\": \"prune_explore\",\n  \"results\": [\n";
   let n = List.length rows in
+  (* Profiled replays/sec is [null] when the mode replayed nothing (a warm
+     cache-hit walk has an empty replay histogram). *)
+  let prps_json = function
+    | Some v -> Printf.sprintf "%.2f" v
+    | None -> "null"
+  in
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -963,14 +974,17 @@ let prune_explore () =
          \"equal_findings\": %b, \"base_wall\": %.6f, \"pruned_wall\": %.6f, \
          \"pruned_speedup\": %.4f, \"cached_wall\": %.6f, \"warm_wall\": %.6f, \
          \"warm_speedup\": %.4f, \"cache_hits\": %d, \
-         \"base_profiled_rps\": %.2f, \"pruned_profiled_rps\": %.2f, \
-         \"warm_profiled_rps\": %.2f}%s\n"
+         \"base_profiled_rps\": %s, \"pruned_profiled_rps\": %s, \
+         \"warm_profiled_rps\": %s}%s\n"
         r.pr_workload r.pr_np r.pr_base_runs r.pr_pruned_runs r.pr_runs_pruned
         r.pr_pruned_findings r.pr_equal_findings r.pr_base_wall r.pr_pruned_wall
         (r.pr_base_wall /. Float.max 1e-9 r.pr_pruned_wall)
         r.pr_cached_wall r.pr_warm_wall
         (r.pr_base_wall /. Float.max 1e-9 r.pr_warm_wall)
-        r.pr_warm_hits r.pr_base_prps r.pr_pruned_prps r.pr_warm_prps
+        r.pr_warm_hits
+        (prps_json r.pr_base_prps)
+        (prps_json r.pr_pruned_prps)
+        (prps_json r.pr_warm_prps)
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -1116,6 +1130,214 @@ let trace_overhead () =
   pf "OK: untraced runs allocate identically and record zero events; \
       tracing allocates strictly more\n"
 
+(* ---- Hot path: the single-thread replay loop itself ----
+
+   Cold exhaustive walks at jobs=1, trace off, pruning off, no cache — the
+   configuration where every interleaving is a genuine re-execution, so
+   replays/sec and Gc.minor_words per replay measure the runtime + clock
+   hot path and nothing else. Both figures feed bench/baselines/hotpath.json
+   via [hotpath_gate]. *)
+
+type hotpath_row = {
+  hp_workload : string;
+  hp_np : int;
+  hp_interleavings : int;
+  hp_findings : int;
+  hp_wall : float;
+  hp_rps : float;
+  hp_words_per_replay : float;  (* minor words, deterministic per replay *)
+}
+
+let hotpath_rows : hotpath_row list ref = ref []
+
+let hotpath_scenarios =
+  [
+    ( "adlb2",
+      6,
+      fun () ->
+        Workloads.Adlb.program
+          ~params:
+            {
+              Workloads.Adlb.default_params with
+              servers = 2;
+              puts_per_client = 1;
+            }
+          () );
+    ( "matmult",
+      6,
+      fun () ->
+        Workloads.Matmult.program
+          ~params:
+            { Workloads.Matmult.default_params with n = 6; rows_per_task = 1 }
+          () );
+  ]
+
+let hotpath ?only () =
+  heading
+    "Hot path -- replays/sec and minor words/replay (jobs=1, trace off, \
+     pruning off)";
+  pf "%-10s %4s %14s %9s %10s %11s %16s\n" "workload" "np" "interleavings"
+    "findings" "wall-s" "replays/s" "minor-w/replay";
+  let scenarios =
+    match only with
+    | None -> hotpath_scenarios
+    | Some w -> List.filter (fun (name, _, _) -> name = w) hotpath_scenarios
+  in
+  let rows =
+    List.map
+      (fun (name, np, build) ->
+        let cfg =
+          {
+            Explorer.default_config with
+            state_config = State.make_config ();
+          }
+        in
+        (* Warm-up walk: faults in every code path and lazy allocation so
+           the measured walk's allocation count is steady-state. *)
+        ignore (Explorer.verify ~config:cfg ~np (build ()));
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let r = Explorer.verify ~config:cfg ~np (build ()) in
+        let wall = Unix.gettimeofday () -. t0 in
+        let words = Gc.minor_words () -. w0 in
+        let runs = r.Report.interleavings in
+        let rps = float_of_int runs /. Float.max 1e-9 wall in
+        let wpr = words /. float_of_int (max 1 runs) in
+        pf "%-10s %4d %14d %9d %10.3f %11.1f %16.0f\n%!" name np runs
+          (List.length r.Report.findings)
+          wall rps wpr;
+        {
+          hp_workload = name;
+          hp_np = np;
+          hp_interleavings = runs;
+          hp_findings = List.length r.Report.findings;
+          hp_wall = wall;
+          hp_rps = rps;
+          hp_words_per_replay = wpr;
+        })
+      scenarios
+  in
+  hotpath_rows := rows;
+  let path = "BENCH_hotpath.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"hotpath\",\n  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"np\": %d, \"interleavings\": %d, \
+         \"findings\": %d, \"wall_s\": %.6f, \"replays_per_sec\": %.2f, \
+         \"minor_words_per_replay\": %.1f}%s\n"
+        r.hp_workload r.hp_np r.hp_interleavings r.hp_findings r.hp_wall
+        r.hp_rps r.hp_words_per_replay
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  pf "\nresults written to %s\n" path
+
+(* The hot-path regression gate, mirroring [prune_gate]'s policy:
+   deterministic fields (interleavings, findings) must match the committed
+   baseline exactly; replays/sec only has to clear [min_rps.<workload>],
+   which carries generous slack because absolute throughput is
+   machine-dependent; minor words per replay is deterministic for a given
+   compiler, so it must stay at or below [max_words_per_replay.<workload>].
+   Re-baselining is a deliberate manual act: run [bench -- hotpath], inspect
+   BENCH_hotpath.json, and edit bench/baselines/hotpath.json (or run the
+   re-baseline workflow_dispatch job and commit its artifact). *)
+
+let hotpath_gate () =
+  heading "Hot-path gate -- against bench/baselines/hotpath.json";
+  (* Look for the baseline before spending bench time: a missing file is a
+     setup error and should fail immediately. *)
+  let baseline_path = "bench/baselines/hotpath.json" in
+  if not (Sys.file_exists baseline_path) then begin
+    pf "FAIL: %s not found (run from the repository root)\n" baseline_path;
+    exit 1
+  end;
+  if !hotpath_rows = [] then hotpath ();
+  let text =
+    let ic = open_in baseline_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (* The baseline is flat JSON: "<workload>.<field>": value. *)
+  let lookup key =
+    let anchor = Printf.sprintf "\"%s\":" key in
+    match
+      let rec find i =
+        if i + String.length anchor > String.length text then None
+        else if String.sub text i (String.length anchor) = anchor then
+          Some (i + String.length anchor)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < String.length text
+          && not (List.mem text.[!stop] [ ','; '\n'; '}' ])
+        do
+          incr stop
+        done;
+        Some (String.trim (String.sub text start (!stop - start)))
+  in
+  let int_of key = Option.bind (lookup key) int_of_string_opt in
+  let float_of key = Option.bind (lookup key) float_of_string_opt in
+  let failures = ref 0 in
+  let check_int label actual = function
+    | None ->
+        pf "FAIL %-36s missing from baseline\n" label;
+        incr failures
+    | Some expected when expected <> actual ->
+        pf "FAIL %-36s %d (baseline %d)\n" label actual expected;
+        incr failures
+    | Some expected -> pf "ok   %-36s %d\n" label expected
+  in
+  List.iter
+    (fun r ->
+      let k f = r.hp_workload ^ "." ^ f in
+      check_int (k "interleavings") r.hp_interleavings
+        (int_of (k "interleavings"));
+      check_int (k "findings") r.hp_findings (int_of (k "findings"));
+      (match float_of ("min_rps." ^ r.hp_workload) with
+      | None ->
+          pf "FAIL %-36s missing from baseline\n" ("min_rps." ^ r.hp_workload);
+          incr failures
+      | Some floor when r.hp_rps < floor ->
+          pf "FAIL %-36s %.1f (floor %.1f)\n"
+            (r.hp_workload ^ ".replays_per_sec")
+            r.hp_rps floor;
+          incr failures
+      | Some floor ->
+          pf "ok   %-36s %.1f (floor %.1f)\n"
+            (r.hp_workload ^ ".replays_per_sec")
+            r.hp_rps floor);
+      match float_of ("max_words_per_replay." ^ r.hp_workload) with
+      | None ->
+          pf "FAIL %-36s missing from baseline\n"
+            ("max_words_per_replay." ^ r.hp_workload);
+          incr failures
+      | Some ceiling when r.hp_words_per_replay > ceiling ->
+          pf "FAIL %-36s %.0f (ceiling %.0f)\n"
+            (r.hp_workload ^ ".minor_words_per_replay")
+            r.hp_words_per_replay ceiling;
+          incr failures
+      | Some ceiling ->
+          pf "ok   %-36s %.0f (ceiling %.0f)\n"
+            (r.hp_workload ^ ".minor_words_per_replay")
+            r.hp_words_per_replay ceiling)
+    !hotpath_rows;
+  if !failures > 0 then begin
+    pf "\nhotpath gate: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  pf "\nhotpath gate: all checks passed\n"
+
 (* ---- Bechamel microbenchmarks of the substrate ---- *)
 
 let micro () =
@@ -1201,7 +1423,8 @@ let usage () =
   pf
     "usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|\n\
     \                 ablation-piggyback|ablation-mixing|parallel|\
-     distributed|fault-soak|prune|prune-gate|trace-overhead|micro] [--np N]\n"
+     distributed|fault-soak|prune|prune-gate|hotpath|hotpath-matmult|\
+     hotpath-gate|trace-overhead|micro] [--np N]\n"
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1236,6 +1459,10 @@ let () =
     | "fault-soak" -> fault_soak ()
     | "prune" -> prune_explore ()
     | "prune-gate" -> prune_gate ()
+    | "hotpath" -> hotpath ()
+    (* Matmult only: quick enough (well under a second) for smoke tests. *)
+    | "hotpath-matmult" -> hotpath ~only:"matmult" ()
+    | "hotpath-gate" -> hotpath_gate ()
     | "trace-overhead" -> trace_overhead ()
     | "micro" -> micro ()
     | "all" ->
@@ -1253,6 +1480,7 @@ let () =
         distributed_explore ();
         fault_soak ();
         prune_explore ();
+        hotpath ();
         trace_overhead ()
     | other ->
         pf "unknown command %S\n" other;

@@ -59,4 +59,40 @@ module type S = sig
       of the same execution prefix — the property epoch ids rely on. *)
 
   val pp : Format.formatter -> t -> unit
+
+  (** {2 Encoded hot-path operations}
+
+      The replay hot path stores clocks directly in their wire encoding —
+      an [int array] of [width ~np] cells — and mutates them in place,
+      so a tick or a receive-side merge costs zero allocations instead of
+      a decode/apply/encode round trip. The pure API above remains the
+      specification: every [*_enc]/[*_into] operation must behave exactly
+      like encode-compose-decode of its pure counterpart (QCheck holds the
+      two to account in [test_clocks], and {!Reference.Make} derives this
+      block from the pure block for differential runs). Buffer ownership
+      rules live in DESIGN.md, "Hot path & allocation discipline". *)
+
+  val width : np:int -> int
+  (** Cells in the encoded form for a system of [np] processes. *)
+
+  val make_enc : np:int -> int array
+  (** The zero clock, encoded. Fresh storage owned by the caller. *)
+
+  val tick_into : me:int -> int array -> unit
+  (** In-place [tick] on an encoded clock. *)
+
+  val merge_into : into:int array -> int array -> unit
+  (** In-place receive-side join: [into <- merge into src]; [src] is read
+      only. The arguments must not alias. *)
+
+  val epoch_clock_into : me:int -> pre:int array -> into:int array -> unit
+  (** Write the epoch clock derived from the {e pre-tick} encoded process
+      clock [pre] into [into]. [pre] is read only; the arguments must not
+      alias. *)
+
+  val is_late_enc : send:int array -> epoch:int array -> bool
+  (** [is_late] computed directly on encodings — no decode, no allocation. *)
+
+  val scalar_enc : me:int -> int array -> int
+  (** [scalar] computed directly on an encoding. *)
 end

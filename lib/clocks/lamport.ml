@@ -30,3 +30,17 @@ let decode ~np:_ = function
 
 let scalar ~me:_ t = t
 let pp ppf t = Format.fprintf ppf "LC=%d" t
+
+(* Encoded hot path: the encoding is the one-cell array [| t |], so every
+   operation is a direct cell update. *)
+
+let width ~np:_ = 1
+let make_enc ~np:_ = [| 0 |]
+let tick_into ~me:_ enc = enc.(0) <- enc.(0) + 1
+
+let merge_into ~into src =
+  if src.(0) > into.(0) then into.(0) <- src.(0)
+
+let epoch_clock_into ~me:_ ~pre ~into = into.(0) <- pre.(0) + 1
+let is_late_enc ~send ~epoch = send.(0) < epoch.(0)
+let scalar_enc ~me:_ enc = enc.(0)

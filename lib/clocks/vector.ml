@@ -50,3 +50,36 @@ let scalar ~me t = t.(me)
 let pp ppf t =
   Format.fprintf ppf "VC=[%s]"
     (String.concat ";" (Array.to_list (Array.map string_of_int t)))
+
+(* Encoded hot path: the encoding is the vector itself, so the in-place
+   operations are plain array loops. *)
+
+let width ~np = max np 1
+let make_enc ~np = Array.make (max np 1) 0
+let tick_into ~me enc = enc.(me) <- enc.(me) + 1
+
+let merge_into ~into src =
+  if Array.length into <> Array.length src then
+    invalid_arg "Vector.merge_into: dimension mismatch";
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let epoch_clock_into ~me ~pre ~into =
+  Array.blit pre 0 into 0 (Array.length pre);
+  into.(me) <- into.(me) + 1
+
+(* [is_late ~send ~epoch = not (happened_before epoch send || epoch = send)].
+   Both disjuncts require epoch <= send componentwise, so the send is late
+   iff some component of [epoch] exceeds [send]'s. *)
+let is_late_enc ~send ~epoch =
+  let n = Array.length epoch in
+  let late = ref false in
+  let i = ref 0 in
+  while (not !late) && !i < n do
+    if epoch.(!i) > send.(!i) then late := true;
+    incr i
+  done;
+  !late
+
+let scalar_enc ~me enc = enc.(me)

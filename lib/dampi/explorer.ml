@@ -202,6 +202,7 @@ let dampi_runner config ~np (program : Mpi.Mpi_intf.program) : runner =
       Prog.main ();
       W.finalize_tool ());
   let outcome = Runtime.run rt in
+  State.flush_metrics st;
   (* A poisoned rank surfaces as a crash on [Replay_cancelled]; the run is
      then a cancelled replay, not a finding. *)
   let cancelled =

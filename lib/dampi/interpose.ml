@@ -105,8 +105,13 @@ struct
   let check () = State.check_poison st
 
   (* Wire size of one piggybacked clock, to hide it from user-visible
-     statuses under inline packing. *)
-  let clock_bytes = Payload.size_bytes (State.clock_payload st 0)
+     statuses under inline packing. Probed through a throwaway payload whose
+     buffer goes straight back to the free list. *)
+  let clock_bytes =
+    let p = State.clock_payload st 0 in
+    let bytes = Payload.size_bytes p in
+    State.release_clock_buf st (State.clock_of_payload st p);
+    bytes
 
   let pb_send ~tag ~dest comm =
     State.count_piggyback st ~bytes:clock_bytes;
@@ -258,6 +263,12 @@ struct
           State.find_potential_matches st ~me:my ~src_rank:status.Types.source
             ~ctx:(M.comm_id ri.ri_comm) ~tag:status.Types.tag ~send_enc;
           State.merge_in st my send_enc;
+          (* The piggyback buffer is consumed: each point-to-point clock
+             message is completed exactly once (the [info] table guards
+             re-processing), so its buffer can rejoin the free list.
+             Collective clock payloads are NOT released — the simulator may
+             hand every rank the same merged object. *)
+          State.release_clock_buf st send_enc;
           State.unwatch_wildcard st ~req_uid:uid;
           (match ri.ri_epoch with
           | Some epoch ->
@@ -572,10 +583,11 @@ struct
                 (M.recv ~src:status.Types.source ~tag:status.Types.tag
                    (shadow_of comm))
           in
+          let send_enc = State.clock_of_payload st pb in
           State.find_potential_matches st ~me:my
             ~src_rank:status.Types.source ~ctx:(M.comm_id comm)
-            ~tag:status.Types.tag
-            ~send_enc:(State.clock_of_payload st pb);
+            ~tag:status.Types.tag ~send_enc;
+          State.release_clock_buf st send_enc;
           loop ()
     in
     loop ()

@@ -4,9 +4,13 @@
     and vector variants share all verifier code), the epochs recorded during
     the run, the guided-replay plan, and the bounding-heuristic knobs.
 
-    Clocks are stored {e encoded} (as [int array]); every operation decodes,
-    applies the clock algebra, and re-encodes. This keeps every other DAMPI
-    module monomorphic. *)
+    Clocks are stored {e encoded} (as [int array]) and mutated in place
+    through the clock module's [tick_into]/[merge_into]/[is_late_enc]
+    block — no decode/apply/encode round trip, no allocation per operation.
+    This keeps every other DAMPI module monomorphic and the replay hot path
+    allocation-free (see DESIGN.md, "Hot path & allocation discipline").
+    Piggyback payload buffers come from a per-state free list recycled by
+    the interposition layer once a received clock has been merged. *)
 
 type mode = Self_run | Guided_run
 
@@ -53,6 +57,8 @@ type smetrics = {
   m_clock_merges : Obs.Metrics.counter;
   m_epochs_recorded : Obs.Metrics.counter;
   m_epochs_completed : Obs.Metrics.counter;
+  m_clock_buf_reuses : Obs.Metrics.counter;
+      (* piggyback encode buffers served from the free list *)
   m_clock_merge_t : Obs.Metrics.histogram option;
       (* [--profile]: wall time of each clock merge *)
 }
@@ -92,18 +98,27 @@ type t = {
   obs : smetrics option;
   poison : (unit -> bool) option;
       (** polled at every interposed call; [true] cancels the replay *)
+  clock_width : int;  (** cells per encoded clock, [C.width ~np] *)
+  pb_pool : int array array;
+      (** free list of piggyback encode buffers (a fixed-capacity stack:
+          push/pop never allocates); slots above [pb_pool_top] are dead *)
+  mutable pb_pool_top : int;
+  mutable pb_reuses : int;
+  mutable pending_pb_msgs : int;
+      (** piggyback counts batched locally; {!flush_metrics} pushes them to
+          the shard once per replay instead of twice per message *)
+  mutable pending_pb_bytes : int;
 }
 
 let create ?(config = default_config) ?metrics ?(profile = false) ?poison ~np
     ~plan ~fork_index () =
   let module C = (val config.clock) in
-  let zero = C.encode (C.make ~np) in
   {
     np;
     config;
     plan;
-    clocks = Array.init np (fun _ -> Array.copy zero);
-    xmit_clocks = Array.init np (fun _ -> Array.copy zero);
+    clocks = Array.init np (fun _ -> C.make_enc ~np);
+    xmit_clocks = Array.init np (fun _ -> C.make_enc ~np);
     mode =
       Array.init np (fun pid ->
           if plan.Decisions.guided_epoch.(pid) >= 0 then Guided_run
@@ -126,6 +141,7 @@ let create ?(config = default_config) ?metrics ?(profile = false) ?poison ~np
             m_epochs_recorded = Obs.Metrics.counter sh "dampi.epochs_recorded";
             m_epochs_completed =
               Obs.Metrics.counter sh "dampi.epochs_completed";
+            m_clock_buf_reuses = Obs.Metrics.counter sh "dampi.clock_buf_reuses";
             m_clock_merge_t =
               (if profile then
                  Some (Obs.Metrics.histogram sh "profile.clock_merge_s")
@@ -133,6 +149,12 @@ let create ?(config = default_config) ?metrics ?(profile = false) ?poison ~np
           })
         metrics;
     poison;
+    clock_width = C.width ~np;
+    pb_pool = Array.make ((4 * np) + 16) [||];
+    pb_pool_top = 0;
+    pb_reuses = 0;
+    pending_pb_msgs = 0;
+    pending_pb_bytes = 0;
   }
 
 (* The in-replay poison check: polled at every interposed MPI call so a
@@ -143,27 +165,66 @@ let check_poison st =
   | Some _ | None -> ()
 
 let count_piggyback st ~bytes =
+  st.pending_pb_msgs <- st.pending_pb_msgs + 1;
+  st.pending_pb_bytes <- st.pending_pb_bytes + bytes
+
+(* Push the locally batched counts to the metrics shard. The runner calls
+   this once per replay, after the runtime returns (on every outcome), so
+   the end-of-run totals are identical to per-message counting. *)
+let flush_metrics st =
   match st.obs with
   | Some m ->
-      Obs.Metrics.incr m.m_piggyback_msgs;
-      Obs.Metrics.add m.m_piggyback_bytes bytes
+      if st.pending_pb_msgs > 0 then begin
+        Obs.Metrics.add m.m_piggyback_msgs st.pending_pb_msgs;
+        Obs.Metrics.add m.m_piggyback_bytes st.pending_pb_bytes;
+        st.pending_pb_msgs <- 0;
+        st.pending_pb_bytes <- 0
+      end;
+      if st.pb_reuses > 0 then begin
+        Obs.Metrics.add m.m_clock_buf_reuses st.pb_reuses;
+        st.pb_reuses <- 0
+      end
   | None -> ()
 
-(* ---- Clock operations (decode / apply / encode) ---- *)
+(* ---- Clock operations (in place on the encodings) ---- *)
 
 let scalar st me =
   let module C = (val st.config.clock) in
-  C.scalar ~me (C.decode ~np:st.np st.clocks.(me))
+  C.scalar_enc ~me st.clocks.(me)
+
+(* Piggyback buffer free list: a send needs a snapshot of the current clock
+   that survives until the receiver merges it, so the payload cannot alias
+   the live clock. The interposition layer returns each consumed buffer via
+   [release_clock_buf]; steady state allocates nothing. *)
+let alloc_clock_buf st =
+  if st.pb_pool_top > 0 then begin
+    st.pb_pool_top <- st.pb_pool_top - 1;
+    st.pb_reuses <- st.pb_reuses + 1;
+    st.pb_pool.(st.pb_pool_top)
+  end
+  else Array.make st.clock_width 0
+
+let release_clock_buf st buf =
+  if
+    Array.length buf = st.clock_width
+    && st.pb_pool_top < Array.length st.pb_pool
+  then begin
+    st.pb_pool.(st.pb_pool_top) <- buf;
+    st.pb_pool_top <- st.pb_pool_top + 1
+  end
 
 (* What goes on the wire: the lagging clock under dual-clock mode. *)
 let clock_payload st me =
   let enc =
     if st.config.dual_clock then st.xmit_clocks.(me) else st.clocks.(me)
   in
-  Mpi.Payload.Arr (Array.map (fun v -> Mpi.Payload.Int v) enc)
+  let buf = alloc_clock_buf st in
+  Array.blit enc 0 buf 0 st.clock_width;
+  Mpi.Payload.Ints buf
 
 let clock_of_payload (_ : t) payload =
   match payload with
+  | Mpi.Payload.Ints arr -> arr
   | Mpi.Payload.Arr arr -> Array.map Mpi.Payload.to_int arr
   | p ->
       Mpi.Types.mpi_errorf "malformed piggyback payload (%d bytes)"
@@ -173,29 +234,24 @@ let merge_in st me enc =
   (match st.obs with
   | Some m -> Obs.Metrics.incr m.m_clock_merges
   | None -> ());
-  let merge () =
-    let module C = (val st.config.clock) in
-    let theirs = C.decode ~np:st.np enc in
-    let mine = C.decode ~np:st.np st.clocks.(me) in
-    st.clocks.(me) <- C.encode (C.merge mine theirs);
-    if st.config.dual_clock then begin
-      let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
-      st.xmit_clocks.(me) <- C.encode (C.merge xmit theirs)
-    end
-  in
+  let module C = (val st.config.clock) in
   match st.obs with
-  | Some { m_clock_merge_t = Some h; _ } -> Obs.Metrics.time h merge
-  | _ -> merge ()
+  | Some { m_clock_merge_t = Some h; _ } ->
+      Obs.Metrics.time h (fun () ->
+          C.merge_into ~into:st.clocks.(me) enc;
+          if st.config.dual_clock then
+            C.merge_into ~into:st.xmit_clocks.(me) enc)
+  | _ ->
+      C.merge_into ~into:st.clocks.(me) enc;
+      if st.config.dual_clock then
+        C.merge_into ~into:st.xmit_clocks.(me) enc
 
 (* Dual-clock synchronization point ("when a Wait/Test is encountered",
    §V): the transmitted clock catches up with the analysis clock. *)
 let sync_xmit st me =
-  if st.config.dual_clock then begin
+  if st.config.dual_clock then
     let module C = (val st.config.clock) in
-    let xmit = C.decode ~np:st.np st.xmit_clocks.(me) in
-    let mine = C.decode ~np:st.np st.clocks.(me) in
-    st.xmit_clocks.(me) <- C.encode (C.merge xmit mine)
-  end
+    C.merge_into ~into:st.xmit_clocks.(me) st.clocks.(me)
 
 (* ---- Epoch lifecycle ---- *)
 
@@ -203,12 +259,15 @@ let sync_xmit st me =
    ticked the owner's clock (RecordEpochData + LCi++ of Algorithm 1). *)
 let record_epoch st ~me ~kind ~ctx ~tag =
   let module C = (val st.config.clock) in
-  let pre = C.decode ~np:st.np st.clocks.(me) in
+  let pre = st.clocks.(me) in
+  (* The epoch keeps its clock for the run's lifetime: this is the one
+     intentional per-epoch allocation on the hot path. *)
+  let clock_enc = Array.make st.clock_width 0 in
+  C.epoch_clock_into ~me ~pre ~into:clock_enc;
   let epoch =
-    Epoch.make ~owner:me ~id:(C.scalar ~me pre) ~kind ~ctx ~tag
-      ~clock_enc:(C.encode (C.epoch_clock ~me pre))
+    Epoch.make ~owner:me ~id:(C.scalar_enc ~me pre) ~kind ~ctx ~tag ~clock_enc
   in
-  st.clocks.(me) <- C.encode (C.tick ~me pre);
+  C.tick_into ~me st.clocks.(me);
   st.epochs.(me) <- epoch :: st.epochs.(me);
   (match st.obs with
   | Some m -> Obs.Metrics.incr m.m_epochs_recorded
@@ -219,7 +278,7 @@ let record_epoch st ~me ~kind ~ctx ~tag =
    clock evolution identical to the parent run's. *)
 let tick st me =
   let module C = (val st.config.clock) in
-  st.clocks.(me) <- C.encode (C.tick ~me (C.decode ~np:st.np st.clocks.(me)))
+  C.tick_into ~me st.clocks.(me)
 
 (* An epoch completes when its match becomes known. Assigns the global
    completion index and applies the bounded-mixing window: on a forked run,
@@ -247,8 +306,7 @@ let complete_epoch st (epoch : Epoch.t) ~matched_src =
    epoch id (epochs with id <= send scalar cannot be "greater"). *)
 let find_potential_matches st ~me ~src_rank ~ctx ~tag ~send_enc =
   let module C = (val st.config.clock) in
-  let send = C.decode ~np:st.np send_enc in
-  let send_scalar = C.scalar ~me send in
+  let send_scalar = C.scalar_enc ~me send_enc in
   let rec scan = function
     | [] -> ()
     | (e : Epoch.t) :: rest ->
@@ -259,7 +317,7 @@ let find_potential_matches st ~me ~src_rank ~ctx ~tag ~send_enc =
         else begin
           if
             Epoch.spec_matches e ~ctx ~tag
-            && C.is_late ~send ~epoch:(C.decode ~np:st.np e.Epoch.clock_enc)
+            && C.is_late_enc ~send:send_enc ~epoch:e.Epoch.clock_enc
           then Epoch.add_potential e src_rank;
           scan rest
         end

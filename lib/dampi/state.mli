@@ -2,8 +2,11 @@
     logical clocks (behind a first-class clock module), recorded epochs, the
     guided-replay plan, and the bounding-heuristic knobs.
 
-    Clocks are stored encoded ([int array]); operations decode, apply the
-    algebra, and re-encode, keeping every other DAMPI module monomorphic. *)
+    Clocks are stored encoded ([int array]) and mutated in place through
+    the clock module's encoded hot-path block — no decode/encode round trip
+    and no allocation per operation; piggyback payload buffers come from a
+    per-state free list (see DESIGN.md, "Hot path & allocation discipline").
+    This keeps every other DAMPI module monomorphic. *)
 
 type mode = Self_run | Guided_run
 
@@ -62,6 +65,12 @@ type t = {
   mutable divergences : int;
   obs : smetrics option;
   poison : (unit -> bool) option;
+  clock_width : int;
+  pb_pool : int array array;
+  mutable pb_pool_top : int;
+  mutable pb_reuses : int;
+  mutable pending_pb_msgs : int;
+  mutable pending_pb_bytes : int;
 }
 
 val create :
@@ -82,13 +91,30 @@ val check_poison : t -> unit
     by the interposition layer at every interposed MPI call. *)
 
 val count_piggyback : t -> bytes:int -> unit
-(** One piggyback message of [bytes] clock payload left this process. *)
+(** One piggyback message of [bytes] clock payload left this process.
+    Batched locally; {!flush_metrics} pushes the totals to the shard. *)
+
+val flush_metrics : t -> unit
+(** Push the locally batched piggyback counts to the metrics shard. The
+    replay runner calls this once after the runtime returns (on every
+    outcome), so end-of-run totals equal per-message counting. *)
 
 (** {1 Clock operations} *)
 
 val scalar : t -> int -> int
+
 val clock_payload : t -> int -> Mpi.Payload.t
+(** A piggyback payload snapshotting the current (or, under dual-clock
+    mode, the lagging) clock. The backing buffer comes from the free list;
+    the consumer must hand it back via {!release_clock_buf} once merged. *)
+
 val clock_of_payload : t -> Mpi.Payload.t -> int array
+
+val release_clock_buf : t -> int array -> unit
+(** Return a consumed piggyback buffer to the free list. Call at most once
+    per buffer, and never while the buffer is still reachable from an
+    in-flight message. Wrong-width arrays are ignored. *)
+
 val merge_in : t -> int -> int array -> unit
 
 val sync_xmit : t -> int -> unit

@@ -7,19 +7,25 @@
     post time, used to stamp the receive side. *)
 
 type t = {
-  uid : int;  (** globally unique, in creation (arrival) order *)
-  src : int;  (** world pid of sender *)
-  dst : int;  (** world pid of receiver *)
-  tag : int;
-  ctx : int;  (** communicator context id *)
-  seq : int;  (** per (src, dst, ctx) channel sequence number *)
-  payload : Payload.t;
-  send_time : float;
-  delay : float;
+  (* All fields are mutable so the runtime can recycle envelope records
+     through a free list (see [Runtime]'s envelope pool): an envelope is
+     dead the moment its receive completes, and refilling a pooled record
+     avoids one allocation per message on the replay hot path. Everything
+     outside the runtime treats envelopes as immutable. *)
+  mutable uid : int;  (** globally unique, in creation (arrival) order *)
+  mutable src : int;  (** world pid of sender *)
+  mutable dst : int;  (** world pid of receiver *)
+  mutable tag : int;
+  mutable ctx : int;  (** communicator context id *)
+  mutable seq : int;  (** per (src, dst, ctx) channel sequence number *)
+  mutable payload : Payload.t;
+  mutable send_time : float;
+  mutable delay : float;
       (** extra delivery latency (normally 0; fault injection adds virtual
           delay here without perturbing matching order) *)
-  sync : bool;  (** true for synchronous-mode sends (Ssend/Issend) *)
-  send_req : int;  (** uid of the sender's request, to complete Ssends *)
+  mutable sync : bool;  (** true for synchronous-mode sends (Ssend/Issend) *)
+  mutable send_req : int;
+      (** uid of the sender's request, to complete Ssends *)
 }
 
 (** [matches env ~src ~tag ~ctx] — does [env] satisfy a receive posted with

@@ -37,17 +37,37 @@ let req_matches (req : Request.t) (env : Envelope.t) =
 
 (* Earliest matching envelope per source, in arrival order of those
    representatives. This is the candidate set for a (possibly wildcard)
-   receive: non-overtaking forbids skipping an earlier same-channel match. *)
+   receive: non-overtaking forbids skipping an earlier same-channel match.
+
+   Allocation discipline: the common cases (empty queue; fixed source, where
+   every match shares one channel so only the earliest is eligible) build at
+   most one list cell. The wildcard sweep dedups sources by scanning the
+   accumulated representatives — candidate sets are as wide as the source
+   count at most, so the quadratic scan is cheaper than a per-call table. *)
 let candidates mbox ~src ~tag ~ctx =
-  let seen = Hashtbl.create 8 in
-  List.filter
-    (fun (env : Envelope.t) ->
-      if Envelope.matches env ~src ~tag ~ctx && not (Hashtbl.mem seen env.src)
-      then (
-        Hashtbl.add seen env.src ();
-        true)
-      else false)
-    mbox.unexpected
+  match mbox.unexpected with
+  | [] -> []
+  | unexpected when src <> Types.any_source ->
+      let rec first = function
+        | [] -> []
+        | (env : Envelope.t) :: rest ->
+            if Envelope.matches env ~src ~tag ~ctx then [ env ] else first rest
+      in
+      first unexpected
+  | unexpected ->
+      let rec collect acc = function
+        | [] -> List.rev acc
+        | (env : Envelope.t) :: rest ->
+            if
+              Envelope.matches env ~src ~tag ~ctx
+              && not
+                   (List.exists
+                      (fun (seen : Envelope.t) -> seen.src = env.src)
+                      acc)
+            then collect (env :: acc) rest
+            else collect acc rest
+      in
+      collect [] unexpected
 
 let remove_unexpected mbox (env : Envelope.t) =
   mbox.unexpected <-

@@ -11,6 +11,10 @@ type t =
   | Str of string
   | Pair of t * t
   | Arr of t array
+  | Ints of int array
+      (* unboxed integer vector — one allocation for the whole array, used
+         for the clock piggybacks on the replay hot path. Wire-identical to
+         [Arr] of [Int]s: same [size_bytes], so [status.count] is unchanged. *)
 
 let rec size_bytes = function
   | Unit -> 0
@@ -19,12 +23,14 @@ let rec size_bytes = function
   | Str s -> String.length s
   | Pair (a, b) -> size_bytes a + size_bytes b
   | Arr a -> Array.fold_left (fun acc v -> acc + size_bytes v) 0 a
+  | Ints a -> 8 * Array.length a
 
 let int n = Int n
 let float f = Float f
 let str s = Str s
 let pair a b = Pair (a, b)
 let arr a = Arr a
+let ints a = Ints a
 
 let to_int = function
   | Int n -> n
@@ -72,6 +78,20 @@ let rec combine (op : Types.reduce_op) a b =
         Types.mpi_errorf "Payload.combine: array length mismatch (%d vs %d)"
           (Array.length xs) (Array.length ys);
       Arr (Array.map2 (combine op) xs ys)
+  | Ints xs, Ints ys ->
+      if Array.length xs <> Array.length ys then
+        Types.mpi_errorf "Payload.combine: array length mismatch (%d vs %d)"
+          (Array.length xs) (Array.length ys);
+      let f : int -> int -> int =
+        match op with
+        | Sum -> ( + )
+        | Prod -> ( * )
+        | Max -> max
+        | Min -> min
+        | Land -> fun x y -> if x <> 0 && y <> 0 then 1 else 0
+        | Lor -> fun x y -> if x <> 0 || y <> 0 then 1 else 0
+      in
+      Ints (Array.map2 f xs ys)
   | _ -> (
       match op with
       | Sum -> num ( + ) ( +. )
@@ -93,7 +113,8 @@ let rec equal a b =
       && (let ok = ref true in
           Array.iteri (fun i v -> if not (equal v y.(i)) then ok := false) x;
           !ok)
-  | (Unit | Int _ | Float _ | Str _ | Pair _ | Arr _), _ -> false
+  | Ints x, Ints y -> x = y
+  | (Unit | Int _ | Float _ | Str _ | Pair _ | Arr _ | Ints _), _ -> false
 
 let rec pp ppf = function
   | Unit -> Format.pp_print_string ppf "()"
@@ -104,4 +125,11 @@ let rec pp ppf = function
   | Arr a ->
       Format.fprintf ppf "[|%a|]"
         (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+        (Array.to_seq a)
+  | Ints a ->
+      (* Same rendering as [Arr] of [Int]s: the two are wire-equivalent. *)
+      Format.fprintf ppf "[|%a|]"
+        (Format.pp_print_seq
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Format.pp_print_int)
         (Array.to_seq a)

@@ -11,6 +11,11 @@ type t =
   | Str of string
   | Pair of t * t
   | Arr of t array
+  | Ints of int array
+      (** unboxed integer vector, wire-equivalent to [Arr] of [Int]s (same
+          {!size_bytes}, so [status.count] is unchanged); one allocation for
+          the whole array — the clock-piggyback representation on the replay
+          hot path *)
 
 val size_bytes : t -> int
 
@@ -21,6 +26,7 @@ val float : float -> t
 val str : string -> t
 val pair : t -> t -> t
 val arr : t array -> t
+val ints : int array -> t
 
 (** {1 Destructors}
 

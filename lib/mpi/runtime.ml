@@ -93,9 +93,14 @@ type rmetrics = {
   m_wildcard_candidates : Obs.Metrics.histogram;
   m_queue_depth : Obs.Metrics.histogram;
   m_deadlock_checks : Obs.Metrics.counter;
+  m_env_pool_reuses : Obs.Metrics.counter;
   m_match_loop : Obs.Metrics.histogram option;
       (* [--profile]: wall time of each match-loop entry *)
 }
+
+(* Envelope free-list capacity. In-flight envelopes rarely exceed a few per
+   rank; overflow simply falls back to fresh allocation. *)
+let env_pool_cap = 256
 
 type t = {
   np : int;
@@ -110,8 +115,14 @@ type t = {
   mutable next_ctx : int;
   mutable next_uid : int;
   mutable next_req : int;
-  chan_seq : (int * int * int, int) Hashtbl.t;  (* (src, dst, ctx) -> seq *)
+  chan_seq : (int, int array) Hashtbl.t;
+      (* ctx -> np*np dense counters, indexed [src * np + dst] *)
   pending_sync : (int, Request.t) Hashtbl.t;  (* envelope uid -> send req *)
+  mutable choose_fn : oracle;
+      (* [consult_oracle rt] closed once at [create]; hot paths reuse it
+         instead of re-building the partial application per receive *)
+  env_pool : Envelope.t array;  (* free list of recycled envelopes *)
+  mutable env_pool_top : int;
   stats : Stats.t;
   req_created : int array;
   req_released : int array;
@@ -128,6 +139,16 @@ type t = {
 let fresh_slot () =
   { op_name = ""; arrivals = []; results = [||]; gen = 0 }
 
+(* Wildcard/probe oracle consultation, instrumented with the candidate-list
+   width so the metrics expose how much non-determinism each run faced. *)
+let consult_oracle rt envs =
+  (match rt.metrics with
+  | Some m ->
+      Obs.Metrics.observe m.m_wildcard_candidates
+        (float_of_int (List.length envs))
+  | None -> ());
+  rt.oracle envs
+
 let register_comm rt comm =
   let record = { comm; coll = fresh_slot () } in
   Hashtbl.replace rt.comm_by_ctx (Comm.ctx comm) record;
@@ -140,6 +161,23 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
   let comm_world =
     Comm.make ~ctx:0 ~ranks:(Array.init np Fun.id) ~internal:false
       ~label:"world"
+  in
+  (* Placeholder filling the (initially empty) free-list slots; only entries
+     below [env_pool_top] are ever read. *)
+  let dummy_env =
+    {
+      Envelope.uid = -1;
+      src = -1;
+      dst = -1;
+      tag = -1;
+      ctx = -1;
+      seq = -1;
+      payload = Payload.Unit;
+      send_time = 0.0;
+      delay = 0.0;
+      sync = false;
+      send_req = -1;
+    }
   in
   let rt =
     {
@@ -155,8 +193,11 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
       next_ctx = 1;
       next_uid = 0;
       next_req = 0;
-      chan_seq = Hashtbl.create 64;
+      chan_seq = Hashtbl.create 8;
       pending_sync = Hashtbl.create 16;
+      choose_fn = default_oracle;
+      env_pool = Array.make env_pool_cap dummy_env;
+      env_pool_top = 0;
       stats = Stats.create np;
       req_created = Array.make np 0;
       req_released = Array.make np 0;
@@ -179,6 +220,8 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
                 Obs.Metrics.histogram sh ~bounds:Obs.Metrics.count_bounds
                   "mpi.queue_depth";
               m_deadlock_checks = Obs.Metrics.counter sh "mpi.deadlock_checks";
+              m_env_pool_reuses =
+                Obs.Metrics.counter sh "mpi.envelope_pool_reuses";
               m_match_loop =
                 (if profile then
                    Some (Obs.Metrics.histogram sh "profile.match_loop_s")
@@ -188,6 +231,7 @@ let create ?(cost = default_cost) ?(oracle = default_oracle) ?(trace = false)
     }
   in
   ignore (register_comm rt comm_world);
+  rt.choose_fn <- (fun envs -> consult_oracle rt envs);
   rt
 
 let np rt = rt.np
@@ -237,29 +281,12 @@ let count_match_attempt rt =
   | Some m -> Obs.Metrics.incr m.m_match_attempts
   | None -> ()
 
-(* Phase timing behind [--profile]: a transparent call unless the runtime
-   was created with [profile] and a metrics shard. *)
-let timed_match rt f =
-  match rt.metrics with
-  | Some { m_match_loop = Some h; _ } -> Obs.Metrics.time h f
-  | _ -> f ()
-
 let observe_queue_depth rt dst =
   match rt.metrics with
   | Some m ->
       Obs.Metrics.observe m.m_queue_depth
         (float_of_int (Matching.unexpected_count rt.mailboxes.(dst)))
   | None -> ()
-
-(* Wildcard/probe oracle consultation, instrumented with the candidate-list
-   width so the metrics expose how much non-determinism each run faced. *)
-let consult_oracle rt envs =
-  (match rt.metrics with
-  | Some m ->
-      Obs.Metrics.observe m.m_wildcard_candidates
-        (float_of_int (List.length envs))
-  | None -> ());
-  rt.oracle envs
 
 let comm_of_ctx rt ctx =
   match Hashtbl.find_opt rt.comm_by_ctx ctx with
@@ -275,13 +302,19 @@ let record_of_comm rt comm =
 
 (* Park the current process until [pred] holds; whoever makes it hold must
    wake us. Spurious wake-ups simply re-check. Each re-check of a blocked
-   predicate is one potential-deadlock probe, counted as such. *)
+   predicate is one potential-deadlock probe, counted as such.
+
+   [reason] is a thunk: the human-readable block reason is only rendered
+   when the process actually blocks, so the (common) already-complete case
+   never pays for string formatting. The request state cannot change between
+   the predicate check and the render, so the string is identical to what an
+   eager caller would have built. *)
 let wait_until rt ~reason pred =
   while not (pred ()) do
     (match rt.metrics with
     | Some m -> Obs.Metrics.incr m.m_deadlock_checks
     | None -> ());
-    Coroutine.block reason
+    Coroutine.block (reason ())
   done
 
 let fresh_req rt ~owner ~kind =
@@ -351,11 +384,79 @@ let complete_recv rt (req : Request.t) (env : Envelope.t) =
 
 (* ---- Point-to-point ---- *)
 
+(* Per-channel sequence counters live in one dense np*np array per context:
+   bumping a counter touches no hash table and allocates nothing (the array
+   itself is created once per (runtime, context)). *)
 let next_chan_seq rt ~src ~dst ~ctx =
-  let key = (src, dst, ctx) in
-  let n = Option.value ~default:0 (Hashtbl.find_opt rt.chan_seq key) in
-  Hashtbl.replace rt.chan_seq key (n + 1);
+  let counters =
+    match Hashtbl.find rt.chan_seq ctx with
+    | counters -> counters
+    | exception Not_found ->
+        let counters = Array.make (rt.np * rt.np) 0 in
+        Hashtbl.add rt.chan_seq ctx counters;
+        counters
+  in
+  let slot = (src * rt.np) + dst in
+  let n = counters.(slot) in
+  counters.(slot) <- n + 1;
   n
+
+(* Envelope free list. An envelope is recyclable as soon as its matching
+   receive has completed (the request copies everything it needs); probes
+   never consume envelopes, and envelopes still queued at run end are simply
+   dropped with the runtime. *)
+let release_env rt (env : Envelope.t) =
+  if rt.env_pool_top < Array.length rt.env_pool then begin
+    env.payload <- Payload.Unit;  (* don't retain user payloads *)
+    rt.env_pool.(rt.env_pool_top) <- env;
+    rt.env_pool_top <- rt.env_pool_top + 1
+  end
+
+let acquire_env rt ~uid ~src ~dst ~tag ~ctx ~seq ~payload ~send_time ~delay
+    ~sync ~send_req =
+  if rt.env_pool_top > 0 then begin
+    rt.env_pool_top <- rt.env_pool_top - 1;
+    (match rt.metrics with
+    | Some m -> Obs.Metrics.incr m.m_env_pool_reuses
+    | None -> ());
+    let e = rt.env_pool.(rt.env_pool_top) in
+    e.Envelope.uid <- uid;
+    e.src <- src;
+    e.dst <- dst;
+    e.tag <- tag;
+    e.ctx <- ctx;
+    e.seq <- seq;
+    e.payload <- payload;
+    e.send_time <- send_time;
+    e.delay <- delay;
+    e.sync <- sync;
+    e.send_req <- send_req;
+    e
+  end
+  else
+    {
+      Envelope.uid;
+      src;
+      dst;
+      tag;
+      ctx;
+      seq;
+      payload;
+      send_time;
+      delay;
+      sync;
+      send_req;
+    }
+
+(* Hand a freshly sent envelope to the destination mailbox; a completed
+   match retires the envelope to the free list (the request has copied out
+   everything it needs). *)
+let deliver_arrival rt dst env =
+  match Matching.on_arrival rt.mailboxes.(dst) env with
+  | Matching.Delivered rreq ->
+      complete_recv rt rreq env;
+      release_env rt env
+  | Matching.Queued -> ()
 
 let check_member comm pid =
   if not (Comm.is_member comm pid) then
@@ -392,19 +493,11 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
   let uid = rt.next_uid in
   rt.next_uid <- uid + 1;
   let env =
-    {
-      Envelope.uid;
-      src = me;
-      dst;
-      tag;
-      ctx;
-      seq = next_chan_seq rt ~src:me ~dst ~ctx;
-      payload;
-      send_time = Vtime.now rt.vt me;
-      delay;
-      sync;
-      send_req = req.uid;
-    }
+    acquire_env rt ~uid ~src:me ~dst ~tag ~ctx
+      ~seq:(next_chan_seq rt ~src:me ~dst ~ctx)
+      ~payload
+      ~send_time:(Vtime.now rt.vt me)
+      ~delay ~sync ~send_req:req.uid
   in
   if sync then Hashtbl.replace rt.pending_sync req.uid req
   else req.complete <- true;
@@ -421,14 +514,26 @@ let post_send rt ?(tag = 0) ~dest ~sync comm payload =
            sync;
          });
   count_match_attempt rt;
-  timed_match rt (fun () ->
-      match Matching.on_arrival rt.mailboxes.(dst) env with
-      | Matching.Delivered rreq -> complete_recv rt rreq env
-      | Matching.Queued -> ());
+  (* Dispatch without wrapping the match in a closure: the [--profile]
+     timing wrapper is only built when profiling is actually on. *)
+  (match rt.metrics with
+  | Some { m_match_loop = Some h; _ } ->
+      Obs.Metrics.time h (fun () -> deliver_arrival rt dst env)
+  | _ -> deliver_arrival rt dst env);
   observe_queue_depth rt dst;
   (* Always nudge the destination: it may be parked in a blocking probe. *)
   Coroutine.wake rt.sched dst;
   req
+
+(* Posting side of the match loop: claim an already-arrived envelope if one
+   matches, using the cached oracle closure ([rt.choose_fn]) rather than a
+   fresh partial application per receive. *)
+let claim_unexpected rt me (req : Request.t) =
+  match Matching.post_recv rt.mailboxes.(me) req ~choose:rt.choose_fn with
+  | Some env ->
+      complete_recv rt req env;
+      release_env rt env
+  | None -> ()
 
 let isend rt ?tag ~dest comm payload =
   post_send rt ?tag ~dest ~sync:false comm payload
@@ -458,12 +563,10 @@ let post_recv rt ?(src = Types.any_source) ?(tag = Types.any_tag) comm =
       (Ev_recv_post
          { t = Vtime.now rt.vt me; pid = me; src = src_pid; tag; ctx = Comm.ctx comm });
   count_match_attempt rt;
-  (match
-     timed_match rt (fun () ->
-         Matching.post_recv rt.mailboxes.(me) req ~choose:(consult_oracle rt))
-   with
-  | Some env -> complete_recv rt req env
-  | None -> ());
+  (match rt.metrics with
+  | Some { m_match_loop = Some h; _ } ->
+      Obs.Metrics.time h (fun () -> claim_unexpected rt me req)
+  | _ -> claim_unexpected rt me req);
   req
 
 let irecv = post_recv
@@ -486,7 +589,7 @@ let wait rt (req : Request.t) =
   Vtime.advance rt.vt me rt.cost.local_op;
   fault_call_site rt;
   wait_until rt
-    ~reason:(Format.asprintf "wait(%a)" Request.pp req)
+    ~reason:(fun () -> Format.asprintf "wait(%a)" Request.pp req)
     (fun () -> req.complete);
   observe_completion rt req
 
@@ -506,8 +609,9 @@ let waitall rt reqs =
   Stats.record rt.stats me Stats.Wait "waitall";
   Vtime.advance rt.vt me rt.cost.local_op;
   fault_call_site rt;
-  wait_until rt ~reason:"waitall" (fun () ->
-      List.for_all (fun (r : Request.t) -> r.complete) reqs);
+  wait_until rt
+    ~reason:(fun () -> "waitall")
+    (fun () -> List.for_all (fun (r : Request.t) -> r.complete) reqs);
   List.map (observe_completion rt) reqs
 
 let waitany rt reqs =
@@ -516,7 +620,9 @@ let waitany rt reqs =
   Stats.record rt.stats me Stats.Wait "waitany";
   Vtime.advance rt.vt me rt.cost.local_op;
   fault_call_site rt;
-  wait_until rt ~reason:"waitany" (fun () ->
+  wait_until rt
+    ~reason:(fun () -> "waitany")
+    (fun () ->
       List.exists (fun (r : Request.t) -> r.complete && not r.released) reqs);
   let rec find i = function
     | [] -> assert false
@@ -591,7 +697,9 @@ let probe rt ?src ?tag comm =
   Vtime.advance rt.vt me rt.cost.local_op;
   fault_call_site rt;
   let result = ref None in
-  wait_until rt ~reason:"probe" (fun () ->
+  wait_until rt
+    ~reason:(fun () -> "probe")
+    (fun () ->
       match probe_candidates rt ?src ?tag comm with
       | [] -> false
       | [ env ] ->
@@ -679,7 +787,8 @@ let collective rt comm ~name ~contrib ~compute ~timing =
   end
   else
     wait_until rt
-      ~reason:(Printf.sprintf "collective %s on %s" name (Comm.label comm))
+      ~reason:(fun () ->
+        Printf.sprintf "collective %s on %s" name (Comm.label comm))
       (fun () -> slot.gen > my_gen);
   slot.results.(my_rank)
 

@@ -27,8 +27,10 @@ let record t pid cls name =
   | Send_recv -> t.send_recv.(pid) <- t.send_recv.(pid) + 1
   | Collective -> t.collective.(pid) <- t.collective.(pid) + 1
   | Wait -> t.wait.(pid) <- t.wait.(pid) + 1);
-  Hashtbl.replace t.by_name name
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_name name))
+  (* [find]/[Not_found] rather than [find_opt]: this runs once per MPI op
+     and the option would be the only allocation. *)
+  let prev = match Hashtbl.find t.by_name name with n -> n | exception Not_found -> 0 in
+  Hashtbl.replace t.by_name name (1 + prev)
 
 let sum = Array.fold_left ( + ) 0
 let total_send_recv t = sum t.send_recv

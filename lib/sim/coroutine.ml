@@ -83,46 +83,53 @@ let blocked_processes sched =
 
 (* Run one process until it yields control back (by finishing, blocking,
    yielding, or crashing). The handler stores the continuation in the process
-   record; the scheduler resumes it later. *)
+   record; the scheduler resumes it later.
+
+   The handler record (and its four closures) is needed only at the first
+   dispatch: the deep handler installed by [match_with] stays in force for
+   every resumed continuation, where a plain [continue] suffices. Building
+   it inside the first-start branch keeps the resume path — the replay hot
+   path, entered once per block/yield — allocation-free. *)
 let step sched (p : proc) =
-  let handler : (unit, unit) Effect.Deep.handler =
-    {
-      retc = (fun () -> p.state <- Finished);
-      exnc =
-        (fun exn ->
-          let bt = Printexc.get_raw_backtrace () in
-          p.state <- Crashed_st (exn, bt);
-          sched.crash <- Some (p.id, exn, bt));
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Yield ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  p.state <- Ready;
-                  p.resume <- Some (k : (unit, unit) Effect.Deep.continuation);
-                  Queue.add p.id sched.ready)
-          | Block reason ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  p.state <- Blocked reason;
-                  p.resume <- Some (k : (unit, unit) Effect.Deep.continuation))
-          | Self ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  Effect.Deep.continue k p.id)
-          | _ -> None);
-    }
-  in
   p.state <- Running;
   sched.current <- p.id;
   match p.resume with
-  | None -> Effect.Deep.match_with p.body () handler
   | Some k ->
       p.resume <- None;
-      (* The deep handler installed at first dispatch stays in force for the
-         resumed continuation, so plain [continue] suffices. *)
       Effect.Deep.continue k ()
+  | None ->
+      let handler : (unit, unit) Effect.Deep.handler =
+        {
+          retc = (fun () -> p.state <- Finished);
+          exnc =
+            (fun exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              p.state <- Crashed_st (exn, bt);
+              sched.crash <- Some (p.id, exn, bt));
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      p.state <- Ready;
+                      p.resume <-
+                        Some (k : (unit, unit) Effect.Deep.continuation);
+                      Queue.add p.id sched.ready)
+              | Block reason ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      p.state <- Blocked reason;
+                      p.resume <-
+                        Some (k : (unit, unit) Effect.Deep.continuation))
+              | Self ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      Effect.Deep.continue k p.id)
+              | _ -> None);
+        }
+      in
+      Effect.Deep.match_with p.body () handler
 
 let run sched =
   if sched.started then invalid_arg "Coroutine.run: scheduler already ran";

@@ -1,0 +1,29 @@
+The bench driver knows the hot-path scenarios:
+
+  $ dampi-bench nonsense
+  unknown command "nonsense"
+  usage: main.exe [all|fig5|fig6|fig8|fig9|table1|table2|ablation-clocks|
+                   ablation-piggyback|ablation-mixing|parallel|distributed|fault-soak|prune|prune-gate|hotpath|hotpath-matmult|hotpath-gate|trace-overhead|micro] [--np N]
+  [1]
+
+The hot-path gate refuses to run without its baseline (it must be launched
+from the repository root, where bench/baselines/hotpath.json lives) — and
+it fails fast, before spending any bench time:
+
+  $ dampi-bench hotpath-gate
+  
+  ================================================================
+  Hot-path gate -- against bench/baselines/hotpath.json
+  ================================================================
+  FAIL: bench/baselines/hotpath.json not found (run from the repository root)
+  [1]
+
+
+A matmult-only hot-path measurement is quick enough to smoke here. The
+walk is deterministic, so the interleaving and finding counts in the JSON
+it leaves behind are exact (throughput and allocation columns are
+machine-dependent and checked by the gate, not here):
+
+  $ dampi-bench hotpath-matmult > /dev/null
+  $ grep -o '"workload": "matmult", "np": 6, "interleavings": 600, "findings": 0' BENCH_hotpath.json
+  "workload": "matmult", "np": 6, "interleavings": 600, "findings": 0

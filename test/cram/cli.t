@@ -73,6 +73,7 @@ One native run with MPI operation counts and runtime metric counters:
   Collective 0 (0.0/proc)
   Wait 3 (1/proc)
   mpi.deadlock_checks          0
+  mpi.envelope_pool_reuses     1
   mpi.match_attempts           3
   mpi.queue_depth              count=2 sum=2 max=1
   mpi.wildcard_candidates      count=0 sum=0 max=0

@@ -149,8 +149,73 @@ let prop_no_false_late (module C : Clocks.Clock_intf.S) name =
       let sender = C.tick ~me:1 (C.merge clocks.(1) (C.tick ~me:0 clocks.(0))) in
       not (C.is_late ~send:sender ~epoch))
 
+(* ---- Encoded (mutable, in-place) ops agree with the pure algebra ----
+
+   The hot path mutates encoded clocks through [tick_into]/[merge_into]/
+   [epoch_clock_into]/[is_late_enc]; the pure [tick]/[merge]/[epoch_clock]/
+   [is_late] remain the reference semantics. Random op interleavings over
+   random np must keep the two representations byte-identical at every
+   step, including every late-verdict an epoch could render. *)
+let prop_encoded_matches_pure (module C : Clocks.Clock_intf.S) name =
+  QCheck.Test.make
+    ~name:(name ^ ": encoded ops match pure ops")
+    ~count:300
+    QCheck.(pair (int_range 1 5) (small_list (pair small_int small_int)))
+    (fun (np, ops) ->
+      let pure = Array.init np (fun _ -> C.make ~np) in
+      let enc = Array.init np (fun _ -> C.make_enc ~np) in
+      let ok = ref true in
+      let check_rank me =
+        if C.encode pure.(me) <> enc.(me) then ok := false;
+        if C.scalar ~me pure.(me) <> C.scalar_enc ~me enc.(me) then
+          ok := false
+      in
+      List.iter
+        (fun (who, op) ->
+          let me = abs who mod np in
+          (match abs op mod 3 with
+          | 0 ->
+              pure.(me) <- C.tick ~me pure.(me);
+              C.tick_into ~me enc.(me)
+          | 1 ->
+              let other = (me + 1) mod np in
+              (* [merge_into] forbids aliasing, so skip self-merges (np=1). *)
+              if other <> me then begin
+                pure.(me) <- C.merge pure.(me) pure.(other);
+                C.merge_into ~into:enc.(me) enc.(other)
+              end
+          | _ ->
+              (* Epoch the way [State.record_epoch] does: derive the epoch
+                 clock from the pre-state, then compare late verdicts
+                 against every rank's current clock. *)
+              let epoch_pure = C.epoch_clock ~me pure.(me) in
+              let epoch_enc = Array.make (C.width ~np) 0 in
+              C.epoch_clock_into ~me ~pre:enc.(me) ~into:epoch_enc;
+              if C.encode epoch_pure <> epoch_enc then ok := false;
+              Array.iteri
+                (fun r c ->
+                  if
+                    C.is_late ~send:c ~epoch:epoch_pure
+                    <> C.is_late_enc ~send:enc.(r) ~epoch:epoch_enc
+                  then ok := false)
+                pure);
+          check_rank me)
+        ops;
+      for r = 0 to np - 1 do
+        check_rank r
+      done;
+      !ok)
+
 let lamport_mod = (module Clocks.Lamport : Clocks.Clock_intf.S)
 let vector_mod = (module Clocks.Vector : Clocks.Clock_intf.S)
+
+(* The decode/apply/encode adapter used as the differential reference for
+   the runtime equivalence tests must itself satisfy the same laws. *)
+module Ref_lamport = Clocks.Reference.Make (Clocks.Lamport)
+module Ref_vector = Clocks.Reference.Make (Clocks.Vector)
+
+let ref_lamport_mod = (module Ref_lamport : Clocks.Clock_intf.S)
+let ref_vector_mod = (module Ref_vector : Clocks.Clock_intf.S)
 
 let () =
   Alcotest.run "clocks"
@@ -179,5 +244,16 @@ let () =
           QCheck_alcotest.to_alcotest (prop_encode_roundtrip vector_mod "vector");
           QCheck_alcotest.to_alcotest (prop_no_false_late lamport_mod "lamport");
           QCheck_alcotest.to_alcotest (prop_no_false_late vector_mod "vector");
+        ] );
+      ( "encoded-equivalence",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_encoded_matches_pure lamport_mod "lamport");
+          QCheck_alcotest.to_alcotest
+            (prop_encoded_matches_pure vector_mod "vector");
+          QCheck_alcotest.to_alcotest
+            (prop_encoded_matches_pure ref_lamport_mod "reference(lamport)");
+          QCheck_alcotest.to_alcotest
+            (prop_encoded_matches_pure ref_vector_mod "reference(vector)");
         ] );
     ]

@@ -160,12 +160,11 @@ let test_dual_clock_lag () =
   (* The analysis clock ticked; the transmitted clock lags. *)
   Alcotest.(check int) "analysis clock" 1 (State.scalar st 0);
   (match State.clock_payload st 0 with
-  | Payload.Arr [| Payload.Int v |] ->
-      Alcotest.(check int) "transmitted clock lags" 0 v
+  | Payload.Ints [| v |] -> Alcotest.(check int) "transmitted clock lags" 0 v
   | _ -> Alcotest.fail "unexpected payload shape");
   State.sync_xmit st 0;
   match State.clock_payload st 0 with
-  | Payload.Arr [| Payload.Int v |] ->
+  | Payload.Ints [| v |] ->
       Alcotest.(check int) "synchronized at wait/test" 1 v
   | _ -> Alcotest.fail "unexpected payload shape"
 

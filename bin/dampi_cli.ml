@@ -106,6 +106,19 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Decorative stderr writes (the --progress ticker, dampi top's redraw
+   line). stderr may be a pipe whose consumer vanished mid-run; with
+   SIGPIPE ignored that surfaces as Sys_error, and losing a ticker line
+   must never kill a long verify. *)
+let safe_eprintf fmt =
+  Printf.ksprintf
+    (fun s -> try Printf.eprintf "%s%!" s with Sys_error _ -> ())
+    fmt
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 (* ---- distributed mode: job parameters and the worker's resolve ----
 
    A distributed verify ships its configuration to the workers as free-form
@@ -553,7 +566,10 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
          stdout. *)
       let progress_cb =
         if not progress then None
-        else
+        else begin
+          (* a vanished ticker consumer must surface as Sys_error (ignored
+             by safe_eprintf), not as a fatal SIGPIPE *)
+          ignore_sigpipe ();
           Some
             (fun kvs ->
               let v k = Option.value (List.assoc_opt k kvs) ~default:"-" in
@@ -562,12 +578,13 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
                 | Some h -> Printf.sprintf "  cache %s/%s" h (v "cache.misses")
                 | None -> ""
               in
-              Printf.eprintf "\r%-76s%!"
+              safe_eprintf "\r%-76s"
                 (Printf.sprintf
                    "%s: runs %s  %s replays/s  frontier %s  pruned %s  \
                     findings %s%s"
                    entry.key (v "runs") (v "replays_per_s") (v "frontier")
                    (v "pruned") (v "findings") cache))
+        end
       in
       let children = ref [] in
       let distribute_setup =
@@ -648,7 +665,7 @@ let verify_run workload np clock_name mixing_bound max_runs engine dual
             in
             reap_children !children;
             (* leave the redrawn ticker line behind before the report *)
-            if progress then Printf.eprintf "\n%!";
+            if progress then safe_eprintf "\n";
             r
         | "isp" ->
             Isp.Engine.verify
@@ -1312,9 +1329,10 @@ let top_run connect auth_token once =
          pending = None;
          role = Some "observer";
        });
+  ignore_sigpipe ();
   let ticking = ref false in
   let finish msg =
-    if !ticking && not once then Printf.eprintf "\n%!";
+    if !ticking && not once then safe_eprintf "\n";
     print_endline msg
   in
   let render kvs =
@@ -1340,7 +1358,7 @@ let top_run connect auth_token once =
     if once then print_endline line
     else begin
       ticking := true;
-      Printf.eprintf "\r%-78s%!" line
+      safe_eprintf "\r%-78s" line
     end
   in
   let rec loop () =
@@ -1789,6 +1807,599 @@ let stats_cmd =
           and runtime metrics.")
     Term.(const stats_run $ workload $ np $ explore)
 
+(* ---- serve / submit / fetch: verification as a service ---- *)
+
+let serve_known_params =
+  [ "workload"; "np"; "clock"; "k"; "dual"; "prune"; "prefix-cache";
+    "max-runs"; "jobs"; "quiet"; "checkpoint-every" ]
+
+(* Admission-time validation of a submit's parameters, run inside the
+   daemon before queueing. Returns the canonical label — the same format
+   verify pins its checkpoints with, so serve-side resumes and prefix
+   caches line up with standalone runs of the same configuration. *)
+let serve_validate params =
+  match List.assoc_opt "workload" params with
+  | None -> Error "submit needs workload=<key>"
+  | Some w -> (
+      match find_entry w with
+      | None -> Error (Printf.sprintf "unknown workload %S" w)
+      | Some entry -> (
+          try
+            List.iter
+              (fun (k, _) ->
+                if not (List.mem k serve_known_params) then
+                  raise (Bad_job (Printf.sprintf "unknown submit parameter %S" k)))
+              params;
+            let int_p key =
+              Option.map
+                (fun v ->
+                  match int_of_string_opt v with
+                  | Some n -> n
+                  | None -> raise (Bad_job (Printf.sprintf "bad %s=%S" key v)))
+                (List.assoc_opt key params)
+            in
+            let bool_p key default =
+              match List.assoc_opt key params with
+              | None -> default
+              | Some "true" -> true
+              | Some "false" -> false
+              | Some v -> raise (Bad_job (Printf.sprintf "bad %s=%S" key v))
+            in
+            let np = Option.value (int_p "np") ~default:entry.default_np in
+            if np < 1 then raise (Bad_job (Printf.sprintf "bad np=%d" np));
+            let clock_name =
+              Option.value (List.assoc_opt "clock" params) ~default:"lamport"
+            in
+            (match clock_name with
+            | "lamport" | "vector" -> ()
+            | other -> raise (Bad_job (Printf.sprintf "unknown clock %S" other)));
+            (match int_p "prefix-cache" with
+            | Some b when b < 1 ->
+                raise (Bad_job "prefix-cache needs a positive byte budget")
+            | _ -> ());
+            (match int_p "max-runs" with
+            | Some n when n < 1 -> raise (Bad_job "max-runs needs at least 1")
+            | _ -> ());
+            (match int_p "jobs" with
+            | Some n when n < 1 -> raise (Bad_job "jobs needs at least 1")
+            | _ -> ());
+            (match int_p "checkpoint-every" with
+            | Some n when n < 1 ->
+                raise (Bad_job "checkpoint-every needs at least 1")
+            | _ -> ());
+            ignore (bool_p "quiet" false);
+            Ok
+              (Printf.sprintf "dampi %s np=%d clock=%s k=%d dual=%b prune=%b"
+                 entry.key np clock_name
+                 (Option.value (int_p "k") ~default:(-1))
+                 (bool_p "dual" false) (bool_p "prune" true))
+          with Bad_job msg -> Error msg))
+
+(* One admitted job, executed inside the daemon's forked child. Always
+   checkpointed into the state dir (that is what lets a daemon drain
+   snapshot it) and resumed from that checkpoint when one exists; the
+   rendered text is byte-identical to standalone [dampi verify] output. *)
+let serve_run_job ~ckpt ~label ~params ~progress =
+  let entry =
+    match Option.bind (List.assoc_opt "workload" params) find_entry with
+    | Some e -> e
+    | None -> failwith "job params lost their workload (validate admitted it)"
+  in
+  let int_p key = Option.bind (List.assoc_opt key params) int_of_string_opt in
+  let bool_p key default =
+    match List.assoc_opt key params with
+    | Some "true" -> true
+    | Some "false" -> false
+    | _ -> default
+  in
+  let np = Option.value (int_p "np") ~default:entry.default_np in
+  let clock =
+    match List.assoc_opt "clock" params with
+    | Some "vector" -> (module Clocks.Vector : Clocks.Clock_intf.S)
+    | _ -> (module Clocks.Lamport)
+  in
+  let state_config =
+    State.make_config ~clock ?mixing_bound:(int_p "k")
+      ~dual_clock:(bool_p "dual" false) ()
+  in
+  let robustness =
+    {
+      Explorer.default_robustness with
+      checkpoint =
+        Some
+          {
+            Explorer.path = ckpt;
+            (* cadence only bounds SIGKILL-loss: a drain SIGTERM flushes
+               the frontier regardless, so default coarse and cheap *)
+            every = Option.value (int_p "checkpoint-every") ~default:100;
+            label;
+          };
+    }
+  in
+  let resume =
+    if not (Sys.file_exists ckpt) then None
+    else
+      match Dampi.Checkpoint.load ckpt with
+      | Ok c
+        when c.Dampi.Checkpoint.label = label && c.Dampi.Checkpoint.np = np ->
+          Some c
+      | Ok _ | Error _ -> None
+  in
+  let report =
+    Explorer.verify
+      ~config:
+        {
+          Explorer.default_config with
+          state_config;
+          max_runs =
+            Option.value (int_p "max-runs")
+              ~default:Explorer.default_config.Explorer.max_runs;
+          jobs = Option.value (int_p "jobs") ~default:1;
+          prune = bool_p "prune" true;
+          prefix_cache = int_p "prefix-cache";
+          progress = Some progress;
+          robustness;
+        }
+      ?resume ~np (entry.build ())
+  in
+  if report.Report.interrupted then Dampi.Serve.Checkpointed
+  else
+    let text =
+      if bool_p "quiet" false then
+        Printf.sprintf "%s np=%d: %d interleavings, %d findings\n" entry.key np
+          report.Report.interleavings
+          (List.length report.Report.findings)
+      else Format.asprintf "%a@." Report.pp report
+    in
+    Dampi.Serve.Completed
+      { report = text; code = (if Report.has_errors report then 1 else 0) }
+
+let serve_run listen state_dir parallel max_queue max_queue_bytes max_inflight
+    metrics_out log_level =
+  (match Obs.Log.level_of_string log_level with
+  | Ok lvl -> Obs.Log.set_level lvl
+  | Error msg ->
+      Printf.eprintf "bad --log-level: %s\n" msg;
+      exit 2);
+  let addr =
+    match listen with
+    | None ->
+        Printf.eprintf "serve needs --listen ADDR\n";
+        exit 2
+    | Some s -> (
+        match Dampi.Wire.addr_of_string s with
+        | Ok a -> a
+        | Error msg ->
+            Printf.eprintf "bad address %S: %s\n" s msg;
+            exit 2)
+  in
+  if parallel < 1 then begin
+    Printf.eprintf "--parallel needs at least 1 job slot\n";
+    exit 2
+  end;
+  if max_queue < 1 || max_queue_bytes < 1 || max_inflight < 1 then begin
+    Printf.eprintf
+      "--max-queue, --max-queue-bytes and --max-client-inflight need \
+       positive values\n";
+    exit 2
+  end;
+  let registry = Obs.Metrics.create ~shards:1 () in
+  let finish () =
+    match metrics_out with
+    | Some path ->
+        write_file path (Obs.Metrics.to_json (Obs.Metrics.snapshot registry))
+    | None -> ()
+  in
+  let cfg =
+    {
+      Dampi.Serve.addr;
+      state_dir;
+      limits =
+        {
+          Dampi.Serve.default_limits with
+          parallel;
+          max_queue;
+          max_queue_bytes;
+          max_client_inflight = max_inflight;
+        };
+      validate = serve_validate;
+      run = serve_run_job;
+      metrics = Some (Obs.Metrics.shard registry 0);
+      ready =
+        Some
+          (fun a ->
+            Printf.printf "listening on %s\n%!" (Dampi.Wire.addr_to_string a));
+    }
+  in
+  match Dampi.Serve.serve cfg with
+  | Ok code ->
+      finish ();
+      if code <> 0 then exit code
+  | Error msg ->
+      finish ();
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let serve_cmd =
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Address to serve on ($(b,unix:PATH) or $(b,tcp:HOST:PORT)). \
+             Required.")
+  in
+  let state_dir =
+    Arg.(
+      value
+      & opt string "dampi-serve.d"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where the job journal, per-job checkpoints (and their warm \
+             prefix-cache sidecars), and parked reports live. A restarted \
+             daemon pointed at the same directory re-admits every lost job \
+             exactly once.")
+  in
+  let parallel =
+    Arg.(
+      value & opt int 2
+      & info [ "parallel" ] ~docv:"N"
+          ~doc:"Concurrent job processes (each job is a forked child).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 32
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Queued-job cap; a submit past it gets a one-line \
+             $(b,reject queue-full).")
+  in
+  let max_queue_bytes =
+    Arg.(
+      value
+      & opt int 1048576
+      & info [ "max-queue-bytes" ] ~docv:"BYTES"
+          ~doc:"Byte cap on queued job specs (same reject).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 4
+      & info [ "max-client-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-client cap on queued+running jobs ($(b,reject \
+             client-cap)).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the daemon's metrics snapshot (serve.jobs_*, queue \
+             depth, per-job wall histograms) as JSON on exit.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "warn"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Stderr log level: $(b,quiet), $(b,error), $(b,warn), \
+                $(b,info) or $(b,debug).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident verification daemon: accepts $(b,submit) jobs \
+          from many clients, runs each in a crash-isolated child process, \
+          streams progress, and parks reports for $(b,fetch). SIGTERM \
+          drains gracefully (in-flight jobs checkpoint and the journal \
+          re-admits them on restart); a second SIGINT forces shutdown.")
+    Term.(
+      const serve_run $ listen $ state_dir $ parallel $ max_queue
+      $ max_queue_bytes $ max_inflight $ metrics_out $ log_level)
+
+let dial_daemon connect =
+  let addr =
+    match Dampi.Wire.addr_of_string connect with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "bad address %S: %s\n" connect msg;
+        exit 2
+  in
+  let sa =
+    try Dampi.Wire.sockaddr_of_addr addr
+    with Not_found | Failure _ | Unix.Unix_error _ ->
+      Printf.eprintf "cannot resolve %s: no such host or address\n" connect;
+      exit 2
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "cannot connect to %s: %s (is the daemon running?)\n"
+       connect (Unix.error_message e);
+     exit 2);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+(* Shared tail of submit and fetch: print the report, surface a crashed
+   job's classification, exit with the job's code. *)
+let finish_job ~report_lines ~status ~code ~msg ~backtrace =
+  List.iter print_endline report_lines;
+  (match status with
+  | "crashed" ->
+      Printf.eprintf "job failed: %s\n" msg;
+      if backtrace <> "" then Printf.eprintf "%s" backtrace
+  | "checkpointed" ->
+      Printf.eprintf "daemon draining; job journaled for restart\n"
+  | "cancelled" -> Printf.eprintf "job cancelled\n"
+  | _ -> ());
+  if code <> 0 then exit code
+
+let submit_run connect workload np clock_name mixing_bound dual no_prune
+    prefix_cache max_runs jobs ckpt_every quiet on_disconnect detach progress =
+  let connect =
+    match connect with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "submit needs --connect ADDR\n";
+        exit 2
+  in
+  let ondisc =
+    match Dampi.Serve.on_disconnect_of_string on_disconnect with
+    | Ok _ when detach -> Dampi.Serve.Detach
+    | Ok o -> o
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  (match prefix_cache with
+  | Some b when b < 1 ->
+      Printf.eprintf "--prefix-cache needs a positive byte budget\n";
+      exit 2
+  | _ -> ());
+  ignore_sigpipe ();
+  let params =
+    [ ("workload", workload) ]
+    @ (match np with Some n -> [ ("np", string_of_int n) ] | None -> [])
+    @ (if clock_name = "lamport" then [] else [ ("clock", clock_name) ])
+    @ (match mixing_bound with
+      | Some k -> [ ("k", string_of_int k) ]
+      | None -> [])
+    @ (if dual then [ ("dual", "true") ] else [])
+    @ (if no_prune then [ ("prune", "false") ] else [])
+    @ (match prefix_cache with
+      | Some b -> [ ("prefix-cache", string_of_int b) ]
+      | None -> [])
+    @ (match max_runs with
+      | Some n -> [ ("max-runs", string_of_int n) ]
+      | None -> [])
+    @ (match jobs with Some n -> [ ("jobs", string_of_int n) ] | None -> [])
+    @ (match ckpt_every with
+      | Some n -> [ ("checkpoint-every", string_of_int n) ]
+      | None -> [])
+    @ if quiet then [ ("quiet", "true") ] else []
+  in
+  let ic, oc = dial_daemon connect in
+  (try
+     output_string oc
+       (Dampi.Serve.submit_line ~params ~on_disconnect:ondisc ^ "\n");
+     flush oc
+   with Sys_error _ ->
+     Printf.eprintf "connection closed by daemon\n";
+     exit 1);
+  let report_lines = ref [] in
+  let ticking = ref false in
+  let rec loop () =
+    match Dampi.Serve.read_event ic with
+    | Error e ->
+        if !ticking then safe_eprintf "\n";
+        Printf.eprintf "%s\n" e;
+        exit 1
+    | Ok (Dampi.Serve.Accepted id) ->
+        if detach then begin
+          Printf.printf "accepted id=%d\n" id;
+          exit 0
+        end
+        else loop ()
+    | Ok (Dampi.Serve.Rejected r) ->
+        Printf.printf "reject %s\n" r;
+        exit 1
+    | Ok (Dampi.Serve.Errored { reason; _ }) ->
+        Printf.eprintf "%s\n" reason;
+        exit 2
+    | Ok (Dampi.Serve.Progress (_, kvs)) ->
+        if progress then begin
+          ticking := true;
+          let v k = Option.value (List.assoc_opt k kvs) ~default:"-" in
+          safe_eprintf "\r%-76s"
+            (Printf.sprintf
+               "%s: runs %s  %s replays/s  frontier %s  pruned %s  findings \
+                %s"
+               workload (v "runs") (v "replays_per_s") (v "frontier")
+               (v "pruned") (v "findings"))
+        end;
+        loop ()
+    | Ok (Dampi.Serve.Report (_, lines)) ->
+        report_lines := lines;
+        loop ()
+    | Ok (Dampi.Serve.Pending _) -> loop ()
+    | Ok (Dampi.Serve.Done { status; code; msg; backtrace; _ }) ->
+        if !ticking then safe_eprintf "\n";
+        finish_job ~report_lines:!report_lines ~status ~code ~msg ~backtrace
+  in
+  loop ()
+
+let submit_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to verify (see $(b,list)).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Daemon address ($(b,unix:PATH) or $(b,tcp:HOST:PORT)) — what \
+             $(b,dampi serve --listen) was given. Required.")
+  in
+  let np =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "np"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+  in
+  let clock =
+    Arg.(
+      value & opt string "lamport"
+      & info [ "clock" ] ~docv:"CLOCK"
+          ~doc:"Clock algebra: $(b,lamport) or $(b,vector).")
+  in
+  let mixing_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "mixing-bound" ] ~docv:"K" ~doc:"Mixing bound.")
+  in
+  let dual =
+    Arg.(
+      value & flag
+      & info [ "dual-clock" ] ~doc:"Run both clock algebras and compare.")
+  in
+  let no_prune =
+    Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable sleep-set pruning.")
+  in
+  let prefix_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prefix-cache" ] ~docv:"BYTES"
+          ~doc:
+            "Replay memoization byte budget. The cache sidecar lives in \
+             the daemon's state dir, so a repeat submission of the same \
+             configuration starts warm.")
+  in
+  let max_runs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-runs" ] ~docv:"N" ~doc:"Interleaving budget.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains inside the job's child process.")
+  in
+  let ckpt_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"RUNS"
+          ~doc:
+            "Checkpoint cadence inside the daemon (default 100 runs); a \
+             drain SIGTERM flushes the frontier regardless, so the \
+             cadence only bounds what a hard kill can lose.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"One-line summary only.")
+  in
+  let on_disconnect =
+    Arg.(
+      value & opt string "cancel"
+      & info [ "on-disconnect" ] ~docv:"POLICY"
+          ~doc:
+            "What the daemon does with this job if the connection drops: \
+             $(b,cancel) it, or $(b,detach) it to finish and park its \
+             report for $(b,fetch).")
+  in
+  let detach =
+    Arg.(
+      value & flag
+      & info [ "detach" ]
+          ~doc:
+            "Print $(b,accepted id=N) and exit as soon as the job is \
+             admitted (implies $(b,--on-disconnect detach)); collect the \
+             report later with $(b,dampi fetch).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Redraw the daemon's streamed progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a verification job to a running $(b,dampi serve) daemon, \
+          stream its progress, and print its report. Exit code mirrors \
+          $(b,verify): 0 clean, 1 findings, 3 interrupted.")
+    Term.(
+      const submit_run $ connect $ workload $ np $ clock $ mixing_bound
+      $ dual $ no_prune $ prefix_cache $ max_runs $ jobs $ ckpt_every
+      $ quiet $ on_disconnect $ detach $ progress)
+
+let fetch_run connect id =
+  let connect =
+    match connect with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "fetch needs --connect ADDR\n";
+        exit 2
+  in
+  ignore_sigpipe ();
+  let ic, oc = dial_daemon connect in
+  (try
+     output_string oc (Dampi.Serve.fetch_line id ^ "\n");
+     flush oc
+   with Sys_error _ ->
+     Printf.eprintf "connection closed by daemon\n";
+     exit 1);
+  let report_lines = ref [] in
+  let rec loop () =
+    match Dampi.Serve.read_event ic with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+    | Ok (Dampi.Serve.Report (_, lines)) ->
+        report_lines := lines;
+        loop ()
+    | Ok (Dampi.Serve.Pending { state; _ }) ->
+        Printf.eprintf "job %d is still %s\n" id state;
+        exit 3
+    | Ok (Dampi.Serve.Errored { reason; _ }) ->
+        Printf.eprintf "%s\n" reason;
+        exit 2
+    | Ok (Dampi.Serve.Done { status; code; msg; backtrace; _ }) ->
+        finish_job ~report_lines:!report_lines ~status ~code ~msg ~backtrace
+    | Ok _ -> loop ()
+  in
+  loop ()
+
+let fetch_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc:"Daemon address. Required.")
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"ID"
+          ~doc:"Job id, as printed by $(b,submit) ($(b,accepted id=N)).")
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:
+         "Collect the parked report of a detached or recovered job from a \
+          $(b,dampi serve) daemon. A report can be fetched exactly once. \
+          Exits 3 while the job is still queued or running.")
+    Term.(const fetch_run $ connect $ id)
+
 let main =
   Cmd.group
     (Cmd.info "dampi" ~version:"1.0.0"
@@ -1796,6 +2407,6 @@ let main =
          "Distributed Analyzer for MPI programs — dynamic formal verification \
           over a simulated MPI runtime (SC'10 reproduction).")
     [ list_cmd; verify_cmd; replay_cmd; trace_cmd; stats_cmd; bench_cmd;
-      worker_cmd; top_cmd ]
+      worker_cmd; top_cmd; serve_cmd; submit_cmd; fetch_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -454,6 +454,47 @@ let read_to_worker ic =
       | [ "shutdown" ] -> Ok Shutdown
       | _ -> Error (Printf.sprintf "unexpected coordinator line %S" line))
 
+(* ---- incremental line splitting ---- *)
+
+(* Cap on the bytes a single unterminated line may buffer. A peer that
+   streams data without ever sending '\n' would otherwise grow the
+   assembler without bound; reads arrive in chunks no larger than the
+   caller's read buffer, so peak memory stays near [limit] + one chunk. *)
+let default_max_line = 65536
+
+module Lines = struct
+  type t = { buf : Buffer.t; limit : int; mutable dead : bool }
+
+  let create ?(limit = default_max_line) () =
+    { buf = Buffer.create 256; limit = max 1 limit; dead = false }
+
+  let limit t = t.limit
+
+  let feed t bytes n =
+    if t.dead then ([], true)
+    else begin
+      Buffer.add_subbytes t.buf bytes 0 n;
+      let s = Buffer.contents t.buf in
+      let lines = ref [] in
+      let start = ref 0 in
+      (try
+         while true do
+           let i = String.index_from s !start '\n' in
+           lines := String.sub s !start (i - !start) :: !lines;
+           start := i + 1
+         done
+       with Not_found -> ());
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s !start (String.length s - !start);
+      if Buffer.length t.buf > t.limit then begin
+        t.dead <- true;
+        Buffer.clear t.buf;
+        (List.rev !lines, true)
+      end
+      else (List.rev !lines, false)
+    end
+end
+
 (* ---- coordinator side: incremental assembly ---- *)
 
 (* Mid-frame state of a results frame being assembled. *)
@@ -478,11 +519,13 @@ type tpartial = {
 type frame_state = F_results of partial | F_telemetry of tpartial
 
 type assembler = {
-  buf : Buffer.t;
+  lines : Lines.t;
   mutable frame : frame_state option;
+  mutable overflowed : bool;
 }
 
-let assembler () = { buf = Buffer.create 256; frame = None }
+let assembler () =
+  { lines = Lines.create (); frame = None; overflowed = false }
 
 (* Bound what a single telemetry frame may claim, so a hostile header
    cannot make the assembler loop forever waiting for samples. *)
@@ -664,20 +707,16 @@ let line_msg a line =
   | r -> r
 
 let feed a buf n =
-  Buffer.add_subbytes a.buf buf 0 n;
-  let s = Buffer.contents a.buf in
-  let msgs = ref [] in
-  let start = ref 0 in
-  (try
-     while true do
-       let i = String.index_from s !start '\n' in
-       let line = String.sub s !start (i - !start) in
-       start := i + 1;
-       match line_msg a line with
-       | Some m -> msgs := m :: !msgs
-       | None -> ()
-     done
-   with Not_found -> ());
-  Buffer.clear a.buf;
-  Buffer.add_string a.buf (String.sub s !start (String.length s - !start));
-  List.rev !msgs
+  let lines, overflow = Lines.feed a.lines buf n in
+  let msgs = List.filter_map (line_msg a) lines in
+  if overflow && not a.overflowed then begin
+    a.overflowed <- true;
+    a.frame <- None;
+    msgs
+    @ [
+        Error
+          (Printf.sprintf "unterminated line exceeds %d bytes"
+             (Lines.limit a.lines));
+      ]
+  end
+  else msgs

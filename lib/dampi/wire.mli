@@ -179,6 +179,33 @@ val write_to_coord : out_channel -> to_coord -> unit
     bytes into a per-connection assembler that yields complete messages as
     they close. *)
 
+val default_max_line : int
+(** Default cap on the bytes a single unterminated line may buffer
+    (65536). A peer that streams data without a ['\n'] is cut off once
+    its partial line passes this bound instead of growing the assembler
+    without limit. *)
+
+(** Incremental, bounded line splitting — the byte-level layer under
+    {!assembler}, exposed so other line-oriented select loops
+    ({!Serve}) share the same backpressure discipline. *)
+module Lines : sig
+  type t
+
+  val create : ?limit:int -> unit -> t
+  (** [create ?limit ()] is a fresh splitter capping unterminated input
+      at [limit] bytes (default {!default_max_line}, floor 1). *)
+
+  val limit : t -> int
+
+  val feed : t -> bytes -> int -> string list * bool
+  (** [feed t buf n] consumes [n] bytes and returns the lines they
+      complete (without ['\n']), in order, plus an overflow flag. The
+      flag is [true] once the buffered unterminated remainder exceeds
+      the cap: the splitter is then dead — its buffer is dropped and
+      every later feed yields [([], true)]. Callers should answer with
+      one error and close the connection. *)
+end
+
 val read_to_worker : in_channel -> (to_worker, string) result
 (** Blocking read of one coordinator frame. [Error] on malformed input or
     EOF. *)
@@ -191,4 +218,7 @@ val feed : assembler -> bytes -> int -> (to_coord, string) result list
 (** [feed a buf n] consumes [n] bytes read from a worker's socket and
     returns every message completed by them, in order. A malformed line or
     frame yields [Error] (the coordinator drops the worker) — except
-    telemetry, which is dropped silently (see {!to_coord.Telemetry}). *)
+    telemetry, which is dropped silently (see {!to_coord.Telemetry}). An
+    unterminated line past {!default_max_line} bytes yields a final
+    [Error] after any completed messages; the assembler is dead from then
+    on and the caller should close the connection. *)

@@ -93,7 +93,10 @@ let emit s lvl text =
              flush oc
            with Sys_error _ -> ())
       | None -> ());
-      Printf.eprintf "dampi [%s] %s: %s\n%!" (level_to_string lvl) s.name text)
+      (* stderr may be a pipe whose reader vanished; losing a log line is
+         fine, killing a long verify (or the serve daemon) is not. *)
+      try Printf.eprintf "dampi [%s] %s: %s\n%!" (level_to_string lvl) s.name text
+      with Sys_error _ -> ())
 
 let msg s lvl k =
   if enabled lvl then

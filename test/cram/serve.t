@@ -1,0 +1,53 @@
+The serve daemon and its thin clients validate their flags up front:
+
+  $ dampi serve
+  serve needs --listen ADDR
+  [2]
+
+  $ dampi serve --listen unix:s.sock --parallel 0
+  --parallel needs at least 1 job slot
+  [2]
+
+  $ dampi serve --listen bogus
+  bad address "bogus": bad address "bogus" (expected unix:PATH or tcp:HOST:PORT)
+  [2]
+
+  $ dampi submit fig3
+  submit needs --connect ADDR
+  [2]
+
+  $ dampi submit fig3 --connect unix:x.sock --on-disconnect bogus
+  bad on-disconnect "bogus" (cancel|detach)
+  [2]
+
+  $ dampi fetch 3
+  fetch needs --connect ADDR
+  [2]
+
+A live daemon with one job slot and a one-job queue: the first submit
+runs (a bounded adlb exploration long enough to still be in flight
+below), the second queues, and the third gets backpressure as a
+one-line reject — nothing else changes:
+
+  $ dampi serve --listen unix:serve.sock --state-dir st --parallel 1 --max-queue 1 > serve.log 2>&1 &
+  $ pid=$!
+  $ for i in $(seq 100); do test -S serve.sock && break; sleep 0.1; done
+
+  $ dampi submit adlb --connect unix:serve.sock --np 12 -k 1 --max-runs 4000 -q --detach
+  accepted id=1
+  $ sleep 0.4
+  $ dampi submit fig3 --connect unix:serve.sock -q --detach
+  accepted id=2
+  $ dampi submit fig4 --connect unix:serve.sock -q --detach
+  reject queue-full
+  [1]
+
+SIGTERM drains gracefully: the running job checkpoints, the daemon exits
+0, and every admitted-but-unfinished job is journaled for the next
+daemon instance to re-admit exactly once:
+
+  $ kill -TERM $pid
+  $ wait $pid
+
+  $ grep -c '^job ' st/journal
+  2

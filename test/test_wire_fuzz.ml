@@ -334,6 +334,67 @@ let prop_interleaved_partials =
            (fun got want -> match got with Ok m -> m = want | Error _ -> false)
            out msgs)
 
+(* ---- bounded line buffering: a newline-less flood cannot grow the
+   assembler without limit. The valid prefix still parses, the overflow
+   surfaces as exactly one trailing Error naming the cap, nothing raises,
+   and the assembler stays dead (every later feed yields nothing). *)
+
+let arb_flood =
+  QCheck.make
+    ~print:(fun (msgs, junk_len, cuts) ->
+      Printf.sprintf "%d message(s), %d junk byte(s), %d cut(s)"
+        (List.length msgs) junk_len (List.length cuts))
+    QCheck.Gen.(
+      gen_conversation >>= fun msgs ->
+      (* strictly past the cap, never containing '\n' *)
+      int_range (Wire.default_max_line + 1) (Wire.default_max_line + 4096)
+      >>= fun junk_len ->
+      let n = String.length (serialize msgs) + junk_len in
+      map
+        (fun cuts -> (msgs, junk_len, List.sort_uniq compare cuts))
+        (list_size (0 -- 12) (0 -- n)))
+
+let prop_unterminated_flood_is_bounded =
+  QCheck.Test.make
+    ~name:"an unterminated over-cap flood yields one Error and a dead assembler"
+    ~count:40 arb_flood (fun (msgs, junk_len, cuts) ->
+      let raw = serialize msgs ^ String.make junk_len 'x' in
+      let a = Wire.assembler () in
+      let out = ref [] in
+      let emit from upto =
+        if upto > from then begin
+          let b = Bytes.of_string (String.sub raw from (upto - from)) in
+          out := List.rev_append (Wire.feed a b (Bytes.length b)) !out
+        end
+      in
+      (match
+         let last =
+           List.fold_left (fun from cut -> emit from cut; cut) 0 cuts
+         in
+         emit last (String.length raw)
+       with
+      | () -> ()
+      | exception e ->
+          QCheck.Test.fail_reportf "assembler raised %s" (Printexc.to_string e));
+      let out = List.rev !out in
+      let oks = List.filter_map (function Ok m -> Some m | _ -> None) out in
+      let errs =
+        List.filter_map (function Error e -> Some e | _ -> None) out
+      in
+      (* valid prefix intact; one overflow error mentioning the cap *)
+      oks = msgs
+      && List.length errs = 1
+      && (let e = List.hd errs in
+          let cap = string_of_int Wire.default_max_line in
+          let rec mem i =
+            i + String.length cap <= String.length e
+            && (String.sub e i (String.length cap) = cap || mem (i + 1))
+          in
+          mem 0)
+      (* and the assembler is dead: later input — even well-formed — is
+         swallowed without output *)
+      && Wire.feed a (Bytes.of_string "hb\n") 3 = [])
+
 let () =
   Alcotest.run "wire-fuzz"
     [
@@ -345,5 +406,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_string_matches_writer;
           QCheck_alcotest.to_alcotest prop_duplicated_frame_parses_twice;
           QCheck_alcotest.to_alcotest prop_interleaved_partials;
+          QCheck_alcotest.to_alcotest prop_unterminated_flood_is_bounded;
         ] );
     ]
